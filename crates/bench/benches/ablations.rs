@@ -1,0 +1,78 @@
+//! Ablation benches for the design choices called out in DESIGN.md §7:
+//! ε-greedy exploration, prior strength / decay, number of strata, and the
+//! stratification rule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use er_core::datasets::DatasetProfile;
+use experiments::pools::direct_pool;
+use oasis::oracle::GroundTruthOracle;
+use oasis::samplers::{OasisConfig, OasisSampler, Sampler, StratifierChoice};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mean absolute error of OASIS on the Abt-Buy pool after a fixed budget.
+fn oasis_error(config: OasisConfig, repeats: usize, budget: usize) -> f64 {
+    let pool = direct_pool(&DatasetProfile::abt_buy(), 0.05, true, 2017);
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for r in 0..repeats {
+        let mut rng = StdRng::seed_from_u64(100 + r as u64);
+        let mut oracle = GroundTruthOracle::new(pool.truth.clone());
+        let mut sampler = OasisSampler::new(&pool.pool, config.clone()).expect("valid config");
+        sampler
+            .run_until_budget(&pool.pool, &mut oracle, &mut rng, budget, 500_000)
+            .expect("sampling succeeds");
+        let estimate = sampler.estimate().f_measure;
+        if estimate.is_finite() {
+            total += (estimate - pool.true_f_measure).abs();
+            counted += 1;
+        }
+    }
+    if counted > 0 {
+        total / counted as f64
+    } else {
+        f64::NAN
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let repeats = 20;
+    let budget = 200;
+
+    println!("\nAblation: mean |F̂ − F| on Abt-Buy (scale 0.05) after {budget} labels, {repeats} repeats");
+    for epsilon in [1e-3, 1e-1, 1.0] {
+        let err = oasis_error(OasisConfig::default().with_epsilon(epsilon), repeats, budget);
+        println!("  epsilon = {epsilon:>5}: {err:.4}");
+    }
+    for strata in [10, 30, 60, 120] {
+        let err = oasis_error(OasisConfig::default().with_strata_count(strata), repeats, budget);
+        println!("  K = {strata:>3}: {err:.4}");
+    }
+    for decay in [true, false] {
+        let err = oasis_error(OasisConfig::default().with_prior_decay(decay), repeats, budget);
+        println!("  prior decay = {decay}: {err:.4}");
+    }
+    for (label, choice) in [("CSF", StratifierChoice::Csf), ("equal-size", StratifierChoice::EqualSize)] {
+        let err = oasis_error(OasisConfig::default().with_stratifier(choice), repeats, budget);
+        println!("  stratifier = {label}: {err:.4}");
+    }
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    for epsilon in [1e-3, 1e-1] {
+        group.bench_with_input(
+            BenchmarkId::new("epsilon", format!("{epsilon}")),
+            &epsilon,
+            |b, &eps| b.iter(|| oasis_error(OasisConfig::default().with_epsilon(eps), 3, 100)),
+        );
+    }
+    for strata in [30usize, 120] {
+        group.bench_with_input(BenchmarkId::new("strata", strata), &strata, |b, &k| {
+            b.iter(|| oasis_error(OasisConfig::default().with_strata_count(k), 3, 100))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

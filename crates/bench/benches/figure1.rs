@@ -1,0 +1,18 @@
+//! Bench: regenerate Figure 1 (CSF stratum sizes and mean scores).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figure1(c: &mut Criterion) {
+    let figure = experiments::figure1::run(0.5, 30, 2017);
+    println!("\n{}", figure.render());
+
+    let mut group = c.benchmark_group("figure1");
+    group.sample_size(10);
+    group.bench_function("csf_stratification_abt_buy_scale_0.5", |b| {
+        b.iter(|| experiments::figure1::run(0.5, 30, 2017))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1);
+criterion_main!(benches);

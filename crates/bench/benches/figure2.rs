@@ -1,0 +1,39 @@
+//! Bench: regenerate Figure 2 (error vs label budget, all pools and methods).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figure2::{run, run_profile, Figure2Config};
+use er_core::datasets::DatasetProfile;
+
+fn bench_figure2(c: &mut Criterion) {
+    // One representative pool at moderate scale for the printed output.
+    let config = Figure2Config {
+        scale: 0.05,
+        repeats: 20,
+        budget_fraction: 0.1,
+        checkpoints: 6,
+        seed: 2017,
+        threads: 4,
+        datasets: vec!["Abt-Buy".to_string(), "tweets100k".to_string()],
+    };
+    let figure = run(&config);
+    println!("\n{}", figure.render());
+
+    let mut group = c.benchmark_group("figure2");
+    group.sample_size(10);
+    let quick = Figure2Config {
+        scale: 0.02,
+        repeats: 5,
+        budget_fraction: 0.1,
+        checkpoints: 3,
+        seed: 2017,
+        threads: 2,
+        datasets: Vec::new(),
+    };
+    group.bench_function("abt_buy_error_curves_scale_0.02", |b| {
+        b.iter(|| run_profile(&DatasetProfile::abt_buy(), &quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure2);
+criterion_main!(benches);

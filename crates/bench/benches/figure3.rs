@@ -1,0 +1,36 @@
+//! Bench: regenerate Figure 3 (calibrated vs uncalibrated scores).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figure3::{run, run_panel, Figure3Config};
+use er_core::datasets::DatasetProfile;
+
+fn bench_figure3(c: &mut Criterion) {
+    let config = Figure3Config {
+        scale: 0.05,
+        repeats: 20,
+        budget_fraction: 0.1,
+        checkpoints: 5,
+        seed: 2017,
+        threads: 4,
+    };
+    let figure = run(&config);
+    println!("\n{}", figure.render());
+
+    let mut group = c.benchmark_group("figure3");
+    group.sample_size(10);
+    let quick = Figure3Config {
+        scale: 0.02,
+        repeats: 5,
+        budget_fraction: 0.1,
+        checkpoints: 3,
+        seed: 2017,
+        threads: 2,
+    };
+    group.bench_function("dblp_acm_uncalibrated_panel_scale_0.02", |b| {
+        b.iter(|| run_panel(&DatasetProfile::dblp_acm(), false, &quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure3);
+criterion_main!(benches);

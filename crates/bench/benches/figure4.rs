@@ -1,0 +1,31 @@
+//! Bench: regenerate Figure 4 (convergence of OASIS internals).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figure4::{run, Figure4Config};
+
+fn bench_figure4(c: &mut Criterion) {
+    let config = Figure4Config {
+        scale: 0.2,
+        strata: 30,
+        budget_fraction: 0.2,
+        checkpoints: 10,
+        seed: 2017,
+    };
+    let figure = run(&config);
+    println!("\n{}", figure.render());
+
+    let mut group = c.benchmark_group("figure4");
+    group.sample_size(10);
+    let quick = Figure4Config {
+        scale: 0.05,
+        strata: 15,
+        budget_fraction: 0.2,
+        checkpoints: 5,
+        seed: 2017,
+    };
+    group.bench_function("convergence_trace_scale_0.05", |b| b.iter(|| run(&quick)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure4);
+criterion_main!(benches);

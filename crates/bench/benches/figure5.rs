@@ -1,0 +1,34 @@
+//! Bench: regenerate Figure 5 (five classifiers × four sampling methods).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figure5::{run, Figure5Config};
+use experiments::pools::ClassifierKind;
+
+fn bench_figure5(c: &mut Criterion) {
+    let config = Figure5Config {
+        scale: 0.03,
+        budget: 200,
+        repeats: 15,
+        seed: 2017,
+        threads: 4,
+        classifiers: Vec::new(),
+    };
+    let figure = run(&config);
+    println!("\n{}", figure.render());
+
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(10);
+    let quick = Figure5Config {
+        scale: 0.01,
+        budget: 60,
+        repeats: 4,
+        seed: 2017,
+        threads: 2,
+        classifiers: vec![ClassifierKind::LinearSvm],
+    };
+    group.bench_function("lsvm_cell_scale_0.01", |b| b.iter(|| run(&quick)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure5);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench: regenerate Table 1 (dataset inventory) and measure its cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the reproduced table once so `cargo bench` output shows the rows.
+    let table = experiments::table1::run(0.005, 2017);
+    println!("\n{}", table.render());
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("generate_dataset_inventory_scale_0.005", |b| {
+        b.iter(|| experiments::table1::run(0.005, 2017))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench: regenerate Table 2 (pools + L-SVM operating points).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table2(c: &mut Criterion) {
+    let table = experiments::table2::run(0.01, 2017);
+    println!("\n{}", table.render());
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("build_pools_and_measure_operating_points_scale_0.01", |b| {
+        b.iter(|| experiments::table2::run(0.01, 2017))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench: regenerate Table 3 (CPU time per run / iteration on cora).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::table3::{run, Table3Config};
+
+fn bench_table3(c: &mut Criterion) {
+    let config = Table3Config {
+        scale: 0.1,
+        iterations: 2000,
+        runs: 1,
+        seed: 2017,
+    };
+    let table = run(&config);
+    println!("\n{}", table.render());
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    let quick = Table3Config {
+        scale: 0.05,
+        iterations: 500,
+        runs: 1,
+        seed: 2017,
+    };
+    group.bench_function("time_all_methods_scale_0.05", |b| b.iter(|| run(&quick)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,249 @@
+//! AdaBoost over decision stumps.
+//!
+//! The "AB" classifier of the paper's Figure 5.  Weak learners are
+//! single-feature threshold rules (decision stumps); the boosted score is the
+//! weighted sum of stump votes, an unbounded margin-like quantity.
+
+use crate::dataset::TrainingSet;
+use crate::Classifier;
+
+/// A single decision stump: vote +1 if `polarity · (x[feature] − threshold) > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Stump {
+    feature: usize,
+    threshold: f64,
+    /// +1.0 or −1.0.
+    polarity: f64,
+    /// The boosting weight α of this stump.
+    alpha: f64,
+}
+
+impl Stump {
+    fn vote(&self, features: &[f64]) -> f64 {
+        let value = features.get(self.feature).copied().unwrap_or(0.0);
+        if self.polarity * (value - self.threshold) > 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+/// Hyperparameters of AdaBoost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaBoostConfig {
+    /// Number of boosting rounds (stumps).
+    pub rounds: usize,
+    /// Number of candidate thresholds per feature when searching for the best
+    /// stump.
+    pub threshold_candidates: usize,
+}
+
+impl Default for AdaBoostConfig {
+    fn default() -> Self {
+        AdaBoostConfig {
+            rounds: 50,
+            threshold_candidates: 24,
+        }
+    }
+}
+
+/// A trained AdaBoost ensemble of decision stumps.
+#[derive(Debug, Clone)]
+pub struct AdaBoostClassifier {
+    stumps: Vec<Stump>,
+}
+
+impl AdaBoostClassifier {
+    /// Train with default hyperparameters.
+    pub fn train(data: &TrainingSet) -> Self {
+        Self::train_with(data, AdaBoostConfig::default())
+    }
+
+    /// Train with explicit hyperparameters.
+    ///
+    /// # Panics
+    /// Panics if the training set is empty.
+    pub fn train_with(data: &TrainingSet, config: AdaBoostConfig) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty training set");
+        let n = data.len();
+        let d = data.feature_count();
+        let targets: Vec<f64> = data
+            .labels
+            .iter()
+            .map(|&l| if l { 1.0 } else { -1.0 })
+            .collect();
+        let mut sample_weights = vec![1.0 / n as f64; n];
+        let mut stumps = Vec::with_capacity(config.rounds);
+
+        // Pre-compute candidate thresholds per feature from the data range.
+        let mut candidates: Vec<Vec<f64>> = Vec::with_capacity(d);
+        for feature in 0..d {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for row in &data.features {
+                min = min.min(row[feature]);
+                max = max.max(row[feature]);
+            }
+            let steps = config.threshold_candidates.max(1);
+            let thresholds = (0..=steps)
+                .map(|s| min + (max - min) * s as f64 / steps as f64)
+                .collect();
+            candidates.push(thresholds);
+        }
+
+        for _ in 0..config.rounds {
+            // Find the stump with minimal weighted error.
+            let mut best: Option<(Stump, f64)> = None;
+            for feature in 0..d {
+                for &threshold in &candidates[feature] {
+                    for polarity in [1.0, -1.0] {
+                        let stump = Stump {
+                            feature,
+                            threshold,
+                            polarity,
+                            alpha: 0.0,
+                        };
+                        let mut error = 0.0;
+                        for i in 0..n {
+                            if stump.vote(&data.features[i]) != targets[i] {
+                                error += sample_weights[i];
+                            }
+                        }
+                        if best.as_ref().map(|&(_, e)| error < e).unwrap_or(true) {
+                            best = Some((stump, error));
+                        }
+                    }
+                }
+            }
+            let (mut stump, error) = best.expect("at least one candidate stump");
+            let error = error.clamp(1e-10, 1.0 - 1e-10);
+            if error >= 0.5 {
+                // No weak learner better than chance — stop boosting.
+                break;
+            }
+            stump.alpha = 0.5 * ((1.0 - error) / error).ln();
+
+            // Re-weight the samples.
+            let mut total = 0.0;
+            for i in 0..n {
+                let margin = targets[i] * stump.vote(&data.features[i]);
+                sample_weights[i] *= (-stump.alpha * margin).exp();
+                total += sample_weights[i];
+            }
+            for w in &mut sample_weights {
+                *w /= total;
+            }
+            stumps.push(stump);
+        }
+        AdaBoostClassifier { stumps }
+    }
+
+    /// Number of stumps in the ensemble.
+    pub fn ensemble_size(&self) -> usize {
+        self.stumps.len()
+    }
+}
+
+impl Classifier for AdaBoostClassifier {
+    fn score(&self, features: &[f64]) -> f64 {
+        self.stumps
+            .iter()
+            .map(|s| s.alpha * s.vote(features))
+            .sum()
+    }
+
+    fn decision_threshold(&self) -> f64 {
+        0.0
+    }
+
+    fn name(&self) -> &'static str {
+        "AB"
+    }
+
+    fn scores_are_probabilities(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear_svm::test_support::synthetic_pair_data;
+    use crate::metrics::{accuracy, roc_auc};
+
+    #[test]
+    fn learns_a_separable_problem() {
+        let train = synthetic_pair_data(600, 0.4, 41);
+        let test = synthetic_pair_data(400, 0.4, 42);
+        let ab = AdaBoostClassifier::train(&train);
+        let predictions: Vec<bool> = test.features.iter().map(|f| ab.predict(f)).collect();
+        assert!(accuracy(&predictions, &test.labels) > 0.9);
+        let scores: Vec<f64> = test.features.iter().map(|f| ab.score(f)).collect();
+        assert!(roc_auc(&scores, &test.labels) > 0.95);
+    }
+
+    #[test]
+    fn boosting_improves_over_a_single_stump() {
+        let train = synthetic_pair_data(800, 0.4, 43);
+        let test = synthetic_pair_data(800, 0.4, 44);
+        let single = AdaBoostClassifier::train_with(
+            &train,
+            AdaBoostConfig {
+                rounds: 1,
+                ..AdaBoostConfig::default()
+            },
+        );
+        let boosted = AdaBoostClassifier::train_with(
+            &train,
+            AdaBoostConfig {
+                rounds: 40,
+                ..AdaBoostConfig::default()
+            },
+        );
+        let auc_single = roc_auc(
+            &test.features.iter().map(|f| single.score(f)).collect::<Vec<_>>(),
+            &test.labels,
+        );
+        let auc_boosted = roc_auc(
+            &test.features.iter().map(|f| boosted.score(f)).collect::<Vec<_>>(),
+            &test.labels,
+        );
+        assert!(
+            auc_boosted >= auc_single,
+            "boosted AUC {auc_boosted} vs single stump {auc_single}"
+        );
+        assert!(boosted.ensemble_size() > single.ensemble_size());
+    }
+
+    #[test]
+    fn handles_pure_noise_gracefully() {
+        // Labels independent of features: boosting should stop early or stay
+        // near chance, never panic.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(45);
+        let features: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.gen(), rng.gen()]).collect();
+        let labels: Vec<bool> = (0..200).map(|_| rng.gen_bool(0.5)).collect();
+        let data = TrainingSet::new(features, labels);
+        let ab = AdaBoostClassifier::train(&data);
+        let predictions: Vec<bool> = data.features.iter().map(|f| ab.predict(f)).collect();
+        let acc = accuracy(&predictions, &data.labels);
+        assert!(acc > 0.4, "should not be catastrophically wrong: {acc}");
+    }
+
+    #[test]
+    fn metadata() {
+        let train = synthetic_pair_data(100, 0.4, 46);
+        let ab = AdaBoostClassifier::train(&train);
+        assert_eq!(ab.name(), "AB");
+        assert!(!ab.scores_are_probabilities());
+        assert_eq!(ab.decision_threshold(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_set_panics() {
+        AdaBoostClassifier::train(&TrainingSet::new(vec![], vec![]));
+    }
+}

@@ -1,0 +1,286 @@
+//! Platt scaling: mapping raw classifier margins to calibrated probabilities.
+//!
+//! The paper obtains calibrated scores from LIBSVM's built-in probability
+//! estimates, which are Platt-scaled decision values fit by five-fold
+//! cross-validation (Section 6.3.2).  [`PlattScaler`] reproduces that recipe:
+//! fit `P(match | s) = σ(A·s + B)` on held-out (score, label) pairs by
+//! regularised maximum likelihood, optionally via k-fold cross-validation over
+//! a training set.
+
+use crate::dataset::TrainingSet;
+use crate::linalg::sigmoid;
+use crate::Classifier;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A fitted Platt scaler `s ↦ σ(A·s + B)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlattScaler {
+    /// Slope `A`.
+    pub a: f64,
+    /// Intercept `B`.
+    pub b: f64,
+}
+
+impl PlattScaler {
+    /// Fit the scaler on raw scores and their true labels by gradient descent
+    /// on the (lightly regularised) logistic loss, with the standard Platt
+    /// target smoothing.
+    ///
+    /// # Panics
+    /// Panics if the inputs are empty or of different lengths.
+    pub fn fit(scores: &[f64], labels: &[bool]) -> Self {
+        assert_eq!(scores.len(), labels.len(), "scores and labels must align");
+        assert!(!scores.is_empty(), "cannot fit on empty data");
+        let n_positive = labels.iter().filter(|&&l| l).count() as f64;
+        let n_negative = labels.len() as f64 - n_positive;
+        // Platt's smoothed targets avoid infinite weights on separable data.
+        let positive_target = (n_positive + 1.0) / (n_positive + 2.0);
+        let negative_target = 1.0 / (n_negative + 2.0);
+        let targets: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l { positive_target } else { negative_target })
+            .collect();
+
+        // Standardise scores for a well-conditioned fit, then fold the
+        // standardisation back into (A, B).
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        let std = (scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / scores.len() as f64)
+            .sqrt()
+            .max(1e-9);
+
+        let mut a = 1.0;
+        let mut b = 0.0;
+        let learning_rate = 0.5;
+        for epoch in 0..500 {
+            let eta = learning_rate / (1.0 + 0.01 * epoch as f64);
+            let mut grad_a = 0.0;
+            let mut grad_b = 0.0;
+            for (&score, &target) in scores.iter().zip(targets.iter()) {
+                let z = (score - mean) / std;
+                let p = sigmoid(a * z + b);
+                let error = p - target;
+                grad_a += error * z;
+                grad_b += error;
+            }
+            grad_a /= scores.len() as f64;
+            grad_b /= scores.len() as f64;
+            a -= eta * grad_a;
+            b -= eta * grad_b;
+        }
+        // Unfold the standardisation: σ(a·(s − mean)/std + b) = σ((a/std)·s + (b − a·mean/std)).
+        PlattScaler {
+            a: a / std,
+            b: b - a * mean / std,
+        }
+    }
+
+    /// Fit by k-fold cross-validation over a training set: the classifier is
+    /// re-trained on each fold's complement (via `train_fn`) and scored on the
+    /// held-out fold, and the scaler is fit on the pooled out-of-fold scores —
+    /// the LIBSVM `-b 1` recipe.
+    pub fn fit_cross_validated<C, F, R>(
+        data: &TrainingSet,
+        folds: usize,
+        mut train_fn: F,
+        rng: &mut R,
+    ) -> Self
+    where
+        C: Classifier,
+        F: FnMut(&TrainingSet, &mut R) -> C,
+        R: Rng + ?Sized,
+    {
+        assert!(folds >= 2, "need at least two folds");
+        assert!(data.len() >= folds, "need at least one example per fold");
+        let mut indices: Vec<usize> = (0..data.len()).collect();
+        indices.shuffle(rng);
+        let mut out_of_fold_scores = Vec::with_capacity(data.len());
+        let mut out_of_fold_labels = Vec::with_capacity(data.len());
+        for fold in 0..folds {
+            let held_out: Vec<usize> = indices
+                .iter()
+                .enumerate()
+                .filter(|(pos, _)| pos % folds == fold)
+                .map(|(_, &i)| i)
+                .collect();
+            let training: Vec<usize> = indices
+                .iter()
+                .enumerate()
+                .filter(|(pos, _)| pos % folds != fold)
+                .map(|(_, &i)| i)
+                .collect();
+            let fold_set = TrainingSet::new(
+                training.iter().map(|&i| data.features[i].clone()).collect(),
+                training.iter().map(|&i| data.labels[i]).collect(),
+            );
+            let model = train_fn(&fold_set, rng);
+            for &i in &held_out {
+                out_of_fold_scores.push(model.score(&data.features[i]));
+                out_of_fold_labels.push(data.labels[i]);
+            }
+        }
+        Self::fit(&out_of_fold_scores, &out_of_fold_labels)
+    }
+
+    /// Map a raw score to a calibrated probability.
+    pub fn calibrate(&self, score: f64) -> f64 {
+        sigmoid(self.a * score + self.b)
+    }
+}
+
+/// A classifier wrapped with a Platt scaler so its scores become calibrated
+/// probabilities.
+#[derive(Debug, Clone)]
+pub struct CalibratedClassifier<C: Classifier> {
+    inner: C,
+    scaler: PlattScaler,
+}
+
+impl<C: Classifier> CalibratedClassifier<C> {
+    /// Wrap a trained classifier with a fitted scaler.
+    pub fn new(inner: C, scaler: PlattScaler) -> Self {
+        CalibratedClassifier { inner, scaler }
+    }
+
+    /// The wrapped classifier.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// The fitted scaler.
+    pub fn scaler(&self) -> &PlattScaler {
+        &self.scaler
+    }
+}
+
+impl<C: Classifier> Classifier for CalibratedClassifier<C> {
+    fn score(&self, features: &[f64]) -> f64 {
+        self.scaler.calibrate(self.inner.score(features))
+    }
+
+    fn decision_threshold(&self) -> f64 {
+        // Calibration is monotone, so the decision boundary maps to the
+        // calibrated value of the inner threshold.
+        self.scaler.calibrate(self.inner.decision_threshold())
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn scores_are_probabilities(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear_svm::test_support::synthetic_pair_data;
+    use crate::linear_svm::LinearSvm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_a_known_sigmoid_relationship() {
+        // Scores drawn so that P(positive | s) = σ(2s − 1).
+        let mut rng = StdRng::seed_from_u64(61);
+        use rand::Rng as _;
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..5000 {
+            let s: f64 = rng.gen::<f64>() * 4.0 - 2.0;
+            let p = sigmoid(2.0 * s - 1.0);
+            scores.push(s);
+            labels.push(rng.gen_bool(p));
+        }
+        let scaler = PlattScaler::fit(&scores, &labels);
+        assert!((scaler.a - 2.0).abs() < 0.3, "A = {}", scaler.a);
+        assert!((scaler.b - (-1.0)).abs() < 0.3, "B = {}", scaler.b);
+        // Calibrated probabilities must lie in (0, 1) and be monotone in s.
+        assert!(scaler.calibrate(-2.0) < scaler.calibrate(2.0));
+    }
+
+    #[test]
+    fn calibrated_svm_scores_become_probabilities() {
+        let train = synthetic_pair_data(800, 0.4, 62);
+        let holdout = synthetic_pair_data(800, 0.4, 63);
+        let mut rng = StdRng::seed_from_u64(64);
+        let svm = LinearSvm::train(&train, &mut rng);
+        let raw_scores: Vec<f64> = holdout.features.iter().map(|f| svm.score(f)).collect();
+        let scaler = PlattScaler::fit(&raw_scores, &holdout.labels);
+        let calibrated = CalibratedClassifier::new(svm, scaler);
+        assert!(calibrated.scores_are_probabilities());
+        assert_eq!(calibrated.name(), "L-SVM");
+        for f in holdout.features.iter().take(100) {
+            let p = calibrated.score(f);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        // Check rough calibration: bucket by predicted probability.
+        let test = synthetic_pair_data(3000, 0.4, 65);
+        let mut bucket_p = vec![0.0; 5];
+        let mut bucket_pos = vec![0.0; 5];
+        let mut bucket_n = vec![0usize; 5];
+        for (f, &label) in test.features.iter().zip(test.labels.iter()) {
+            let p = calibrated.score(f);
+            let bucket = ((p * 5.0) as usize).min(4);
+            bucket_p[bucket] += p;
+            bucket_pos[bucket] += f64::from(u8::from(label));
+            bucket_n[bucket] += 1;
+        }
+        for bucket in 0..5 {
+            if bucket_n[bucket] > 150 {
+                let mean_p = bucket_p[bucket] / bucket_n[bucket] as f64;
+                let rate = bucket_pos[bucket] / bucket_n[bucket] as f64;
+                assert!(
+                    (mean_p - rate).abs() < 0.2,
+                    "bucket {bucket}: mean prob {mean_p:.3} vs rate {rate:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_validated_fit_runs_and_calibrates() {
+        let data = synthetic_pair_data(600, 0.4, 66);
+        let mut rng = StdRng::seed_from_u64(67);
+        let scaler = PlattScaler::fit_cross_validated(
+            &data,
+            5,
+            |fold, rng| LinearSvm::train(fold, rng),
+            &mut rng,
+        );
+        // Higher margins must map to higher probabilities.
+        assert!(scaler.a > 0.0);
+        assert!(scaler.calibrate(3.0) > scaler.calibrate(-3.0));
+    }
+
+    #[test]
+    fn decision_threshold_maps_through_the_scaler() {
+        let train = synthetic_pair_data(300, 0.4, 68);
+        let mut rng = StdRng::seed_from_u64(69);
+        let svm = LinearSvm::train(&train, &mut rng);
+        let scores: Vec<f64> = train.features.iter().map(|f| svm.score(f)).collect();
+        let scaler = PlattScaler::fit(&scores, &train.labels);
+        let calibrated = CalibratedClassifier::new(svm, scaler);
+        let threshold = calibrated.decision_threshold();
+        assert!((0.0..=1.0).contains(&threshold));
+        assert_eq!(threshold, scaler.calibrate(0.0));
+        assert!(calibrated.inner().decision_threshold() == 0.0);
+        assert_eq!(calibrated.scaler().a, scaler.a);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_panics() {
+        PlattScaler::fit(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "folds")]
+    fn one_fold_cross_validation_panics() {
+        let data = synthetic_pair_data(50, 0.4, 70);
+        let mut rng = StdRng::seed_from_u64(71);
+        PlattScaler::fit_cross_validated(&data, 1, |fold, rng| LinearSvm::train(fold, rng), &mut rng);
+    }
+}

@@ -1,0 +1,162 @@
+//! Training sets and train/test splitting.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled training set of similarity feature vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingSet {
+    /// Row-major feature matrix.
+    pub features: Vec<Vec<f64>>,
+    /// Binary labels (`true` = match), aligned with the rows.
+    pub labels: Vec<bool>,
+}
+
+impl TrainingSet {
+    /// Create a training set.
+    ///
+    /// # Panics
+    /// Panics if the number of rows and labels disagree.
+    pub fn new(features: Vec<Vec<f64>>, labels: Vec<bool>) -> Self {
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "feature rows and labels must align"
+        );
+        TrainingSet { features, labels }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features per example (0 for an empty set).
+    pub fn feature_count(&self) -> usize {
+        self.features.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Number of positive (match) examples.
+    pub fn positive_count(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Draw a class-balanced subsample of up to `per_class` examples per class
+    /// (useful for training on heavily imbalanced pair data; the paper trains
+    /// on a random subset of the dataset with ground truth).
+    pub fn balanced_subsample<R: Rng + ?Sized>(&self, per_class: usize, rng: &mut R) -> TrainingSet {
+        let mut positive_indices: Vec<usize> = Vec::new();
+        let mut negative_indices: Vec<usize> = Vec::new();
+        for (i, &label) in self.labels.iter().enumerate() {
+            if label {
+                positive_indices.push(i);
+            } else {
+                negative_indices.push(i);
+            }
+        }
+        positive_indices.shuffle(rng);
+        negative_indices.shuffle(rng);
+        positive_indices.truncate(per_class);
+        negative_indices.truncate(per_class);
+        let mut indices = positive_indices;
+        indices.extend(negative_indices);
+        indices.shuffle(rng);
+        TrainingSet {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+}
+
+/// Split a training set into a training part and a held-out test part.
+///
+/// `test_fraction` is clamped to `[0, 1]`.  The split is random but the two
+/// parts always cover the whole input exactly once.
+pub fn train_test_split<R: Rng + ?Sized>(
+    set: &TrainingSet,
+    test_fraction: f64,
+    rng: &mut R,
+) -> (TrainingSet, TrainingSet) {
+    let test_fraction = test_fraction.clamp(0.0, 1.0);
+    let mut indices: Vec<usize> = (0..set.len()).collect();
+    indices.shuffle(rng);
+    let test_size = (set.len() as f64 * test_fraction).round() as usize;
+    let (test_idx, train_idx) = indices.split_at(test_size.min(set.len()));
+    let subset = |idx: &[usize]| TrainingSet {
+        features: idx.iter().map(|&i| set.features[i].clone()).collect(),
+        labels: idx.iter().map(|&i| set.labels[i]).collect(),
+    };
+    (subset(train_idx), subset(test_idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_set(n: usize) -> TrainingSet {
+        let features: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i % 3) as f64]).collect();
+        let labels: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect();
+        TrainingSet::new(features, labels)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let set = toy_set(12);
+        assert_eq!(set.len(), 12);
+        assert!(!set.is_empty());
+        assert_eq!(set.feature_count(), 2);
+        assert_eq!(set.positive_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        TrainingSet::new(vec![vec![1.0]], vec![true, false]);
+    }
+
+    #[test]
+    fn split_partitions_the_data() {
+        let set = toy_set(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = train_test_split(&set, 0.25, &mut rng);
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.len(), 25);
+        // Extreme fractions behave sensibly.
+        let (train, test) = train_test_split(&set, 0.0, &mut rng);
+        assert_eq!(train.len(), 100);
+        assert_eq!(test.len(), 0);
+        let (train, test) = train_test_split(&set, 1.5, &mut rng);
+        assert_eq!(train.len(), 0);
+        assert_eq!(test.len(), 100);
+    }
+
+    #[test]
+    fn balanced_subsample_balances_classes() {
+        let set = toy_set(200); // 50 positives, 150 negatives
+        let mut rng = StdRng::seed_from_u64(2);
+        let sub = set.balanced_subsample(30, &mut rng);
+        assert_eq!(sub.len(), 60);
+        assert_eq!(sub.positive_count(), 30);
+        // Requesting more than available caps at what exists.
+        let sub = set.balanced_subsample(1000, &mut rng);
+        assert_eq!(sub.positive_count(), 50);
+        assert_eq!(sub.len(), 200);
+    }
+
+    #[test]
+    fn empty_set_is_handled() {
+        let set = TrainingSet::new(vec![], vec![]);
+        assert!(set.is_empty());
+        assert_eq!(set.feature_count(), 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (train, test) = train_test_split(&set, 0.5, &mut rng);
+        assert!(train.is_empty() && test.is_empty());
+    }
+}

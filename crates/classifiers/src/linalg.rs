@@ -1,0 +1,172 @@
+//! Minimal dense linear algebra helpers shared by the classifiers.
+
+/// Dot product of two equally long slices.
+///
+/// # Panics
+/// Panics (in debug builds) if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// `y ← y + alpha·x` (AXPY).
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale a vector in place.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// The logistic sigmoid `1 / (1 + e^{−x})`, numerically stable for large `|x|`.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Per-column means of a row-major feature matrix.
+pub fn column_means(rows: &[Vec<f64>]) -> Vec<f64> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let cols = rows[0].len();
+    let mut means = vec![0.0; cols];
+    for row in rows {
+        for (m, &v) in means.iter_mut().zip(row.iter()) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= rows.len() as f64;
+    }
+    means
+}
+
+/// Per-column standard deviations of a row-major feature matrix (population
+/// variant; zero-variance columns report 1 so standardisation is a no-op).
+pub fn column_stds(rows: &[Vec<f64>], means: &[f64]) -> Vec<f64> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let cols = rows[0].len();
+    let mut variances = vec![0.0; cols];
+    for row in rows {
+        for ((v, &x), &m) in variances.iter_mut().zip(row.iter()).zip(means.iter()) {
+            *v += (x - m) * (x - m);
+        }
+    }
+    variances
+        .iter_mut()
+        .for_each(|v| *v = (*v / rows.len() as f64).sqrt());
+    variances
+        .into_iter()
+        .map(|s| if s > 1e-12 { s } else { 1.0 })
+        .collect()
+}
+
+/// A fitted feature standardiser (z-scoring), shared by the gradient-based
+/// classifiers so raw similarity features on different scales train stably.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit on a feature matrix.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        let means = column_means(rows);
+        let stds = column_stds(rows, &means);
+        Standardizer { means, stds }
+    }
+
+    /// Transform one feature vector.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.means.iter())
+            .zip(self.stds.iter())
+            .map(|((&x, &m), &s)| (x - m) / s)
+            .collect()
+    }
+
+    /// Number of features the standardiser was fit on.
+    pub fn feature_count(&self) -> usize {
+        self.means.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![3.5, 4.5]);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_correct() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0) > 0.999999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!(sigmoid(1000.0).is_finite());
+        assert!(sigmoid(-1000.0).is_finite());
+        // symmetry: σ(−x) = 1 − σ(x)
+        for x in [-5.0, -1.0, 0.3, 2.7] {
+            assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn column_statistics() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 10.0]];
+        let means = column_means(&rows);
+        assert_eq!(means, vec![2.0, 10.0]);
+        let stds = column_stds(&rows, &means);
+        assert!((stds[0] - 1.0).abs() < 1e-12);
+        // zero-variance column maps to 1
+        assert_eq!(stds[1], 1.0);
+        assert!(column_means(&[]).is_empty());
+        assert!(column_stds(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn standardizer_round_trip() {
+        let rows = vec![vec![0.0, 5.0], vec![2.0, 5.0], vec![4.0, 5.0]];
+        let s = Standardizer::fit(&rows);
+        assert_eq!(s.feature_count(), 2);
+        let t = s.transform(&[2.0, 5.0]);
+        assert!(t[0].abs() < 1e-12);
+        assert!(t[1].abs() < 1e-12);
+        let t = s.transform(&[4.0, 7.0]);
+        assert!(t[0] > 0.0);
+        assert_eq!(t[1], 2.0); // zero-variance column passes through shifted
+    }
+}

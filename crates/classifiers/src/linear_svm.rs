@@ -1,0 +1,233 @@
+//! Linear support-vector machine trained with the Pegasos algorithm
+//! (stochastic sub-gradient descent on the hinge loss).
+//!
+//! This is the paper's workhorse classifier ("L-SVM", Table 2): its raw score
+//! is the signed distance to the decision hyperplane, which is exactly the
+//! *uncalibrated* score regime of Section 6.3.2.  Calibrated probabilities are
+//! obtained by wrapping the trained model in a [`crate::PlattScaler`].
+
+use crate::dataset::TrainingSet;
+use crate::linalg::{dot, Standardizer};
+use crate::Classifier;
+use rand::Rng;
+
+/// Hyperparameters of the Pegasos linear SVM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearSvmConfig {
+    /// L2 regularisation strength λ.
+    pub lambda: f64,
+    /// Number of stochastic epochs over the training set.
+    pub epochs: usize,
+}
+
+impl Default for LinearSvmConfig {
+    fn default() -> Self {
+        LinearSvmConfig {
+            lambda: 1e-3,
+            epochs: 60,
+        }
+    }
+}
+
+/// A trained linear SVM.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    weights: Vec<f64>,
+    bias: f64,
+    standardizer: Standardizer,
+}
+
+impl LinearSvm {
+    /// Train with default hyperparameters.
+    pub fn train<R: Rng + ?Sized>(data: &TrainingSet, rng: &mut R) -> Self {
+        Self::train_with(data, LinearSvmConfig::default(), rng)
+    }
+
+    /// Train with explicit hyperparameters.
+    ///
+    /// # Panics
+    /// Panics if the training set is empty.
+    pub fn train_with<R: Rng + ?Sized>(
+        data: &TrainingSet,
+        config: LinearSvmConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty training set");
+        let standardizer = Standardizer::fit(&data.features);
+        let rows: Vec<Vec<f64>> = data
+            .features
+            .iter()
+            .map(|r| standardizer.transform(r))
+            .collect();
+        let targets: Vec<f64> = data
+            .labels
+            .iter()
+            .map(|&l| if l { 1.0 } else { -1.0 })
+            .collect();
+        let d = data.feature_count();
+        let n = rows.len();
+        let mut weights = vec![0.0; d];
+        let mut bias = 0.0;
+        let mut t = 0usize;
+        for _ in 0..config.epochs {
+            for _ in 0..n {
+                t += 1;
+                let i = rng.gen_range(0..n);
+                let eta = 1.0 / (config.lambda * t as f64);
+                let margin = targets[i] * (dot(&weights, &rows[i]) + bias);
+                // Regularisation shrink.
+                for w in &mut weights {
+                    *w *= 1.0 - eta * config.lambda;
+                }
+                if margin < 1.0 {
+                    // Sub-gradient step on the hinge loss.
+                    for (w, &x) in weights.iter_mut().zip(rows[i].iter()) {
+                        *w += eta * targets[i] * x;
+                    }
+                    bias += eta * targets[i];
+                }
+            }
+        }
+        LinearSvm {
+            weights,
+            bias,
+            standardizer,
+        }
+    }
+
+    /// The learned weight vector (in standardised feature space).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn score(&self, features: &[f64]) -> f64 {
+        let x = self.standardizer.transform(features);
+        dot(&self.weights, &x) + self.bias
+    }
+
+    fn decision_threshold(&self) -> f64 {
+        0.0
+    }
+
+    fn name(&self) -> &'static str {
+        "L-SVM"
+    }
+
+    fn scores_are_probabilities(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A linearly separable-ish two-feature problem imitating ER similarity
+    /// features: matches have high similarities, non-matches low, with noise.
+    pub fn synthetic_pair_data(n: usize, positive_rate: f64, seed: u64) -> TrainingSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut features = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let is_match = rng.gen_bool(positive_rate);
+            let base = if is_match { 0.75 } else { 0.2 };
+            let f1: f64 = (base + 0.25 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0);
+            let f2: f64 = (base + 0.35 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0);
+            let f3: f64 = rng.gen(); // pure noise feature
+            features.push(vec![f1, f2, f3]);
+            labels.push(is_match);
+        }
+        TrainingSet::new(features, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::synthetic_pair_data;
+    use super::*;
+    use crate::metrics::{accuracy, f1_score, roc_auc};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_a_separable_problem() {
+        let train = synthetic_pair_data(600, 0.4, 1);
+        let test = synthetic_pair_data(400, 0.4, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let svm = LinearSvm::train(&train, &mut rng);
+        let predictions: Vec<bool> = test.features.iter().map(|f| svm.predict(f)).collect();
+        let acc = accuracy(&predictions, &test.labels);
+        assert!(acc > 0.9, "accuracy {acc}");
+        assert!(f1_score(&predictions, &test.labels) > 0.85);
+    }
+
+    #[test]
+    fn scores_rank_matches_above_non_matches() {
+        let train = synthetic_pair_data(600, 0.4, 4);
+        let test = synthetic_pair_data(400, 0.4, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let svm = LinearSvm::train(&train, &mut rng);
+        let scores: Vec<f64> = test.features.iter().map(|f| svm.score(f)).collect();
+        assert!(roc_auc(&scores, &test.labels) > 0.95);
+    }
+
+    #[test]
+    fn margin_scores_are_not_probabilities() {
+        let train = synthetic_pair_data(300, 0.4, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let svm = LinearSvm::train(&train, &mut rng);
+        assert!(!svm.scores_are_probabilities());
+        assert_eq!(svm.decision_threshold(), 0.0);
+        assert_eq!(svm.name(), "L-SVM");
+        // Some scores should exceed the [0, 1] range — they're margins.
+        let out_of_unit = train
+            .features
+            .iter()
+            .any(|f| !(0.0..=1.0).contains(&svm.score(f)));
+        assert!(out_of_unit);
+    }
+
+    #[test]
+    fn noise_feature_gets_small_weight() {
+        let train = synthetic_pair_data(2000, 0.4, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let svm = LinearSvm::train(&train, &mut rng);
+        let w = svm.weights();
+        assert!(
+            w[2].abs() < w[0].abs(),
+            "noise weight {} should be smaller than signal weight {}",
+            w[2],
+            w[0]
+        );
+        assert!(svm.bias().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn training_on_empty_set_panics() {
+        let mut rng = StdRng::seed_from_u64(11);
+        LinearSvm::train(&TrainingSet::new(vec![], vec![]), &mut rng);
+    }
+
+    #[test]
+    fn custom_config_is_respected() {
+        let train = synthetic_pair_data(300, 0.4, 12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let config = LinearSvmConfig {
+            lambda: 1e-2,
+            epochs: 5,
+        };
+        let svm = LinearSvm::train_with(&train, config, &mut rng);
+        let predictions: Vec<bool> = train.features.iter().map(|f| svm.predict(f)).collect();
+        assert!(accuracy(&predictions, &train.labels) > 0.8);
+    }
+}

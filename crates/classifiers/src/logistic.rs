@@ -1,0 +1,183 @@
+//! Logistic regression trained by stochastic gradient descent.
+//!
+//! One of the five classifiers of the paper's Figure 5 ("LR").  Its scores are
+//! probabilities and, being the maximum-likelihood fit of a Bernoulli model,
+//! tend to be reasonably calibrated out of the box.
+
+use crate::dataset::TrainingSet;
+use crate::linalg::{dot, sigmoid, Standardizer};
+use crate::Classifier;
+use rand::Rng;
+
+/// Hyperparameters for logistic regression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogisticRegressionConfig {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularisation strength.
+    pub l2: f64,
+    /// Number of epochs.
+    pub epochs: usize,
+}
+
+impl Default for LogisticRegressionConfig {
+    fn default() -> Self {
+        LogisticRegressionConfig {
+            learning_rate: 0.1,
+            l2: 1e-4,
+            epochs: 80,
+        }
+    }
+}
+
+/// A trained logistic-regression model.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+    standardizer: Standardizer,
+}
+
+impl LogisticRegression {
+    /// Train with default hyperparameters.
+    pub fn train<R: Rng + ?Sized>(data: &TrainingSet, rng: &mut R) -> Self {
+        Self::train_with(data, LogisticRegressionConfig::default(), rng)
+    }
+
+    /// Train with explicit hyperparameters.
+    ///
+    /// # Panics
+    /// Panics if the training set is empty.
+    pub fn train_with<R: Rng + ?Sized>(
+        data: &TrainingSet,
+        config: LogisticRegressionConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty training set");
+        let standardizer = Standardizer::fit(&data.features);
+        let rows: Vec<Vec<f64>> = data
+            .features
+            .iter()
+            .map(|r| standardizer.transform(r))
+            .collect();
+        let n = rows.len();
+        let d = data.feature_count();
+        let mut weights = vec![0.0; d];
+        let mut bias = 0.0;
+        for epoch in 0..config.epochs {
+            // Simple 1/√(1+epoch) learning-rate decay.
+            let eta = config.learning_rate / (1.0 + epoch as f64).sqrt();
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                let target = f64::from(u8::from(data.labels[i]));
+                let prediction = sigmoid(dot(&weights, &rows[i]) + bias);
+                let error = prediction - target;
+                for (w, &x) in weights.iter_mut().zip(rows[i].iter()) {
+                    *w -= eta * (error * x + config.l2 * *w);
+                }
+                bias -= eta * error;
+            }
+        }
+        LogisticRegression {
+            weights,
+            bias,
+            standardizer,
+        }
+    }
+
+    /// The probability of the positive class for a feature vector.
+    pub fn probability(&self, features: &[f64]) -> f64 {
+        let x = self.standardizer.transform(features);
+        sigmoid(dot(&self.weights, &x) + self.bias)
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn score(&self, features: &[f64]) -> f64 {
+        self.probability(features)
+    }
+
+    fn decision_threshold(&self) -> f64 {
+        0.5
+    }
+
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+
+    fn scores_are_probabilities(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear_svm::test_support::synthetic_pair_data;
+    use crate::metrics::{accuracy, roc_auc};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_a_separable_problem() {
+        let train = synthetic_pair_data(600, 0.4, 21);
+        let test = synthetic_pair_data(400, 0.4, 22);
+        let mut rng = StdRng::seed_from_u64(23);
+        let lr = LogisticRegression::train(&train, &mut rng);
+        let predictions: Vec<bool> = test.features.iter().map(|f| lr.predict(f)).collect();
+        assert!(accuracy(&predictions, &test.labels) > 0.9);
+        let scores: Vec<f64> = test.features.iter().map(|f| lr.score(f)).collect();
+        assert!(roc_auc(&scores, &test.labels) > 0.95);
+    }
+
+    #[test]
+    fn scores_are_probabilities_in_unit_interval() {
+        let train = synthetic_pair_data(400, 0.3, 24);
+        let mut rng = StdRng::seed_from_u64(25);
+        let lr = LogisticRegression::train(&train, &mut rng);
+        assert!(lr.scores_are_probabilities());
+        assert_eq!(lr.decision_threshold(), 0.5);
+        assert_eq!(lr.name(), "LR");
+        for f in &train.features {
+            let p = lr.score(f);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn probabilities_are_roughly_calibrated() {
+        // On a large sample, bucket predictions and compare bucket mean
+        // probability with the empirical positive rate.
+        let train = synthetic_pair_data(3000, 0.4, 26);
+        let test = synthetic_pair_data(3000, 0.4, 27);
+        let mut rng = StdRng::seed_from_u64(28);
+        let lr = LogisticRegression::train(&train, &mut rng);
+        let mut bucket_p = vec![0.0; 5];
+        let mut bucket_pos = vec![0.0; 5];
+        let mut bucket_n = vec![0usize; 5];
+        for (f, &label) in test.features.iter().zip(test.labels.iter()) {
+            let p = lr.probability(f);
+            let b = ((p * 5.0) as usize).min(4);
+            bucket_p[b] += p;
+            bucket_pos[b] += f64::from(u8::from(label));
+            bucket_n[b] += 1;
+        }
+        for b in 0..5 {
+            if bucket_n[b] > 100 {
+                let mean_p = bucket_p[b] / bucket_n[b] as f64;
+                let rate = bucket_pos[b] / bucket_n[b] as f64;
+                assert!(
+                    (mean_p - rate).abs() < 0.15,
+                    "bucket {b}: mean prob {mean_p:.3} vs rate {rate:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn training_on_empty_set_panics() {
+        let mut rng = StdRng::seed_from_u64(29);
+        LogisticRegression::train(&TrainingSet::new(vec![], vec![]), &mut rng);
+    }
+}

@@ -1,0 +1,242 @@
+//! A one-hidden-layer neural network (multi-layer perceptron).
+//!
+//! The "NN" classifier of the paper's Figure 5: a single hidden layer with a
+//! tanh activation and a sigmoid output, trained by stochastic gradient
+//! descent on the cross-entropy loss.
+
+use crate::dataset::TrainingSet;
+use crate::linalg::{sigmoid, Standardizer};
+use crate::Classifier;
+use rand::Rng;
+
+/// Hyperparameters for the MLP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpConfig {
+    /// Number of hidden units.
+    pub hidden_units: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// L2 regularisation strength.
+    pub l2: f64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden_units: 16,
+            learning_rate: 0.05,
+            epochs: 120,
+            l2: 1e-5,
+        }
+    }
+}
+
+/// A trained one-hidden-layer MLP.
+#[derive(Debug, Clone)]
+pub struct MlpClassifier {
+    /// Hidden-layer weights, `hidden_units × input_dim` (row-major).
+    hidden_weights: Vec<Vec<f64>>,
+    hidden_bias: Vec<f64>,
+    output_weights: Vec<f64>,
+    output_bias: f64,
+    standardizer: Standardizer,
+}
+
+impl MlpClassifier {
+    /// Train with default hyperparameters.
+    pub fn train<R: Rng + ?Sized>(data: &TrainingSet, rng: &mut R) -> Self {
+        Self::train_with(data, MlpConfig::default(), rng)
+    }
+
+    /// Train with explicit hyperparameters.
+    ///
+    /// # Panics
+    /// Panics if the training set is empty or `hidden_units` is zero.
+    pub fn train_with<R: Rng + ?Sized>(data: &TrainingSet, config: MlpConfig, rng: &mut R) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty training set");
+        assert!(config.hidden_units > 0, "need at least one hidden unit");
+        let standardizer = Standardizer::fit(&data.features);
+        let rows: Vec<Vec<f64>> = data
+            .features
+            .iter()
+            .map(|r| standardizer.transform(r))
+            .collect();
+        let n = rows.len();
+        let d = data.feature_count();
+        let h = config.hidden_units;
+
+        // Xavier-style initialisation.
+        let init_scale = (1.0 / d.max(1) as f64).sqrt();
+        let mut hidden_weights: Vec<Vec<f64>> = (0..h)
+            .map(|_| (0..d).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * init_scale).collect())
+            .collect();
+        let mut hidden_bias = vec![0.0; h];
+        let mut output_weights: Vec<f64> = (0..h)
+            .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * (1.0 / h as f64).sqrt())
+            .collect();
+        let mut output_bias = 0.0;
+
+        let mut hidden_activation = vec![0.0; h];
+        for epoch in 0..config.epochs {
+            let eta = config.learning_rate / (1.0 + 0.02 * epoch as f64);
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                let x = &rows[i];
+                let target = f64::from(u8::from(data.labels[i]));
+
+                // Forward pass.
+                for j in 0..h {
+                    let mut z = hidden_bias[j];
+                    for (w, &xi) in hidden_weights[j].iter().zip(x.iter()) {
+                        z += w * xi;
+                    }
+                    hidden_activation[j] = z.tanh();
+                }
+                let mut output_z = output_bias;
+                for j in 0..h {
+                    output_z += output_weights[j] * hidden_activation[j];
+                }
+                let prediction = sigmoid(output_z);
+
+                // Backward pass (cross-entropy + sigmoid → simple error form).
+                let output_error = prediction - target;
+                for j in 0..h {
+                    let hidden_error =
+                        output_error * output_weights[j] * (1.0 - hidden_activation[j].powi(2));
+                    output_weights[j] -= eta
+                        * (output_error * hidden_activation[j] + config.l2 * output_weights[j]);
+                    for (w, &xi) in hidden_weights[j].iter_mut().zip(x.iter()) {
+                        *w -= eta * (hidden_error * xi + config.l2 * *w);
+                    }
+                    hidden_bias[j] -= eta * hidden_error;
+                }
+                output_bias -= eta * output_error;
+            }
+        }
+        MlpClassifier {
+            hidden_weights,
+            hidden_bias,
+            output_weights,
+            output_bias,
+            standardizer,
+        }
+    }
+
+    /// The probability of the positive class for a feature vector.
+    pub fn probability(&self, features: &[f64]) -> f64 {
+        let x = self.standardizer.transform(features);
+        let mut output_z = self.output_bias;
+        for (j, weights) in self.hidden_weights.iter().enumerate() {
+            let mut z = self.hidden_bias[j];
+            for (w, &xi) in weights.iter().zip(x.iter()) {
+                z += w * xi;
+            }
+            output_z += self.output_weights[j] * z.tanh();
+        }
+        sigmoid(output_z)
+    }
+
+    /// Number of hidden units.
+    pub fn hidden_units(&self) -> usize {
+        self.hidden_weights.len()
+    }
+}
+
+impl Classifier for MlpClassifier {
+    fn score(&self, features: &[f64]) -> f64 {
+        self.probability(features)
+    }
+
+    fn decision_threshold(&self) -> f64 {
+        0.5
+    }
+
+    fn name(&self) -> &'static str {
+        "NN"
+    }
+
+    fn scores_are_probabilities(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear_svm::test_support::synthetic_pair_data;
+    use crate::metrics::{accuracy, roc_auc};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_a_separable_problem() {
+        let train = synthetic_pair_data(600, 0.4, 31);
+        let test = synthetic_pair_data(400, 0.4, 32);
+        let mut rng = StdRng::seed_from_u64(33);
+        let mlp = MlpClassifier::train(&train, &mut rng);
+        let predictions: Vec<bool> = test.features.iter().map(|f| mlp.predict(f)).collect();
+        assert!(accuracy(&predictions, &test.labels) > 0.9);
+        let scores: Vec<f64> = test.features.iter().map(|f| mlp.score(f)).collect();
+        assert!(roc_auc(&scores, &test.labels) > 0.95);
+    }
+
+    #[test]
+    fn learns_a_non_linear_problem() {
+        // XOR-style data a linear model cannot fit but an MLP can.
+        let mut rng = StdRng::seed_from_u64(34);
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..800 {
+            let a = rng.gen::<f64>() > 0.5;
+            let b = rng.gen::<f64>() > 0.5;
+            let mut noise = || 0.1 * (rng.gen::<f64>() - 0.5);
+            features.push(vec![
+                f64::from(u8::from(a)) + noise(),
+                f64::from(u8::from(b)) + noise(),
+            ]);
+            labels.push(a ^ b);
+        }
+        let data = TrainingSet::new(features, labels);
+        let config = MlpConfig {
+            hidden_units: 12,
+            epochs: 300,
+            learning_rate: 0.1,
+            l2: 0.0,
+        };
+        let mlp = MlpClassifier::train_with(&data, config, &mut rng);
+        let predictions: Vec<bool> = data.features.iter().map(|f| mlp.predict(f)).collect();
+        let acc = accuracy(&predictions, &data.labels);
+        assert!(acc > 0.9, "XOR accuracy {acc}");
+    }
+
+    #[test]
+    fn outputs_are_probabilities() {
+        let train = synthetic_pair_data(300, 0.3, 35);
+        let mut rng = StdRng::seed_from_u64(36);
+        let mlp = MlpClassifier::train(&train, &mut rng);
+        assert!(mlp.scores_are_probabilities());
+        assert_eq!(mlp.name(), "NN");
+        assert_eq!(mlp.decision_threshold(), 0.5);
+        assert_eq!(mlp.hidden_units(), MlpConfig::default().hidden_units);
+        for f in &train.features {
+            assert!((0.0..=1.0).contains(&mlp.score(f)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden unit")]
+    fn zero_hidden_units_panics() {
+        let train = synthetic_pair_data(50, 0.4, 37);
+        let mut rng = StdRng::seed_from_u64(38);
+        MlpClassifier::train_with(
+            &train,
+            MlpConfig {
+                hidden_units: 0,
+                ..MlpConfig::default()
+            },
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the classifier crate's invariants.
+
+use classifiers::calibration::PlattScaler;
+use classifiers::linalg::{sigmoid, Standardizer};
+use classifiers::metrics::{accuracy, f1_score, roc_auc};
+use classifiers::{
+    AdaBoostClassifier, Classifier, LinearSvm, LogisticRegression, MlpClassifier, TrainingSet,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy producing a small labelled dataset with at least one example of
+/// each class and two informative features plus one noise feature.
+fn labelled_data() -> impl Strategy<Value = TrainingSet> {
+    (prop::collection::vec((0.0f64..1.0, any::<bool>()), 20..120).prop_map(|items| {
+        let mut features = Vec::with_capacity(items.len() + 2);
+        let mut labels = Vec::with_capacity(items.len() + 2);
+        for (noise, label) in items {
+            let base = if label { 0.8 } else { 0.2 };
+            features.push(vec![base + 0.1 * (noise - 0.5), base - 0.05 * noise, noise]);
+            labels.push(label);
+        }
+        // Guarantee both classes are present.
+        features.push(vec![0.85, 0.8, 0.1]);
+        labels.push(true);
+        features.push(vec![0.15, 0.2, 0.9]);
+        labels.push(false);
+        TrainingSet::new(features, labels)
+    }))
+    .prop_map(|s| s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // ----- metrics -----
+
+    #[test]
+    fn metrics_are_bounded(
+        outcomes in prop::collection::vec((any::<bool>(), any::<bool>(), 0.0f64..1.0), 1..200),
+    ) {
+        let predictions: Vec<bool> = outcomes.iter().map(|(p, _, _)| *p).collect();
+        let labels: Vec<bool> = outcomes.iter().map(|(_, l, _)| *l).collect();
+        let scores: Vec<f64> = outcomes.iter().map(|(_, _, s)| *s).collect();
+        let acc = accuracy(&predictions, &labels);
+        let f1 = f1_score(&predictions, &labels);
+        let auc = roc_auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!((0.0..=1.0).contains(&f1));
+        prop_assert!((0.0..=1.0).contains(&auc));
+        // Perfect predictions give accuracy 1 and F1 consistent with class presence.
+        let perfect = labels.clone();
+        prop_assert_eq!(accuracy(&perfect, &labels), 1.0);
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_score_transformations(
+        items in prop::collection::vec((0.0f64..1.0, any::<bool>()), 5..100),
+    ) {
+        let scores: Vec<f64> = items.iter().map(|(s, _)| *s).collect();
+        let labels: Vec<bool> = items.iter().map(|(_, l)| *l).collect();
+        let transformed: Vec<f64> = scores.iter().map(|&s| sigmoid(5.0 * s - 1.0)).collect();
+        let a = roc_auc(&scores, &labels);
+        let b = roc_auc(&transformed, &labels);
+        prop_assert!((a - b).abs() < 1e-9, "AUC changed under monotone map: {a} vs {b}");
+    }
+
+    // ----- standardiser -----
+
+    #[test]
+    fn standardised_columns_have_zero_mean(rows in prop::collection::vec(
+        prop::collection::vec(-100.0f64..100.0, 3), 2..60,
+    )) {
+        let standardizer = Standardizer::fit(&rows);
+        let transformed: Vec<Vec<f64>> = rows.iter().map(|r| standardizer.transform(r)).collect();
+        for column in 0..3 {
+            let mean: f64 = transformed.iter().map(|r| r[column]).sum::<f64>() / rows.len() as f64;
+            prop_assert!(mean.abs() < 1e-6, "column {column} mean {mean}");
+        }
+    }
+
+    // ----- classifier training -----
+
+    #[test]
+    fn trained_classifiers_beat_chance_on_separable_data(data in labelled_data(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let models: Vec<Box<dyn Classifier>> = vec![
+            Box::new(LinearSvm::train(&data, &mut rng)),
+            Box::new(LogisticRegression::train(&data, &mut rng)),
+            Box::new(AdaBoostClassifier::train(&data)),
+        ];
+        for model in models {
+            let predictions: Vec<bool> = data.features.iter().map(|f| model.predict(f)).collect();
+            let acc = accuracy(&predictions, &data.labels);
+            prop_assert!(acc > 0.7, "{} training accuracy {acc}", model.name());
+            // Probability-scored models stay in [0, 1].
+            if model.scores_are_probabilities() {
+                for f in &data.features {
+                    let s = model.score(f);
+                    prop_assert!((0.0..=1.0).contains(&s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mlp_outputs_valid_probabilities(data in labelled_data(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = MlpClassifier::train_with(
+            &data,
+            classifiers::mlp::MlpConfig { hidden_units: 6, epochs: 30, learning_rate: 0.05, l2: 1e-5 },
+            &mut rng,
+        );
+        for f in &data.features {
+            let p = mlp.probability(f);
+            prop_assert!((0.0..=1.0).contains(&p) && p.is_finite());
+        }
+    }
+
+    // ----- Platt scaling -----
+
+    #[test]
+    fn platt_scaling_is_monotone_and_bounded(
+        scores in prop::collection::vec(-10.0f64..10.0, 10..200),
+        threshold in -2.0f64..2.0,
+    ) {
+        // Labels defined by a noiseless threshold rule: scaling must preserve order.
+        let labels: Vec<bool> = scores.iter().map(|&s| s > threshold).collect();
+        // Need both classes for a meaningful fit.
+        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+        let scaler = PlattScaler::fit(&scores, &labels);
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let calibrated: Vec<f64> = sorted.iter().map(|&s| scaler.calibrate(s)).collect();
+        for pair in calibrated.windows(2) {
+            prop_assert!(pair[0] <= pair[1] + 1e-12, "calibration must be monotone");
+        }
+        for p in calibrated {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Record-level synthetic dataset generation.
+//!
+//! A [`GeneratorConfig`] describes how many records each source contains, how
+//! many cross-source matches exist and how heavily matched records are
+//! corrupted; [`SyntheticDataset::generate`] then materialises both sources,
+//! the ground-truth relation `R` and the full candidate pair space.
+//!
+//! Two-source linkage and single-source deduplication (the `cora` case) are
+//! both supported.
+
+use super::corruption::{corrupt_values, CorruptionConfig};
+use super::vocabulary::EntityKind;
+use crate::normalize::normalize_records;
+use crate::pairs::{PairSpace, RecordPair};
+use crate::record::{Record, Schema};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Configuration of a synthetic ER dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// The entity domain (products, citations, restaurants).
+    pub kind: EntityKind,
+    /// Number of records in source A.
+    pub source_a_size: usize,
+    /// Number of records in source B (ignored for deduplication datasets).
+    pub source_b_size: usize,
+    /// Number of matching record pairs to plant.
+    pub match_count: usize,
+    /// Corruption applied to the second description of each matched entity.
+    pub corruption: CorruptionConfig,
+    /// Single-source deduplication mode: source B is the same as source A and
+    /// the pair space is the upper triangle of A × A.  Matches are planted as
+    /// clusters of duplicate records inside the single source.
+    pub deduplication: bool,
+    /// In deduplication mode, the size of each duplicate cluster (every
+    /// cluster of size `m` contributes `m·(m−1)/2` matching pairs).
+    pub dedup_cluster_size: usize,
+}
+
+impl GeneratorConfig {
+    /// A small two-source linkage configuration suitable for unit tests.
+    pub fn small_linkage(kind: EntityKind) -> Self {
+        GeneratorConfig {
+            kind,
+            source_a_size: 60,
+            source_b_size: 60,
+            match_count: 12,
+            corruption: CorruptionConfig::moderate(),
+            deduplication: false,
+            dedup_cluster_size: 0,
+        }
+    }
+
+    /// A small deduplication configuration suitable for unit tests.
+    pub fn small_dedup(kind: EntityKind) -> Self {
+        GeneratorConfig {
+            kind,
+            source_a_size: 80,
+            source_b_size: 0,
+            match_count: 0, // implied by the clusters
+            corruption: CorruptionConfig::light(),
+            deduplication: true,
+            dedup_cluster_size: 4,
+        }
+    }
+}
+
+/// A fully materialised synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The shared schema of both sources.
+    pub schema: Schema,
+    /// Records of source A.
+    pub source_a: Vec<Record>,
+    /// Records of source B (identical to `source_a` for deduplication
+    /// datasets).
+    pub source_b: Vec<Record>,
+    /// The candidate pair space with ground truth.
+    pub pairs: PairSpace,
+    /// The configuration this dataset was generated from.
+    pub config: GeneratorConfig,
+}
+
+impl SyntheticDataset {
+    /// Generate a dataset according to `config`, deterministically given the
+    /// RNG state.
+    pub fn generate<R: Rng + ?Sized>(config: GeneratorConfig, rng: &mut R) -> Self {
+        if config.deduplication {
+            Self::generate_dedup(config, rng)
+        } else {
+            Self::generate_linkage(config, rng)
+        }
+    }
+
+    fn generate_linkage<R: Rng + ?Sized>(config: GeneratorConfig, rng: &mut R) -> Self {
+        let kind = config.kind;
+        let schema = kind.schema();
+        let match_count = config
+            .match_count
+            .min(config.source_a_size)
+            .min(config.source_b_size);
+
+        // Source A: one record per distinct entity.
+        let mut source_a: Vec<Record> = Vec::with_capacity(config.source_a_size);
+        let mut entity_values = Vec::with_capacity(config.source_a_size);
+        for id in 0..config.source_a_size {
+            let values = kind.generate_entity(id as u64, rng);
+            entity_values.push(values.clone());
+            source_a.push(Record::new(id as u64, values));
+        }
+
+        // Pick which A records get a matching partner in B.
+        let mut a_indices: Vec<usize> = (0..config.source_a_size).collect();
+        a_indices.shuffle(rng);
+        let matched_a: Vec<usize> = a_indices.into_iter().take(match_count).collect();
+
+        // Source B: corrupted copies of the matched entities plus fresh entities.
+        let mut source_b: Vec<Record> = Vec::with_capacity(config.source_b_size);
+        let mut matches: HashSet<RecordPair> = HashSet::with_capacity(match_count);
+        for (b_index, &a_index) in matched_a.iter().enumerate() {
+            let corrupted = corrupt_values(&entity_values[a_index], &config.corruption, rng);
+            source_b.push(Record::new(b_index as u64, corrupted));
+            matches.insert(RecordPair {
+                a: a_index,
+                b: b_index,
+            });
+        }
+        let mut next_entity_id = config.source_a_size as u64;
+        for b_index in match_count..config.source_b_size {
+            let values = kind.generate_entity(next_entity_id, rng);
+            next_entity_id += 1;
+            source_b.push(Record::new(b_index as u64, values));
+        }
+        // Shuffle source B so matched records are not all at the front, then
+        // remap the ground-truth pairs accordingly.
+        let mut order: Vec<usize> = (0..source_b.len()).collect();
+        order.shuffle(rng);
+        let mut position_of = vec![0usize; source_b.len()];
+        for (new_pos, &old_pos) in order.iter().enumerate() {
+            position_of[old_pos] = new_pos;
+        }
+        let mut shuffled_b: Vec<Option<Record>> = vec![None; source_b.len()];
+        for (old_pos, record) in source_b.into_iter().enumerate() {
+            shuffled_b[position_of[old_pos]] = Some(record);
+        }
+        let source_b: Vec<Record> = shuffled_b.into_iter().map(|r| r.expect("filled")).collect();
+        let matches: HashSet<RecordPair> = matches
+            .into_iter()
+            .map(|p| RecordPair {
+                a: p.a,
+                b: position_of[p.b],
+            })
+            .collect();
+
+        let mut source_a = source_a;
+        let mut source_b = source_b;
+        normalize_records(&schema, &mut source_a);
+        normalize_records(&schema, &mut source_b);
+
+        let pairs = PairSpace::full_product(source_a.len(), source_b.len(), matches);
+        SyntheticDataset {
+            schema,
+            source_a,
+            source_b,
+            pairs,
+            config,
+        }
+    }
+
+    fn generate_dedup<R: Rng + ?Sized>(config: GeneratorConfig, rng: &mut R) -> Self {
+        let kind = config.kind;
+        let schema = kind.schema();
+        let n = config.source_a_size;
+        let cluster_size = config.dedup_cluster_size.max(1);
+
+        // Build records as clusters of duplicates of the same latent entity.
+        let mut records: Vec<Record> = Vec::with_capacity(n);
+        let mut cluster_of: Vec<usize> = Vec::with_capacity(n);
+        let mut cluster_id = 0usize;
+        let mut entity_id = 0u64;
+        while records.len() < n {
+            let canonical = kind.generate_entity(entity_id, rng);
+            entity_id += 1;
+            let remaining = n - records.len();
+            let this_cluster = cluster_size.min(remaining);
+            for copy in 0..this_cluster {
+                let values = if copy == 0 {
+                    canonical.clone()
+                } else {
+                    corrupt_values(&canonical, &config.corruption, rng)
+                };
+                records.push(Record::new(records.len() as u64, values));
+                cluster_of.push(cluster_id);
+            }
+            cluster_id += 1;
+        }
+        // Shuffle record order while keeping track of cluster membership.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let mut shuffled_records = Vec::with_capacity(n);
+        let mut shuffled_clusters = Vec::with_capacity(n);
+        for &old in &order {
+            shuffled_records.push(records[old].clone());
+            shuffled_clusters.push(cluster_of[old]);
+        }
+        let mut records = shuffled_records;
+        normalize_records(&schema, &mut records);
+
+        // Candidate pairs: upper triangle; matches: same-cluster pairs.
+        let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
+        let mut matches = HashSet::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let pair = RecordPair { a: i, b: j };
+                pairs.push(pair);
+                if shuffled_clusters[i] == shuffled_clusters[j] {
+                    matches.insert(pair);
+                }
+            }
+        }
+        let pair_space = PairSpace::from_candidates(pairs, matches);
+        SyntheticDataset {
+            schema,
+            source_a: records.clone(),
+            source_b: records,
+            pairs: pair_space,
+            config,
+        }
+    }
+
+    /// Number of candidate pairs in the dataset's pair space.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of true matching pairs among the candidates.
+    pub fn match_count(&self) -> usize {
+        self.pairs.candidate_match_count()
+    }
+
+    /// Class-imbalance ratio (non-matches : matches).
+    pub fn imbalance_ratio(&self) -> Option<f64> {
+        self.pairs.imbalance_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linkage_dataset_has_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = GeneratorConfig {
+            kind: EntityKind::Product,
+            source_a_size: 50,
+            source_b_size: 40,
+            match_count: 10,
+            corruption: CorruptionConfig::moderate(),
+            deduplication: false,
+            dedup_cluster_size: 0,
+        };
+        let dataset = SyntheticDataset::generate(config, &mut rng);
+        assert_eq!(dataset.source_a.len(), 50);
+        assert_eq!(dataset.source_b.len(), 40);
+        assert_eq!(dataset.pair_count(), 2000);
+        assert_eq!(dataset.match_count(), 10);
+        assert_eq!(dataset.imbalance_ratio(), Some(199.0));
+        assert_eq!(dataset.schema.len(), 4);
+    }
+
+    #[test]
+    fn match_count_is_capped_by_source_sizes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = GeneratorConfig {
+            kind: EntityKind::Restaurant,
+            source_a_size: 5,
+            source_b_size: 8,
+            match_count: 100,
+            corruption: CorruptionConfig::light(),
+            deduplication: false,
+            dedup_cluster_size: 0,
+        };
+        let dataset = SyntheticDataset::generate(config, &mut rng);
+        assert_eq!(dataset.match_count(), 5);
+    }
+
+    #[test]
+    fn matched_pairs_are_textually_similar() {
+        use crate::similarity::ngram_jaccard;
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = GeneratorConfig {
+            kind: EntityKind::Product,
+            source_a_size: 80,
+            source_b_size: 80,
+            match_count: 20,
+            corruption: CorruptionConfig::light(),
+            deduplication: false,
+            dedup_cluster_size: 0,
+        };
+        let dataset = SyntheticDataset::generate(config, &mut rng);
+        let mut match_sim = 0.0;
+        let mut match_n = 0;
+        let mut non_match_sim = 0.0;
+        let mut non_match_n = 0;
+        for &pair in dataset.pairs.pairs().iter().take(4000) {
+            let a_name = dataset.source_a[pair.a].value(0).as_text().unwrap_or("");
+            let b_name = dataset.source_b[pair.b].value(0).as_text().unwrap_or("");
+            let sim = ngram_jaccard(a_name, b_name, 3);
+            if dataset.pairs.is_match(pair) {
+                match_sim += sim;
+                match_n += 1;
+            } else {
+                non_match_sim += sim;
+                non_match_n += 1;
+            }
+        }
+        if match_n > 0 && non_match_n > 0 {
+            assert!(
+                match_sim / match_n as f64 > non_match_sim / non_match_n as f64 + 0.2,
+                "matches should look much more similar than non-matches"
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_dataset_builds_upper_triangle_with_cluster_matches() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = GeneratorConfig {
+            kind: EntityKind::Citation,
+            source_a_size: 20,
+            source_b_size: 0,
+            match_count: 0,
+            corruption: CorruptionConfig::light(),
+            deduplication: true,
+            dedup_cluster_size: 4,
+        };
+        let dataset = SyntheticDataset::generate(config, &mut rng);
+        assert_eq!(dataset.pair_count(), 20 * 19 / 2);
+        // 5 clusters of 4 → 5 · C(4,2) = 30 matching pairs.
+        assert_eq!(dataset.match_count(), 30);
+        // No self pairs and a < b always.
+        for pair in dataset.pairs.pairs() {
+            assert!(pair.a < pair.b);
+        }
+        // Sources are identical for dedup.
+        assert_eq!(dataset.source_a.len(), dataset.source_b.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic_given_seed() {
+        let config = GeneratorConfig::small_linkage(EntityKind::Citation);
+        let mut rng1 = StdRng::seed_from_u64(42);
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let d1 = SyntheticDataset::generate(config.clone(), &mut rng1);
+        let d2 = SyntheticDataset::generate(config, &mut rng2);
+        assert_eq!(d1.source_a, d2.source_a);
+        assert_eq!(d1.source_b, d2.source_b);
+        assert_eq!(d1.pairs.labels(), d2.pairs.labels());
+    }
+
+    #[test]
+    fn small_configs_are_valid() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let linkage =
+            SyntheticDataset::generate(GeneratorConfig::small_linkage(EntityKind::Product), &mut rng);
+        assert!(linkage.match_count() > 0);
+        let dedup =
+            SyntheticDataset::generate(GeneratorConfig::small_dedup(EntityKind::Citation), &mut rng);
+        assert!(dedup.match_count() > 0);
+        assert!(dedup.imbalance_ratio().unwrap() > 1.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Synthetic dataset generation.
+//!
+//! The paper evaluates on six publicly available datasets (Table 1) and pools
+//! sampled from them (Table 2).  Those datasets are not redistributable inside
+//! this repository, so this module builds *synthetic stand-ins*: generators
+//! that produce two record sources from a latent entity population, with
+//! controlled record counts, match counts and attribute corruption, such that
+//! the resulting evaluation pools mirror the paper's pool sizes, class
+//! imbalances, match counts and (approximately) classifier operating points.
+//!
+//! What OASIS consumes is only the triple (similarity score, predicted label,
+//! true label) per pool item, so this substitution preserves every behaviour
+//! the paper's experiments exercise; see `DESIGN.md` §3.
+//!
+//! * [`vocabulary`] — word lists and entity attribute generators per domain.
+//! * [`corruption`] — typos, token drops, abbreviations, missing values.
+//! * [`generator`] — building sources + pair space from a configuration.
+//! * [`score_model`] — direct (record-free) pool synthesis for very large
+//!   pools and for the non-ER `tweets100k` dataset.
+//! * [`profiles`] — the six named dataset profiles of Tables 1 and 2.
+
+pub mod corruption;
+pub mod generator;
+pub mod profiles;
+pub mod score_model;
+pub mod vocabulary;
+
+pub use generator::{GeneratorConfig, SyntheticDataset};
+pub use profiles::{DatasetProfile, Domain, all_profiles, profile_by_name};
+pub use score_model::{DirectPoolConfig, DirectPoolModel};

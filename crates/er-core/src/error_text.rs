@@ -1,0 +1,86 @@
+//! Errors raised when parsing delimited record sources.
+
+use std::fmt;
+
+/// Errors from [`crate::io::parse_records`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The header row has a different number of fields than the schema.
+    HeaderMismatch {
+        /// 1-based line number.
+        line: usize,
+        /// Number of fields in the schema.
+        expected: usize,
+        /// Number of fields found in the header.
+        found: usize,
+    },
+    /// A header field name does not match the schema.
+    HeaderFieldMismatch {
+        /// The expected field name from the schema.
+        expected: String,
+        /// The name found in the header.
+        found: String,
+    },
+    /// A numeric field failed to parse.
+    InvalidNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending cell content.
+        value: String,
+    },
+    /// A data row has more fields than the schema.
+    TooManyFields {
+        /// 1-based line number.
+        line: usize,
+        /// Number of fields in the schema.
+        expected: usize,
+        /// Number of fields found on the row.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::HeaderMismatch {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "header on line {line} has {found} fields but the schema declares {expected}"
+            ),
+            ParseError::HeaderFieldMismatch { expected, found } => write!(
+                f,
+                "header field {found:?} does not match the schema field {expected:?}"
+            ),
+            ParseError::InvalidNumber { line, value } => {
+                write!(f, "line {line}: cannot parse {value:?} as a number")
+            }
+            ParseError::TooManyFields {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line} has {found} fields but the schema declares only {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implements_error_and_display() {
+        let err: Box<dyn std::error::Error> = Box::new(ParseError::HeaderFieldMismatch {
+            expected: "name".into(),
+            found: "title".into(),
+        });
+        assert!(err.to_string().contains("title"));
+    }
+}

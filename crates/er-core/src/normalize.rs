@@ -1,0 +1,165 @@
+//! Pre-processing: record canonicalisation.
+//!
+//! The paper's pipeline (Section 6.1.2) normalises strings by removing
+//! symbols, accents and capitalisation, converts numeric fields to floats and
+//! imputes missing values with the field mean.  This module implements those
+//! steps over [`Record`]s.
+
+use crate::record::{FieldType, FieldValue, Record, Schema};
+
+/// Normalise a string: lower-case, strip accents from common Latin letters,
+/// drop all characters that are not alphanumeric or whitespace, and collapse
+/// runs of whitespace.
+pub fn normalize_text(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut last_was_space = true;
+    for c in input.chars() {
+        let mapped: Option<char> = match c {
+            'á' | 'à' | 'â' | 'ä' | 'ã' | 'å' | 'Á' | 'À' | 'Â' | 'Ä' | 'Ã' | 'Å' => Some('a'),
+            'é' | 'è' | 'ê' | 'ë' | 'É' | 'È' | 'Ê' | 'Ë' => Some('e'),
+            'í' | 'ì' | 'î' | 'ï' | 'Í' | 'Ì' | 'Î' | 'Ï' => Some('i'),
+            'ó' | 'ò' | 'ô' | 'ö' | 'õ' | 'Ó' | 'Ò' | 'Ô' | 'Ö' | 'Õ' => Some('o'),
+            'ú' | 'ù' | 'û' | 'ü' | 'Ú' | 'Ù' | 'Û' | 'Ü' => Some('u'),
+            'ñ' | 'Ñ' => Some('n'),
+            'ç' | 'Ç' => Some('c'),
+            c if c.is_alphanumeric() => None,
+            c if c.is_whitespace() => Some(' '),
+            _ => {
+                // Symbols are dropped entirely (treated as nothing, not space).
+                continue;
+            }
+        };
+        match mapped {
+            // Accent-mapped Latin letter: already lowercase ASCII.
+            Some(ch) if ch != ' ' => {
+                out.push(ch);
+                last_was_space = false;
+            }
+            // Whitespace: collapse runs into a single separator.
+            Some(_) => {
+                if !last_was_space {
+                    out.push(' ');
+                    last_was_space = true;
+                }
+            }
+            // Any other alphanumeric character: Unicode-aware lowercasing.
+            // Lowercasing may expand to several characters (e.g. 'İ' → "i" +
+            // a combining mark); non-alphanumeric expansion products such as
+            // combining marks are dropped, consistent with symbol removal.
+            None => {
+                for lower in c.to_lowercase().filter(|l| l.is_alphanumeric()) {
+                    out.push(lower);
+                }
+                last_was_space = false;
+            }
+        }
+    }
+    out.trim().to_string()
+}
+
+/// Normalise every record of a source in place: text fields are canonicalised
+/// and missing numeric fields are imputed with the per-field mean over the
+/// source (or 0 if the field is missing everywhere).
+pub fn normalize_records(schema: &Schema, records: &mut [Record]) {
+    // Per-field numeric means for imputation.
+    let mut sums = vec![0.0f64; schema.len()];
+    let mut counts = vec![0usize; schema.len()];
+    for record in records.iter() {
+        for (i, value) in record.values.iter().enumerate() {
+            if let FieldValue::Number(x) = value {
+                sums[i] += x;
+                counts[i] += 1;
+            }
+        }
+    }
+    let means: Vec<f64> = sums
+        .iter()
+        .zip(counts.iter())
+        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+
+    for record in records.iter_mut() {
+        for (i, field) in schema.fields().iter().enumerate() {
+            if i >= record.values.len() {
+                continue;
+            }
+            match field.field_type {
+                FieldType::ShortText | FieldType::LongText | FieldType::Categorical => {
+                    if let FieldValue::Text(s) = &record.values[i] {
+                        record.values[i] = FieldValue::Text(normalize_text(s));
+                    }
+                }
+                FieldType::Numeric => {
+                    if record.values[i].is_missing() {
+                        record.values[i] = FieldValue::Number(means[i]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_normalisation_removes_symbols_case_and_accents() {
+        assert_eq!(normalize_text("Héllo, Wörld!"), "hello world");
+        assert_eq!(normalize_text("  ABC--123  "), "abc123");
+        assert_eq!(normalize_text("Caffè  Crème"), "caffe creme");
+        assert_eq!(normalize_text(""), "");
+        assert_eq!(normalize_text("!!!"), "");
+    }
+
+    #[test]
+    fn whitespace_is_collapsed() {
+        assert_eq!(normalize_text("a   b\t\nc"), "a b c");
+    }
+
+    #[test]
+    fn numeric_imputation_uses_field_mean() {
+        let schema = Schema::new(vec![
+            ("name", FieldType::ShortText),
+            ("price", FieldType::Numeric),
+        ]);
+        let mut records = vec![
+            Record::new(0, vec![FieldValue::Text("A!".into()), FieldValue::Number(10.0)]),
+            Record::new(1, vec![FieldValue::Text("B".into()), FieldValue::Number(30.0)]),
+            Record::new(2, vec![FieldValue::Text("C".into()), FieldValue::Missing]),
+        ];
+        normalize_records(&schema, &mut records);
+        assert_eq!(records[2].values[1].as_number(), Some(20.0));
+        assert_eq!(records[0].values[0].as_text(), Some("a"));
+    }
+
+    #[test]
+    fn all_missing_numeric_field_imputes_zero() {
+        let schema = Schema::new(vec![("price", FieldType::Numeric)]);
+        let mut records = vec![
+            Record::new(0, vec![FieldValue::Missing]),
+            Record::new(1, vec![FieldValue::Missing]),
+        ];
+        normalize_records(&schema, &mut records);
+        assert_eq!(records[0].values[0].as_number(), Some(0.0));
+    }
+
+    #[test]
+    fn missing_text_fields_are_left_missing() {
+        let schema = Schema::new(vec![("name", FieldType::ShortText)]);
+        let mut records = vec![Record::new(0, vec![FieldValue::Missing])];
+        normalize_records(&schema, &mut records);
+        assert!(records[0].values[0].is_missing());
+    }
+
+    #[test]
+    fn short_records_do_not_panic() {
+        let schema = Schema::new(vec![
+            ("name", FieldType::ShortText),
+            ("price", FieldType::Numeric),
+        ]);
+        let mut records = vec![Record::new(0, vec![FieldValue::Text("Only name".into())])];
+        normalize_records(&schema, &mut records);
+        assert_eq!(records[0].values.len(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Candidate record-pair spaces.
+//!
+//! The pair space `Z = D₁ × D₂` (or a blocked subset of it) is the domain the
+//! evaluation pool is drawn from.  [`PairSpace`] enumerates candidate pairs as
+//! `(index into source A, index into source B)` and knows which of them are
+//! true matches according to the hidden relation `R`.
+
+use std::collections::HashSet;
+
+/// A candidate pair, referencing records by their position in each source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordPair {
+    /// Index into source A.
+    pub a: usize,
+    /// Index into source B.
+    pub b: usize,
+}
+
+/// A set of candidate pairs with ground-truth match information.
+#[derive(Debug, Clone)]
+pub struct PairSpace {
+    pairs: Vec<RecordPair>,
+    matches: HashSet<RecordPair>,
+}
+
+impl PairSpace {
+    /// The full cross product of two sources of the given sizes, with the
+    /// given set of true matching pairs.
+    pub fn full_product(size_a: usize, size_b: usize, matches: HashSet<RecordPair>) -> Self {
+        let mut pairs = Vec::with_capacity(size_a * size_b);
+        for a in 0..size_a {
+            for b in 0..size_b {
+                pairs.push(RecordPair { a, b });
+            }
+        }
+        PairSpace { pairs, matches }
+    }
+
+    /// A pair space from an explicit candidate list (e.g. produced by
+    /// blocking) and the set of true matches.  Matches that are not in the
+    /// candidate list stay in the ground truth (they count as recall losses of
+    /// the blocking, not of the classifier).
+    pub fn from_candidates(pairs: Vec<RecordPair>, matches: HashSet<RecordPair>) -> Self {
+        PairSpace { pairs, matches }
+    }
+
+    /// Number of candidate pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether there are no candidate pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The candidate pairs.
+    pub fn pairs(&self) -> &[RecordPair] {
+        &self.pairs
+    }
+
+    /// Whether a pair is a true match.
+    pub fn is_match(&self, pair: RecordPair) -> bool {
+        self.matches.contains(&pair)
+    }
+
+    /// The ground-truth labels of the candidate pairs, in order.
+    pub fn labels(&self) -> Vec<bool> {
+        self.pairs.iter().map(|&p| self.is_match(p)).collect()
+    }
+
+    /// Number of true matches among the candidate pairs.
+    pub fn candidate_match_count(&self) -> usize {
+        self.pairs.iter().filter(|&&p| self.is_match(p)).count()
+    }
+
+    /// Number of true matches in the ground truth overall (including any not
+    /// covered by the candidates).
+    pub fn total_match_count(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// The class-imbalance ratio (non-matches : matches) among the candidates,
+    /// or `None` if there are no candidate matches.
+    pub fn imbalance_ratio(&self) -> Option<f64> {
+        let matches = self.candidate_match_count();
+        if matches == 0 {
+            None
+        } else {
+            Some((self.len() - matches) as f64 / matches as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matches(pairs: &[(usize, usize)]) -> HashSet<RecordPair> {
+        pairs.iter().map(|&(a, b)| RecordPair { a, b }).collect()
+    }
+
+    #[test]
+    fn full_product_enumerates_all_pairs() {
+        let space = PairSpace::full_product(3, 4, matches(&[(0, 0), (2, 3)]));
+        assert_eq!(space.len(), 12);
+        assert!(!space.is_empty());
+        assert_eq!(space.candidate_match_count(), 2);
+        assert_eq!(space.total_match_count(), 2);
+        assert!(space.is_match(RecordPair { a: 0, b: 0 }));
+        assert!(!space.is_match(RecordPair { a: 0, b: 1 }));
+        let labels = space.labels();
+        assert_eq!(labels.len(), 12);
+        assert_eq!(labels.iter().filter(|&&l| l).count(), 2);
+    }
+
+    #[test]
+    fn imbalance_ratio_matches_definition() {
+        let space = PairSpace::full_product(10, 10, matches(&[(0, 0), (1, 1)]));
+        // 100 pairs, 2 matches → 98:2 = 49
+        assert_eq!(space.imbalance_ratio(), Some(49.0));
+        let empty_matches = PairSpace::full_product(2, 2, HashSet::new());
+        assert_eq!(empty_matches.imbalance_ratio(), None);
+    }
+
+    #[test]
+    fn candidates_constructor_counts_only_covered_matches() {
+        let truth = matches(&[(0, 0), (5, 5)]);
+        let candidates = vec![RecordPair { a: 0, b: 0 }, RecordPair { a: 0, b: 1 }];
+        let space = PairSpace::from_candidates(candidates, truth);
+        assert_eq!(space.len(), 2);
+        assert_eq!(space.candidate_match_count(), 1);
+        assert_eq!(space.total_match_count(), 2);
+    }
+
+    #[test]
+    fn empty_space() {
+        let space = PairSpace::from_candidates(vec![], HashSet::new());
+        assert!(space.is_empty());
+        assert_eq!(space.labels().len(), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Assembling evaluation pools from datasets and scoring functions.
+//!
+//! A [`PoolBuilder`] walks a [`SyntheticDataset`]'s candidate pairs, extracts
+//! similarity features, applies a caller-supplied scoring function (typically
+//! a classifier trained by the `classifiers` crate) and produces a
+//! [`LabelledPool`]: the [`oasis::ScoredPool`] the samplers consume plus the
+//! hidden ground truth the oracle will answer from.
+
+use crate::datasets::generator::SyntheticDataset;
+use crate::features::FeatureExtractor;
+use oasis::pool::ScoredPool;
+
+/// A pool together with its (hidden) ground truth and the feature matrix it
+/// was scored from.
+#[derive(Debug, Clone)]
+pub struct LabelledPool {
+    /// The scored pool consumed by the samplers.
+    pub pool: ScoredPool,
+    /// Ground-truth labels, aligned with the pool items (for the oracle and
+    /// for computing the target F-measure).
+    pub truth: Vec<bool>,
+    /// The per-pair similarity feature vectors the scores were computed from.
+    pub features: Vec<Vec<f64>>,
+}
+
+impl LabelledPool {
+    /// Number of items in the pool.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Whether the pool is empty (never true for a constructed pool).
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// Number of true matches in the pool.
+    pub fn match_count(&self) -> usize {
+        self.truth.iter().filter(|&&t| t).count()
+    }
+}
+
+/// Builds [`LabelledPool`]s from datasets.
+#[derive(Debug, Clone)]
+pub struct PoolBuilder {
+    extractor: FeatureExtractor,
+}
+
+impl PoolBuilder {
+    /// Fit the feature extractor on the dataset's two sources.
+    pub fn fit(dataset: &SyntheticDataset) -> Self {
+        let extractor =
+            FeatureExtractor::fit(&dataset.schema, &dataset.source_a, &dataset.source_b);
+        PoolBuilder { extractor }
+    }
+
+    /// The fitted feature extractor.
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    /// Extract the feature matrix and ground-truth labels for every candidate
+    /// pair of the dataset, in pair order.
+    pub fn feature_matrix(&self, dataset: &SyntheticDataset) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut features = Vec::with_capacity(dataset.pairs.len());
+        let mut labels = Vec::with_capacity(dataset.pairs.len());
+        for &pair in dataset.pairs.pairs() {
+            let a = &dataset.source_a[pair.a];
+            let b = &dataset.source_b[pair.b];
+            features.push(self.extractor.features(a, b));
+            labels.push(dataset.pairs.is_match(pair));
+        }
+        (features, labels)
+    }
+
+    /// Build a labelled pool by scoring every candidate pair with `score_fn`
+    /// and predicting a match whenever the score exceeds `threshold`.
+    ///
+    /// `score_fn` receives the similarity feature vector of a pair and returns
+    /// a real-valued score (probability or margin).
+    pub fn build_pool<F>(
+        &self,
+        dataset: &SyntheticDataset,
+        mut score_fn: F,
+        threshold: f64,
+    ) -> LabelledPool
+    where
+        F: FnMut(&[f64]) -> f64,
+    {
+        let (features, truth) = self.feature_matrix(dataset);
+        let scores: Vec<f64> = features.iter().map(|f| score_fn(f)).collect();
+        let predictions: Vec<bool> = scores.iter().map(|&s| s > threshold).collect();
+        let pool = ScoredPool::new(scores, predictions)
+            .expect("dataset pair spaces are non-empty and scores are finite");
+        LabelledPool {
+            pool,
+            truth,
+            features,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::generator::GeneratorConfig;
+    use crate::datasets::vocabulary::EntityKind;
+    use oasis::measures::exhaustive_measures;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> SyntheticDataset {
+        let mut rng = StdRng::seed_from_u64(11);
+        SyntheticDataset::generate(GeneratorConfig::small_linkage(EntityKind::Product), &mut rng)
+    }
+
+    /// A hand-rolled score: mean of the feature vector (all features are
+    /// similarities in [0, 1], so this is a crude but monotone classifier).
+    fn mean_score(features: &[f64]) -> f64 {
+        features.iter().sum::<f64>() / features.len() as f64
+    }
+
+    #[test]
+    fn feature_matrix_covers_every_pair() {
+        let data = dataset();
+        let builder = PoolBuilder::fit(&data);
+        let (features, labels) = builder.feature_matrix(&data);
+        assert_eq!(features.len(), data.pair_count());
+        assert_eq!(labels.len(), data.pair_count());
+        assert_eq!(features[0].len(), builder.extractor().feature_count());
+        assert_eq!(
+            labels.iter().filter(|&&l| l).count(),
+            data.match_count()
+        );
+    }
+
+    #[test]
+    fn built_pool_aligns_scores_predictions_and_truth() {
+        let data = dataset();
+        let builder = PoolBuilder::fit(&data);
+        let labelled = builder.build_pool(&data, mean_score, 0.5);
+        assert_eq!(labelled.len(), data.pair_count());
+        assert!(!labelled.is_empty());
+        assert_eq!(labelled.match_count(), data.match_count());
+        for i in 0..labelled.len() {
+            assert_eq!(labelled.pool.prediction(i), labelled.pool.score(i) > 0.5);
+        }
+    }
+
+    #[test]
+    fn mean_score_classifier_is_better_than_chance() {
+        // Even a crude mean-of-similarities classifier should beat random
+        // guessing on synthetic data, confirming the features carry signal.
+        let data = dataset();
+        let builder = PoolBuilder::fit(&data);
+        let labelled = builder.build_pool(&data, mean_score, 0.5);
+        let m = exhaustive_measures(labelled.pool.predictions(), &labelled.truth, 0.5);
+        // Matching pairs share brand/price/description, so recall should be
+        // clearly positive and precision far above the base rate (~0.3%).
+        assert!(m.recall > 0.3, "recall {}", m.recall);
+        assert!(m.precision > 0.1, "precision {}", m.precision);
+    }
+
+    #[test]
+    fn threshold_controls_prediction_count() {
+        let data = dataset();
+        let builder = PoolBuilder::fit(&data);
+        let strict = builder.build_pool(&data, mean_score, 0.8);
+        let lax = builder.build_pool(&data, mean_score, 0.2);
+        assert!(lax.pool.predicted_match_count() >= strict.pool.predicted_match_count());
+    }
+}

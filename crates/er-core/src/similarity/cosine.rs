@@ -1,0 +1,227 @@
+//! tf–idf cosine similarity for long textual fields.
+//!
+//! The vectoriser is fit on a corpus (typically the union of both sources'
+//! long-text fields) so that document frequencies — and hence idf weights —
+//! reflect the data being matched, exactly as a scikit-learn
+//! `TfidfVectorizer` would be used in the paper's pipeline.
+
+use std::collections::HashMap;
+
+/// A fitted tf–idf vectoriser over a whitespace-tokenised corpus.
+#[derive(Debug, Clone)]
+pub struct TfIdfVectorizer {
+    /// Token → (vocabulary index, idf weight).
+    vocabulary: HashMap<String, (usize, f64)>,
+    document_count: usize,
+}
+
+impl TfIdfVectorizer {
+    /// Fit the vectoriser on a corpus of documents.
+    pub fn fit<S: AsRef<str>>(corpus: &[S]) -> Self {
+        let mut document_frequency: HashMap<String, usize> = HashMap::new();
+        for doc in corpus {
+            let mut seen: HashMap<&str, ()> = HashMap::new();
+            for token in doc.as_ref().split_whitespace() {
+                if seen.insert(token, ()).is_none() {
+                    *document_frequency.entry(token.to_string()).or_insert(0) += 1;
+                }
+            }
+        }
+        let n_docs = corpus.len().max(1);
+        let mut vocabulary = HashMap::with_capacity(document_frequency.len());
+        for (index, (token, df)) in document_frequency.into_iter().enumerate() {
+            // Smoothed idf, as in scikit-learn: ln((1 + n) / (1 + df)) + 1.
+            let idf = ((1.0 + n_docs as f64) / (1.0 + df as f64)).ln() + 1.0;
+            vocabulary.insert(token, (index, idf));
+        }
+        TfIdfVectorizer {
+            vocabulary,
+            document_count: n_docs,
+        }
+    }
+
+    /// Number of documents the vectoriser was fit on.
+    pub fn document_count(&self) -> usize {
+        self.document_count
+    }
+
+    /// Vocabulary size.
+    pub fn vocabulary_size(&self) -> usize {
+        self.vocabulary.len()
+    }
+
+    /// Transform a document into a sparse tf–idf vector (index → weight),
+    /// L2-normalised.  Out-of-vocabulary tokens are ignored.
+    pub fn transform(&self, document: &str) -> HashMap<usize, f64> {
+        let mut term_frequency: HashMap<usize, f64> = HashMap::new();
+        for token in document.split_whitespace() {
+            if let Some(&(index, _)) = self.vocabulary.get(token) {
+                *term_frequency.entry(index).or_insert(0.0) += 1.0;
+            }
+        }
+        // Apply idf.
+        let idf_by_index: HashMap<usize, f64> = self
+            .vocabulary
+            .values()
+            .map(|&(index, idf)| (index, idf))
+            .collect();
+        let mut vector: HashMap<usize, f64> = term_frequency
+            .into_iter()
+            .map(|(index, tf)| (index, tf * idf_by_index[&index]))
+            .collect();
+        // L2 normalise.
+        let norm: f64 = vector.values().map(|w| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for w in vector.values_mut() {
+                *w /= norm;
+            }
+        }
+        vector
+    }
+
+    /// Cosine similarity of two documents under the fitted vocabulary.
+    pub fn cosine_similarity(&self, a: &str, b: &str) -> f64 {
+        let va = self.transform(a);
+        let vb = self.transform(b);
+        if va.is_empty() && vb.is_empty() {
+            // Neither document has in-vocabulary content; treat identical empty
+            // content as similar, otherwise dissimilar.
+            return f64::from(u8::from(a == b));
+        }
+        let (small, large) = if va.len() <= vb.len() { (&va, &vb) } else { (&vb, &va) };
+        let mut dot = 0.0;
+        for (index, weight) in small {
+            if let Some(other) = large.get(index) {
+                dot += weight * other;
+            }
+        }
+        dot.clamp(0.0, 1.0)
+    }
+}
+
+/// A convenience wrapper bundling a fitted vectoriser for repeated pairwise
+/// comparisons of long-text fields.
+#[derive(Debug, Clone)]
+pub struct CosineTfIdf {
+    vectorizer: TfIdfVectorizer,
+}
+
+impl CosineTfIdf {
+    /// Fit on a corpus of long-text field values.
+    pub fn fit<S: AsRef<str>>(corpus: &[S]) -> Self {
+        CosineTfIdf {
+            vectorizer: TfIdfVectorizer::fit(corpus),
+        }
+    }
+
+    /// Cosine similarity of two documents.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        self.vectorizer.cosine_similarity(a, b)
+    }
+
+    /// Access the underlying vectoriser.
+    pub fn vectorizer(&self) -> &TfIdfVectorizer {
+        &self.vectorizer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "digital camera with optical zoom and image stabilisation",
+            "compact digital camera ten megapixel",
+            "laser printer with duplex printing",
+            "wireless laser printer for office use",
+            "noise cancelling over ear headphones",
+        ]
+    }
+
+    #[test]
+    fn identical_documents_have_similarity_one() {
+        let v = TfIdfVectorizer::fit(&corpus());
+        let doc = "digital camera with optical zoom";
+        assert!((v.cosine_similarity(doc, doc) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrelated_documents_score_low() {
+        let v = TfIdfVectorizer::fit(&corpus());
+        let s = v.cosine_similarity(
+            "digital camera optical zoom",
+            "noise cancelling headphones",
+        );
+        assert!(s < 0.2, "similarity {s}");
+    }
+
+    #[test]
+    fn related_documents_score_higher_than_unrelated() {
+        let v = TfIdfVectorizer::fit(&corpus());
+        let related = v.cosine_similarity(
+            "compact digital camera ten megapixel",
+            "digital camera with optical zoom",
+        );
+        let unrelated = v.cosine_similarity(
+            "compact digital camera ten megapixel",
+            "wireless laser printer for office",
+        );
+        assert!(related > unrelated);
+    }
+
+    #[test]
+    fn idf_downweights_common_tokens() {
+        // "with" appears in several documents, "stabilisation" in one; a match
+        // on the rare token should matter more.
+        let v = TfIdfVectorizer::fit(&corpus());
+        let rare = v.cosine_similarity("image stabilisation", "optical image stabilisation");
+        let common = v.cosine_similarity("with", "with duplex");
+        assert!(rare > common);
+    }
+
+    #[test]
+    fn out_of_vocabulary_documents() {
+        let v = TfIdfVectorizer::fit(&corpus());
+        assert_eq!(v.cosine_similarity("zzz qqq", "zzz qqq"), 1.0);
+        assert_eq!(v.cosine_similarity("zzz qqq", "yyy www"), 0.0);
+        assert_eq!(v.cosine_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn transform_is_l2_normalised() {
+        let v = TfIdfVectorizer::fit(&corpus());
+        let vec = v.transform("digital camera with optical zoom");
+        let norm: f64 = vec.values().map(|w| w * w).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+        assert!(v.vocabulary_size() > 10);
+        assert_eq!(v.document_count(), 5);
+    }
+
+    #[test]
+    fn wrapper_delegates() {
+        let c = CosineTfIdf::fit(&corpus());
+        let s = c.similarity("digital camera", "digital camera");
+        assert!((s - 1.0).abs() < 1e-9);
+        assert!(c.vectorizer().vocabulary_size() > 0);
+    }
+
+    #[test]
+    fn similarity_symmetric_and_bounded() {
+        let v = TfIdfVectorizer::fit(&corpus());
+        let docs = [
+            "digital camera optical",
+            "laser printer duplex office",
+            "",
+            "unseen tokens here",
+        ];
+        for a in docs {
+            for b in docs {
+                let ab = v.cosine_similarity(a, b);
+                let ba = v.cosine_similarity(b, a);
+                assert!((ab - ba).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&ab));
+            }
+        }
+    }
+}

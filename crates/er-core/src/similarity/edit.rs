@@ -1,0 +1,162 @@
+//! Edit-distance-based string similarity measures.
+
+/// Levenshtein (edit) distance between two strings, in character operations.
+pub fn levenshtein_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Single-row dynamic program.
+    let mut previous: Vec<usize> = (0..=b.len()).collect();
+    let mut current = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let substitution_cost = usize::from(ca != cb);
+            current[j + 1] = (previous[j + 1] + 1)
+                .min(current[j] + 1)
+                .min(previous[j] + substitution_cost);
+        }
+        std::mem::swap(&mut previous, &mut current);
+    }
+    previous[b.len()]
+}
+
+/// Levenshtein similarity: `1 − distance / max_len`, in `[0, 1]`.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein_distance(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro_similarity(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let match_window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut a_matched = vec![false; a.len()];
+    let mut b_matched = vec![false; b.len()];
+    let mut matches = 0usize;
+    for (i, &ca) in a.iter().enumerate() {
+        let start = i.saturating_sub(match_window);
+        let end = (i + match_window + 1).min(b.len());
+        for j in start..end {
+            if !b_matched[j] && b[j] == ca {
+                a_matched[i] = true;
+                b_matched[j] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Count transpositions among matched characters.
+    let matched_a: Vec<char> = a
+        .iter()
+        .zip(a_matched.iter())
+        .filter_map(|(&c, &m)| m.then_some(c))
+        .collect();
+    let matched_b: Vec<char> = b
+        .iter()
+        .zip(b_matched.iter())
+        .filter_map(|(&c, &m)| m.then_some(c))
+        .collect();
+    let transpositions = matched_a
+        .iter()
+        .zip(matched_b.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity: Jaro boosted for a shared prefix of up to 4
+/// characters with scaling factor 0.1.
+pub fn jaro_winkler_similarity(a: &str, b: &str) -> f64 {
+    let jaro = jaro_similarity(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    jaro + prefix as f64 * 0.1 * (1.0 - jaro)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein_distance("kitten", "sitting"), 3);
+        assert_eq!(levenshtein_distance("flaw", "lawn"), 2);
+        assert_eq!(levenshtein_distance("", "abc"), 3);
+        assert_eq!(levenshtein_distance("abc", ""), 3);
+        assert_eq!(levenshtein_distance("same", "same"), 0);
+    }
+
+    #[test]
+    fn levenshtein_similarity_range() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("kitten", "sitting");
+        assert!((s - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        // Classic textbook example.
+        let s = jaro_similarity("martha", "marhta");
+        assert!((s - 0.944444).abs() < 1e-3, "got {s}");
+        let s = jaro_similarity("dixon", "dicksonx");
+        assert!((s - 0.766667).abs() < 1e-3, "got {s}");
+        assert_eq!(jaro_similarity("", ""), 1.0);
+        assert_eq!(jaro_similarity("a", ""), 0.0);
+        assert_eq!(jaro_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_shared_prefix() {
+        let jaro = jaro_similarity("martha", "marhta");
+        let jw = jaro_winkler_similarity("martha", "marhta");
+        assert!(jw > jaro);
+        assert!((jw - 0.961111).abs() < 1e-3, "got {jw}");
+        // No prefix → no boost.
+        assert!((jaro_winkler_similarity("abc", "xbc") - jaro_similarity("abc", "xbc")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_measures_symmetric_and_bounded() {
+        let pairs = [
+            ("canon eos 400d", "canon eos400d"),
+            ("nikon d80", "nikn d80 camera"),
+            ("", "x"),
+            ("same", "same"),
+        ];
+        for (a, b) in pairs {
+            for f in [levenshtein_similarity, jaro_similarity, jaro_winkler_similarity] {
+                let ab = f(a, b);
+                let ba = f(b, a);
+                assert!((ab - ba).abs() < 1e-12, "asymmetry on ({a:?},{b:?})");
+                assert!((0.0..=1.0).contains(&ab), "out of range on ({a:?},{b:?}): {ab}");
+            }
+        }
+    }
+}

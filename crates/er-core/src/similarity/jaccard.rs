@@ -1,0 +1,130 @@
+//! Jaccard similarity over character n-grams and word tokens.
+
+use std::collections::HashSet;
+
+/// Character n-grams of a string (over its raw chars, no padding).
+fn char_ngrams(text: &str, n: usize) -> HashSet<Vec<char>> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut grams = HashSet::new();
+    if chars.len() < n {
+        if !chars.is_empty() {
+            grams.insert(chars);
+        }
+        return grams;
+    }
+    for window in chars.windows(n) {
+        grams.insert(window.to_vec());
+    }
+    grams
+}
+
+/// Jaccard similarity of the character n-gram sets of two strings.
+///
+/// The paper's pipeline uses `n = 3` (trigrams) for short textual fields.
+/// Two empty strings are defined to have similarity 1; an empty string versus
+/// a non-empty one has similarity 0.
+pub fn ngram_jaccard(a: &str, b: &str, n: usize) -> f64 {
+    assert!(n > 0, "n-gram size must be positive");
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let grams_a = char_ngrams(a, n);
+    let grams_b = char_ngrams(b, n);
+    let intersection = grams_a.intersection(&grams_b).count();
+    let union = grams_a.union(&grams_b).count();
+    if union == 0 {
+        return 0.0;
+    }
+    intersection as f64 / union as f64
+}
+
+/// Jaccard similarity of the whitespace-token sets of two strings.
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let tokens_a: HashSet<&str> = a.split_whitespace().collect();
+    let tokens_b: HashSet<&str> = b.split_whitespace().collect();
+    if tokens_a.is_empty() && tokens_b.is_empty() {
+        return 1.0;
+    }
+    if tokens_a.is_empty() || tokens_b.is_empty() {
+        return 0.0;
+    }
+    let intersection = tokens_a.intersection(&tokens_b).count();
+    let union = tokens_a.union(&tokens_b).count();
+    intersection as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_have_similarity_one() {
+        assert_eq!(ngram_jaccard("canon powershot", "canon powershot", 3), 1.0);
+        assert_eq!(token_jaccard("canon powershot", "canon powershot"), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings_have_similarity_zero() {
+        assert_eq!(ngram_jaccard("aaaa", "bbbb", 3), 0.0);
+        assert_eq!(token_jaccard("alpha beta", "gamma delta"), 0.0);
+    }
+
+    #[test]
+    fn empty_string_conventions() {
+        assert_eq!(ngram_jaccard("", "", 3), 1.0);
+        assert_eq!(ngram_jaccard("", "abc", 3), 0.0);
+        assert_eq!(token_jaccard("", ""), 1.0);
+        assert_eq!(token_jaccard("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn similar_strings_score_between_zero_and_one() {
+        let s = ngram_jaccard("canon powershot a520", "canon powershot a530", 3);
+        assert!(s > 0.5 && s < 1.0, "similarity {s}");
+        let t = token_jaccard("canon powershot a520", "canon powershot a530");
+        assert!(t > 0.4 && t < 1.0);
+    }
+
+    #[test]
+    fn short_strings_fall_back_to_whole_string_grams() {
+        // Strings shorter than n are treated as a single gram.
+        assert_eq!(ngram_jaccard("ab", "ab", 3), 1.0);
+        assert_eq!(ngram_jaccard("ab", "cd", 3), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = "sony cybershot dsc w70";
+        let b = "sony cyber shot dscw70";
+        assert!((ngram_jaccard(a, b, 3) - ngram_jaccard(b, a, 3)).abs() < 1e-15);
+        assert!((token_jaccard(a, b) - token_jaccard(b, a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn range_always_unit_interval() {
+        let pairs = [
+            ("", ""),
+            ("a", "a"),
+            ("abcdef", "abcxyz"),
+            ("x y z", "z y x"),
+            ("completely different", "utterly distinct"),
+        ];
+        for (a, b) in pairs {
+            for n in 1..=4 {
+                let s = ngram_jaccard(a, b, n);
+                assert!((0.0..=1.0).contains(&s), "ngram({a:?},{b:?},{n}) = {s}");
+            }
+            let t = token_jaccard(a, b);
+            assert!((0.0..=1.0).contains(&t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_gram_size_panics() {
+        ngram_jaccard("a", "b", 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Attribute-level similarity measures.
+//!
+//! All measures return a value in `[0, 1]`, with `1` meaning identical.  The
+//! paper's pipeline uses trigram Jaccard for short text, tf–idf cosine for
+//! long text and normalised absolute difference for numbers (Section 6.1.2);
+//! edit-distance measures are included because they are standard components
+//! of ER scoring stages.
+
+mod cosine;
+mod edit;
+mod jaccard;
+mod numeric;
+
+pub use cosine::{CosineTfIdf, TfIdfVectorizer};
+pub use edit::{jaro_similarity, jaro_winkler_similarity, levenshtein_distance, levenshtein_similarity};
+pub use jaccard::{ngram_jaccard, token_jaccard};
+pub use numeric::normalized_numeric_similarity;
+
+/// Exact-match similarity for categorical values: 1 if equal, 0 otherwise.
+pub fn exact_match(a: &str, b: &str) -> f64 {
+    f64::from(u8::from(a == b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_binary() {
+        assert_eq!(exact_match("sony", "sony"), 1.0);
+        assert_eq!(exact_match("sony", "samsung"), 0.0);
+        assert_eq!(exact_match("", ""), 1.0);
+    }
+}

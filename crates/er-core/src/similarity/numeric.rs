@@ -1,0 +1,59 @@
+//! Numeric field similarity.
+
+/// Normalised absolute difference turned into a similarity:
+/// `1 − |a − b| / max(|a|, |b|)`, clamped to `[0, 1]`.
+///
+/// Two zeros are identical (similarity 1).  Values of opposite sign are
+/// maximally dissimilar (similarity 0).
+pub fn normalized_numeric_similarity(a: f64, b: f64) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let scale = a.abs().max(b.abs());
+    if scale == 0.0 {
+        return 1.0;
+    }
+    (1.0 - (a - b).abs() / scale).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_values_score_one() {
+        assert_eq!(normalized_numeric_similarity(5.0, 5.0), 1.0);
+        assert_eq!(normalized_numeric_similarity(0.0, 0.0), 1.0);
+        assert_eq!(normalized_numeric_similarity(-3.2, -3.2), 1.0);
+    }
+
+    #[test]
+    fn close_prices_score_high() {
+        let s = normalized_numeric_similarity(100.0, 105.0);
+        assert!(s > 0.9, "similarity {s}");
+    }
+
+    #[test]
+    fn distant_values_score_low() {
+        let s = normalized_numeric_similarity(10.0, 1000.0);
+        assert!(s < 0.05, "similarity {s}");
+    }
+
+    #[test]
+    fn opposite_signs_clamp_to_zero() {
+        assert_eq!(normalized_numeric_similarity(-50.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn symmetry_and_range() {
+        let values = [-100.0, -1.0, 0.0, 0.5, 3.0, 250.0];
+        for &a in &values {
+            for &b in &values {
+                let ab = normalized_numeric_similarity(a, b);
+                let ba = normalized_numeric_similarity(b, a);
+                assert!((ab - ba).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&ab));
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the ER substrate's invariants.
+
+use er_core::datasets::corruption::{corrupt_text, corrupt_values, CorruptionConfig};
+use er_core::datasets::score_model::{DirectPoolConfig, DirectPoolModel};
+use er_core::normalize::normalize_text;
+use er_core::record::FieldValue;
+use er_core::similarity::{
+    jaro_similarity, jaro_winkler_similarity, levenshtein_distance, levenshtein_similarity,
+    ngram_jaccard, normalized_numeric_similarity, token_jaccard, TfIdfVectorizer,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A strategy over short "record-field-like" strings: words of lowercase
+/// letters and digits separated by spaces.
+fn field_text() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z0-9]{1,8}", 0..6).prop_map(|words| words.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ----- similarity measures -----
+
+    #[test]
+    fn similarities_are_bounded_symmetric_and_reflexive(a in field_text(), b in field_text()) {
+        let measures: Vec<(&str, fn(&str, &str) -> f64)> = vec![
+            ("levenshtein", levenshtein_similarity),
+            ("jaro", jaro_similarity),
+            ("jaro_winkler", jaro_winkler_similarity),
+            ("token_jaccard", token_jaccard),
+        ];
+        for (name, f) in measures {
+            let ab = f(&a, &b);
+            let ba = f(&b, &a);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ab), "{name}({a:?},{b:?}) = {ab}");
+            prop_assert!((ab - ba).abs() < 1e-9, "{name} asymmetric on ({a:?},{b:?})");
+            let aa = f(&a, &a);
+            prop_assert!((aa - 1.0).abs() < 1e-9, "{name}({a:?},{a:?}) = {aa}");
+        }
+        for n in 1..=4usize {
+            let ab = ngram_jaccard(&a, &b, n);
+            prop_assert!((0.0..=1.0).contains(&ab));
+            prop_assert!((ngram_jaccard(&a, &a, n) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn levenshtein_is_a_metric_on_small_strings(
+        a in "[a-c]{0,6}", b in "[a-c]{0,6}", c in "[a-c]{0,6}",
+    ) {
+        let dab = levenshtein_distance(&a, &b);
+        let dba = levenshtein_distance(&b, &a);
+        prop_assert_eq!(dab, dba);
+        prop_assert_eq!(levenshtein_distance(&a, &a), 0);
+        // Triangle inequality.
+        let dac = levenshtein_distance(&a, &c);
+        let dcb = levenshtein_distance(&c, &b);
+        prop_assert!(dab <= dac + dcb);
+        // Upper bound by the longer string length.
+        prop_assert!(dab <= a.chars().count().max(b.chars().count()));
+    }
+
+    #[test]
+    fn numeric_similarity_bounded_and_symmetric(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let s = normalized_numeric_similarity(a, b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((s - normalized_numeric_similarity(b, a)).abs() < 1e-12);
+        prop_assert_eq!(normalized_numeric_similarity(a, a), 1.0);
+    }
+
+    #[test]
+    fn tfidf_cosine_bounded_and_reflexive(docs in prop::collection::vec(field_text(), 1..8)) {
+        let vectorizer = TfIdfVectorizer::fit(&docs);
+        for a in &docs {
+            for b in &docs {
+                let sim = vectorizer.cosine_similarity(a, b);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&sim));
+                prop_assert!((sim - vectorizer.cosine_similarity(b, a)).abs() < 1e-9);
+            }
+            prop_assert!(vectorizer.cosine_similarity(a, a) > 1.0 - 1e-9);
+        }
+    }
+
+    // ----- normalisation -----
+
+    #[test]
+    fn normalised_text_is_idempotent_and_clean(input in ".{0,60}") {
+        let once = normalize_text(&input);
+        let twice = normalize_text(&once);
+        prop_assert_eq!(&once, &twice, "normalisation must be idempotent");
+        prop_assert!(!once.starts_with(' ') && !once.ends_with(' '));
+        prop_assert!(!once.contains("  "), "no double spaces in {once:?}");
+        for c in once.chars() {
+            prop_assert!(c.is_alphanumeric() || c == ' ', "unexpected char {c:?} in {once:?}");
+            prop_assert!(!c.is_uppercase());
+        }
+    }
+
+    // ----- corruption -----
+
+    #[test]
+    fn corruption_never_produces_empty_text_and_respects_field_kinds(
+        text in prop::collection::vec("[a-z]{2,8}", 1..6).prop_map(|w| w.join(" ")),
+        price in 1.0f64..1000.0,
+        intensity in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = CorruptionConfig::with_intensity(intensity);
+        let corrupted_text = corrupt_text(&text, &config, &mut rng);
+        prop_assert!(!corrupted_text.is_empty());
+
+        let values = vec![FieldValue::Text(text.clone()), FieldValue::Number(price)];
+        let corrupted = corrupt_values(&values, &config, &mut rng);
+        prop_assert_eq!(corrupted.len(), 2);
+        match &corrupted[1] {
+            FieldValue::Number(x) => {
+                // Numeric noise is bounded by the configured relative amount.
+                prop_assert!((x - price).abs() <= price * config.numeric_noise + 1e-9);
+            }
+            FieldValue::Missing => {}
+            FieldValue::Text(_) => prop_assert!(false, "numbers never become text"),
+        }
+    }
+
+    // ----- direct pool model -----
+
+    #[test]
+    fn direct_pools_always_have_exact_match_counts_and_valid_scores(
+        pool_size in 10usize..2000,
+        match_fraction in 0.0f64..=0.5,
+        uncalibrated in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let match_count = ((pool_size as f64 * match_fraction) as usize).min(pool_size);
+        let config = DirectPoolConfig {
+            pool_size,
+            match_count,
+            match_logit_mean: 1.0,
+            non_match_logit_mean: -3.0,
+            logit_noise: 1.5,
+            decision_threshold: 0.5,
+            uncalibrated_scores: uncalibrated,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pool, truth) = DirectPoolModel::new(config).generate(&mut rng);
+        prop_assert_eq!(pool.len(), pool_size);
+        prop_assert_eq!(truth.iter().filter(|&&t| t).count(), match_count);
+        prop_assert!(pool.scores().iter().all(|s| s.is_finite()));
+        if !uncalibrated {
+            prop_assert!(pool.scores_are_probabilities());
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerate Figure 1 (CSF stratum sizes and mean scores on Abt-Buy).
+//!
+//! Usage: `cargo run --release -p experiments --bin figure1 -- --scale=1.0 --strata=30`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = experiments::parse_arg(&args, "scale", 1.0f64);
+    let strata = experiments::parse_arg(&args, "strata", 30usize);
+    let seed = experiments::parse_arg(&args, "seed", 2017u64);
+    println!("{}", experiments::figure1::run(scale, strata, seed).render());
+}

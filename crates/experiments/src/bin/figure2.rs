@@ -1,0 +1,35 @@
+//! Regenerate Figure 2 (error vs label budget for every pool and method).
+//!
+//! Usage:
+//! `cargo run --release -p experiments --bin figure2 -- --scale=0.1 --repeats=100 --datasets=Abt-Buy,cora`
+
+use experiments::figure2::{run, Figure2Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let datasets_arg: String = experiments::parse_arg(&args, "datasets", String::new());
+    let datasets = if datasets_arg.is_empty() {
+        Vec::new()
+    } else {
+        datasets_arg.split(',').map(str::to_string).collect()
+    };
+    let config = Figure2Config {
+        scale: experiments::parse_arg(&args, "scale", 0.1f64),
+        repeats: experiments::parse_arg(&args, "repeats", 100usize),
+        budget_fraction: experiments::parse_arg(&args, "budget-fraction", 0.06f64),
+        checkpoints: experiments::parse_arg(&args, "checkpoints", 12usize),
+        seed: experiments::parse_arg(&args, "seed", 2017u64),
+        threads: experiments::parse_arg(&args, "threads", 4usize),
+        datasets,
+    };
+    let figure = run(&config);
+    println!("{}", figure.render());
+    println!("\nLabel-budget savings of OASIS vs Passive (ratio of budgets to reach OASIS's final error):");
+    for (name, ratio) in figure.label_savings() {
+        if ratio.is_finite() {
+            println!("  {name}: {ratio:.1}x");
+        } else {
+            println!("  {name}: passive never reaches OASIS's error within the budget");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerate Figure 3 (calibrated vs uncalibrated scores for IS and OASIS).
+//!
+//! Usage: `cargo run --release -p experiments --bin figure3 -- --scale=0.1 --repeats=100`
+
+use experiments::figure3::{run, Figure3Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let config = Figure3Config {
+        scale: experiments::parse_arg(&args, "scale", 0.1f64),
+        repeats: experiments::parse_arg(&args, "repeats", 100usize),
+        budget_fraction: experiments::parse_arg(&args, "budget-fraction", 0.1f64),
+        checkpoints: experiments::parse_arg(&args, "checkpoints", 10usize),
+        seed: experiments::parse_arg(&args, "seed", 2017u64),
+        threads: experiments::parse_arg(&args, "threads", 4usize),
+    };
+    let figure = run(&config);
+    println!("{}", figure.render());
+    println!("\nDegradation (uncalibrated minus calibrated final abs. err.):");
+    for (dataset, method, delta) in figure.calibration_degradation() {
+        println!("  {dataset} / {method}: {delta:+.4}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerate Figure 4 (convergence of OASIS internals on Abt-Buy).
+//!
+//! Usage: `cargo run --release -p experiments --bin figure4 -- --scale=0.2 --strata=30`
+
+use experiments::figure4::{run, Figure4Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let config = Figure4Config {
+        scale: experiments::parse_arg(&args, "scale", 0.2f64),
+        strata: experiments::parse_arg(&args, "strata", 30usize),
+        budget_fraction: experiments::parse_arg(&args, "budget-fraction", 0.2f64),
+        checkpoints: experiments::parse_arg(&args, "checkpoints", 20usize),
+        seed: experiments::parse_arg(&args, "seed", 2017u64),
+    };
+    println!("{}", run(&config).render());
+}

@@ -1,0 +1,18 @@
+//! Regenerate Figure 5 (error after a fixed budget for five classifiers).
+//!
+//! Usage: `cargo run --release -p experiments --bin figure5 -- --scale=0.1 --budget=500 --repeats=50`
+
+use experiments::figure5::{run, Figure5Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let config = Figure5Config {
+        scale: experiments::parse_arg(&args, "scale", 0.1f64),
+        budget: experiments::parse_arg(&args, "budget", 500usize),
+        repeats: experiments::parse_arg(&args, "repeats", 50usize),
+        seed: experiments::parse_arg(&args, "seed", 2017u64),
+        threads: experiments::parse_arg(&args, "threads", 4usize),
+        classifiers: Vec::new(),
+    };
+    println!("{}", run(&config).render());
+}

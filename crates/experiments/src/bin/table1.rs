@@ -1,0 +1,11 @@
+//! Regenerate Table 1 (dataset inventory).
+//!
+//! Usage: `cargo run --release -p experiments --bin table1 -- --scale=0.01 --seed=1`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = experiments::parse_arg(&args, "scale", 0.01f64);
+    let seed = experiments::parse_arg(&args, "seed", 2017u64);
+    let table = experiments::table1::run(scale, seed);
+    println!("{}", table.render());
+}

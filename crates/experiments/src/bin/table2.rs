@@ -1,0 +1,11 @@
+//! Regenerate Table 2 (evaluation pools and L-SVM operating points).
+//!
+//! Usage: `cargo run --release -p experiments --bin table2 -- --scale=0.05 --seed=1`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = experiments::parse_arg(&args, "scale", 0.05f64);
+    let seed = experiments::parse_arg(&args, "seed", 2017u64);
+    let table = experiments::table2::run(scale, seed);
+    println!("{}", table.render());
+}

@@ -1,0 +1,16 @@
+//! Regenerate Table 3 (CPU times on the cora pool).
+//!
+//! Usage: `cargo run --release -p experiments --bin table3 -- --scale=0.3 --iterations=10000 --runs=3`
+
+use experiments::table3::{run, Table3Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let config = Table3Config {
+        scale: experiments::parse_arg(&args, "scale", 0.3f64),
+        iterations: experiments::parse_arg(&args, "iterations", 10_000usize),
+        runs: experiments::parse_arg(&args, "runs", 3usize),
+        seed: experiments::parse_arg(&args, "seed", 2017u64),
+    };
+    println!("{}", run(&config).render());
+}

@@ -1,0 +1,260 @@
+//! Figure 2: expected absolute error and standard deviation of F̂½ versus
+//! label budget, for every pool and every sampling method.
+//!
+//! This is the paper's headline experiment: on all five ER pools OASIS reaches
+//! a given estimation error with a fraction of the labels that Passive,
+//! Stratified or static IS need, while on the balanced tweets100k pool all
+//! methods coincide.
+
+use crate::curves::{compare_methods, CurveConfig, MethodCurve};
+use crate::methods::Method;
+use crate::pools::direct_pool;
+use crate::report::{fmt_float, TextTable};
+use er_core::datasets::{all_profiles, DatasetProfile, Domain};
+
+/// The curves of every method on one pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolCurves {
+    /// Dataset name.
+    pub name: String,
+    /// True F½ of the pool (the estimation target).
+    pub true_f_measure: f64,
+    /// One curve per method.
+    pub curves: Vec<MethodCurve>,
+}
+
+/// The reproduced Figure 2 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure2 {
+    /// One entry per dataset pool.
+    pub pools: Vec<PoolCurves>,
+    /// Pool scale used.
+    pub scale: f64,
+    /// Number of repeats per method.
+    pub repeats: usize,
+}
+
+/// Configuration of the Figure 2 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure2Config {
+    /// Pool scale (1.0 = the paper's pool sizes).
+    pub scale: f64,
+    /// Number of repeats per method (the paper uses 1000).
+    pub repeats: usize,
+    /// Maximum label budget per pool, as a fraction of the pool size (the
+    /// paper uses budgets up to a few ×10⁴ labels on pools of 5×10⁴–7×10⁵).
+    pub budget_fraction: f64,
+    /// Number of budget checkpoints.
+    pub checkpoints: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads for the repeats.
+    pub threads: usize,
+    /// Restrict to the named datasets (empty = all six).
+    pub datasets: Vec<String>,
+}
+
+impl Default for Figure2Config {
+    fn default() -> Self {
+        Figure2Config {
+            scale: 0.1,
+            repeats: 100,
+            budget_fraction: 0.06,
+            checkpoints: 12,
+            seed: 2017,
+            threads: 4,
+            datasets: Vec::new(),
+        }
+    }
+}
+
+/// Run the Figure 2 experiment for one profile.
+pub fn run_profile(profile: &DatasetProfile, config: &Figure2Config) -> PoolCurves {
+    let pool = direct_pool(profile, config.scale, true, config.seed);
+    let max_budget = ((pool.len() as f64 * config.budget_fraction) as usize).max(20);
+    let step = (max_budget / config.checkpoints).max(1);
+    let curve_config = CurveConfig {
+        checkpoints: (1..=config.checkpoints).map(|i| i * step).collect(),
+        repeats: config.repeats,
+        alpha: 0.5,
+        seed: config.seed,
+        threads: config.threads,
+    };
+    let methods = if profile.domain == Domain::Tweets {
+        Method::figure2_lineup_balanced()
+    } else {
+        Method::figure2_lineup()
+    };
+    let curves = compare_methods(&pool, &methods, &curve_config);
+    PoolCurves {
+        name: profile.name.to_string(),
+        true_f_measure: pool.true_f_measure,
+        curves,
+    }
+}
+
+/// Run the Figure 2 experiment for all (selected) profiles.
+pub fn run(config: &Figure2Config) -> Figure2 {
+    let pools = all_profiles()
+        .iter()
+        .filter(|p| {
+            config.datasets.is_empty()
+                || config
+                    .datasets
+                    .iter()
+                    .any(|d| d.eq_ignore_ascii_case(p.name))
+        })
+        .map(|p| run_profile(p, config))
+        .collect();
+    Figure2 {
+        pools,
+        scale: config.scale,
+        repeats: config.repeats,
+    }
+}
+
+impl Figure2 {
+    /// Render every pool's error curves as plain-text tables.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Figure 2: E|F̂ − F| and std. dev. vs label budget (pools at scale {:.3}, {} repeats)\n",
+            self.scale, self.repeats
+        );
+        for pool in &self.pools {
+            out.push_str(&format!(
+                "\n--- {} (true F1/2 = {:.3}) ---\n",
+                pool.name, pool.true_f_measure
+            ));
+            let mut header = vec!["Budget".to_string()];
+            for curve in &pool.curves {
+                header.push(format!("{} abs.err", curve.label));
+                header.push(format!("{} std", curve.label));
+            }
+            let mut table = TextTable::new(header);
+            if let Some(first) = pool.curves.first() {
+                for (i, &budget) in first.budgets.iter().enumerate() {
+                    let mut row = vec![budget.to_string()];
+                    for curve in &pool.curves {
+                        row.push(fmt_float(curve.absolute_error[i], 4));
+                        row.push(fmt_float(curve.std_dev[i], 4));
+                    }
+                    table.add_row(row);
+                }
+            }
+            out.push_str(&table.render());
+        }
+        out
+    }
+
+    /// Summary statistic used in the paper's abstract: the labelling-budget
+    /// reduction OASIS achieves relative to passive sampling at matched error.
+    /// Returns, per pool, the ratio `budget_passive / budget_oasis` needed to
+    /// reach the error OASIS attains at its final checkpoint (∞ when passive
+    /// never reaches it).
+    pub fn label_savings(&self) -> Vec<(String, f64)> {
+        let mut savings = Vec::new();
+        for pool in &self.pools {
+            let oasis = pool
+                .curves
+                .iter()
+                .find(|c| c.label.starts_with("OASIS"))
+                .cloned();
+            let passive = pool.curves.iter().find(|c| c.label == "Passive").cloned();
+            if let (Some(oasis), Some(passive)) = (oasis, passive) {
+                let target = oasis.final_error();
+                let oasis_budget = *oasis.budgets.last().unwrap_or(&1) as f64;
+                let passive_budget = passive
+                    .budgets
+                    .iter()
+                    .zip(passive.absolute_error.iter())
+                    .find(|(_, &err)| err.is_finite() && err <= target)
+                    .map(|(&b, _)| b as f64);
+                let ratio = passive_budget
+                    .map(|b| b / oasis_budget)
+                    .unwrap_or(f64::INFINITY);
+                savings.push((pool.name.clone(), ratio));
+            }
+        }
+        savings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Figure2Config {
+        Figure2Config {
+            scale: 0.02,
+            repeats: 6,
+            budget_fraction: 0.2,
+            checkpoints: 4,
+            seed: 3,
+            threads: 2,
+            datasets: vec!["Abt-Buy".to_string()],
+        }
+    }
+
+    #[test]
+    fn runs_selected_profiles_only() {
+        let figure = run(&tiny_config());
+        assert_eq!(figure.pools.len(), 1);
+        assert_eq!(figure.pools[0].name, "Abt-Buy");
+        assert_eq!(figure.pools[0].curves.len(), 6);
+        for curve in &figure.pools[0].curves {
+            assert_eq!(curve.budgets.len(), 4);
+        }
+    }
+
+    #[test]
+    fn oasis_beats_passive_on_an_imbalanced_pool() {
+        let mut config = tiny_config();
+        config.scale = 0.05;
+        config.repeats = 10;
+        let pool_curves = run_profile(&DatasetProfile::abt_buy(), &config);
+        let passive = pool_curves
+            .curves
+            .iter()
+            .find(|c| c.label == "Passive")
+            .unwrap();
+        let oasis = pool_curves
+            .curves
+            .iter()
+            .find(|c| c.label == "OASIS 30")
+            .unwrap();
+        // Compare the mean error over the checkpoints where both are defined.
+        let mut passive_total = 0.0;
+        let mut oasis_total = 0.0;
+        let mut n = 0;
+        for i in 0..passive.budgets.len() {
+            if passive.absolute_error[i].is_finite() && oasis.absolute_error[i].is_finite() {
+                passive_total += passive.absolute_error[i];
+                oasis_total += oasis.absolute_error[i];
+                n += 1;
+            }
+        }
+        if n > 0 {
+            assert!(
+                oasis_total <= passive_total + 0.02,
+                "OASIS mean error {} vs passive {}",
+                oasis_total / n as f64,
+                passive_total / n as f64
+            );
+        } else {
+            // Passive never defined at these budgets — itself evidence of the
+            // imbalance problem OASIS solves.
+            assert!(oasis.absolute_error.iter().any(|e| e.is_finite()));
+        }
+    }
+
+    #[test]
+    fn render_and_savings_are_well_formed() {
+        let figure = run(&tiny_config());
+        let text = figure.render();
+        assert!(text.contains("Figure 2"));
+        assert!(text.contains("Abt-Buy"));
+        let savings = figure.label_savings();
+        assert_eq!(savings.len(), 1);
+        assert!(savings[0].1 > 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The sampling methods under comparison (paper Section 6.2).
+//!
+//! [`Method`] names a method + its hyperparameters; [`AnySampler`] is a
+//! concrete enum dispatcher over the sampler types of the `oasis` crate so the
+//! experiment runner can treat them uniformly (the [`oasis::Sampler`] trait
+//! has generic methods and is therefore not object-safe).
+
+use oasis::estimator::Estimate;
+use oasis::oracle::Oracle;
+use oasis::pool::ScoredPool;
+use oasis::samplers::{
+    ImportanceSampler, OasisConfig, OasisSampler, PassiveSampler, Sampler, StepOutcome,
+    StratifiedSampler,
+};
+use oasis::Result;
+use rand::Rng;
+
+/// A named sampling method with its hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Method {
+    /// Uniform sampling with the plain estimator.
+    Passive,
+    /// Proportional stratified sampling with `strata` CSF strata.
+    Stratified {
+        /// Number of strata (the paper uses 30).
+        strata: usize,
+    },
+    /// Static importance sampling (Sawade et al.).
+    ImportanceSampling,
+    /// OASIS with `strata` CSF strata.
+    Oasis {
+        /// Number of strata.
+        strata: usize,
+        /// Greediness parameter ε.
+        epsilon: f64,
+    },
+}
+
+impl Method {
+    /// The default method line-up of the paper's Figure 2 for an ER pool:
+    /// Passive, IS, Stratified (K=30) and OASIS with K = 30, 60, 120.
+    pub fn figure2_lineup() -> Vec<Method> {
+        vec![
+            Method::Passive,
+            Method::ImportanceSampling,
+            Method::Stratified { strata: 30 },
+            Method::oasis(30),
+            Method::oasis(60),
+            Method::oasis(120),
+        ]
+    }
+
+    /// The reduced line-up used for the balanced tweets100k pool
+    /// (K = 10, 20, 40 in the paper).
+    pub fn figure2_lineup_balanced() -> Vec<Method> {
+        vec![
+            Method::Passive,
+            Method::ImportanceSampling,
+            Method::Stratified { strata: 30 },
+            Method::oasis(10),
+            Method::oasis(20),
+            Method::oasis(40),
+        ]
+    }
+
+    /// OASIS with the paper's default ε = 10⁻³.
+    pub fn oasis(strata: usize) -> Method {
+        Method::Oasis {
+            strata,
+            epsilon: 1e-3,
+        }
+    }
+
+    /// A short display label, matching the paper's legends
+    /// (e.g. `"OASIS 30"`).
+    pub fn label(&self) -> String {
+        match self {
+            Method::Passive => "Passive".to_string(),
+            Method::Stratified { .. } => "Stratified".to_string(),
+            Method::ImportanceSampling => "IS".to_string(),
+            Method::Oasis { strata, .. } => format!("OASIS {strata}"),
+        }
+    }
+
+    /// Build a fresh sampler of this method for the given pool.
+    ///
+    /// `alpha` is the F-measure weight and `score_threshold` the decision
+    /// threshold used when squashing non-probability scores.
+    pub fn build(&self, pool: &ScoredPool, alpha: f64, score_threshold: f64) -> Result<AnySampler> {
+        Ok(match *self {
+            Method::Passive => AnySampler::Passive(PassiveSampler::new(alpha)),
+            Method::Stratified { strata } => {
+                AnySampler::Stratified(StratifiedSampler::new(pool, alpha, strata)?)
+            }
+            Method::ImportanceSampling => {
+                AnySampler::Importance(ImportanceSampler::new(pool, alpha, score_threshold)?)
+            }
+            Method::Oasis { strata, epsilon } => {
+                let config = OasisConfig::default()
+                    .with_alpha(alpha)
+                    .with_strata_count(strata)
+                    .with_epsilon(epsilon)
+                    .with_score_threshold(score_threshold);
+                AnySampler::Oasis(OasisSampler::new(pool, config)?)
+            }
+        })
+    }
+}
+
+/// Enum dispatcher over the concrete sampler types.
+#[derive(Debug, Clone)]
+pub enum AnySampler {
+    /// Passive sampler.
+    Passive(PassiveSampler),
+    /// Proportional stratified sampler.
+    Stratified(StratifiedSampler),
+    /// Static importance sampler.
+    Importance(ImportanceSampler),
+    /// OASIS sampler.
+    Oasis(OasisSampler),
+}
+
+impl AnySampler {
+    /// One sampling iteration (see [`oasis::Sampler::step`]).
+    pub fn step<O: Oracle, R: Rng + ?Sized>(
+        &mut self,
+        pool: &ScoredPool,
+        oracle: &mut O,
+        rng: &mut R,
+    ) -> Result<StepOutcome> {
+        match self {
+            AnySampler::Passive(s) => s.step(pool, oracle, rng),
+            AnySampler::Stratified(s) => s.step(pool, oracle, rng),
+            AnySampler::Importance(s) => s.step(pool, oracle, rng),
+            AnySampler::Oasis(s) => s.step(pool, oracle, rng),
+        }
+    }
+
+    /// The current estimate.
+    pub fn estimate(&self) -> Estimate {
+        match self {
+            AnySampler::Passive(s) => s.estimate(),
+            AnySampler::Stratified(s) => s.estimate(),
+            AnySampler::Importance(s) => s.estimate(),
+            AnySampler::Oasis(s) => s.estimate(),
+        }
+    }
+
+    /// Access the inner OASIS sampler, if this is one (used by the
+    /// convergence diagnostics of Figure 4).
+    pub fn as_oasis(&self) -> Option<&OasisSampler> {
+        match self {
+            AnySampler::Oasis(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis::oracle::GroundTruthOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_pool() -> (ScoredPool, Vec<bool>) {
+        let scores = vec![0.9, 0.85, 0.7, 0.3, 0.2, 0.1, 0.05, 0.02];
+        let predictions = vec![true, true, true, false, false, false, false, false];
+        let truth = vec![true, true, false, false, false, false, false, false];
+        (ScoredPool::new(scores, predictions).unwrap(), truth)
+    }
+
+    #[test]
+    fn labels_are_human_readable() {
+        assert_eq!(Method::Passive.label(), "Passive");
+        assert_eq!(Method::Stratified { strata: 30 }.label(), "Stratified");
+        assert_eq!(Method::ImportanceSampling.label(), "IS");
+        assert_eq!(Method::oasis(60).label(), "OASIS 60");
+    }
+
+    #[test]
+    fn lineups_have_expected_composition() {
+        let lineup = Method::figure2_lineup();
+        assert_eq!(lineup.len(), 6);
+        assert!(matches!(lineup[0], Method::Passive));
+        assert!(matches!(lineup[5], Method::Oasis { strata: 120, .. }));
+        let balanced = Method::figure2_lineup_balanced();
+        assert!(matches!(balanced[3], Method::Oasis { strata: 10, .. }));
+    }
+
+    #[test]
+    fn every_method_builds_and_steps() {
+        let (pool, truth) = tiny_pool();
+        let mut rng = StdRng::seed_from_u64(1);
+        for method in Method::figure2_lineup() {
+            // Cap strata at the pool size implicitly via the stratifiers.
+            let mut sampler = method.build(&pool, 0.5, 0.5).unwrap();
+            let mut oracle = GroundTruthOracle::new(truth.clone());
+            for _ in 0..20 {
+                let outcome = sampler.step(&pool, &mut oracle, &mut rng).unwrap();
+                assert!(outcome.item < pool.len());
+            }
+            let estimate = sampler.estimate();
+            assert_eq!(estimate.alpha, 0.5);
+        }
+    }
+
+    #[test]
+    fn as_oasis_only_matches_oasis() {
+        let (pool, _) = tiny_pool();
+        let oasis = Method::oasis(4).build(&pool, 0.5, 0.5).unwrap();
+        assert!(oasis.as_oasis().is_some());
+        let passive = Method::Passive.build(&pool, 0.5, 0.5).unwrap();
+        assert!(passive.as_oasis().is_none());
+    }
+}

@@ -1,0 +1,394 @@
+//! Building evaluation pools from dataset profiles.
+//!
+//! Two construction routes mirror how the paper's pools arise:
+//!
+//! * [`direct_pool`] — the fast route: draw (score, prediction, truth)
+//!   triples from the profile's calibrated score model.  Used for the error
+//!   curves of Figure 2/3/4 and the timing study of Table 3, where pools are
+//!   large and many repeats are needed.
+//! * [`pipeline_pool`] — the full route: generate records, extract similarity
+//!   features, train a classifier on a labelled subsample and score every
+//!   candidate pair.  Used for Table 2, Figure 1 and the classifier comparison
+//!   of Figure 5.
+
+use classifiers::{
+    AdaBoostClassifier, Classifier, LinearSvm, LogisticRegression, MlpClassifier, PlattScaler,
+    RbfSvm, TrainingSet,
+};
+use er_core::datasets::{DatasetProfile, DirectPoolModel, SyntheticDataset};
+use er_core::pool_builder::{LabelledPool, PoolBuilder};
+use oasis::pool::ScoredPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which classifier family scores the pipeline pool (paper Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassifierKind {
+    /// Linear SVM (the paper's default, "L-SVM").
+    LinearSvm,
+    /// Logistic regression ("LR").
+    LogisticRegression,
+    /// One-hidden-layer neural network ("NN").
+    Mlp,
+    /// AdaBoost over decision stumps ("AB").
+    AdaBoost,
+    /// RBF-kernel SVM via random Fourier features ("R-SVM").
+    RbfSvm,
+}
+
+impl ClassifierKind {
+    /// All five classifier families of Figure 5.
+    pub fn all() -> Vec<ClassifierKind> {
+        vec![
+            ClassifierKind::Mlp,
+            ClassifierKind::AdaBoost,
+            ClassifierKind::LogisticRegression,
+            ClassifierKind::RbfSvm,
+            ClassifierKind::LinearSvm,
+        ]
+    }
+
+    /// The display label used in the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClassifierKind::LinearSvm => "L-SVM",
+            ClassifierKind::LogisticRegression => "LR",
+            ClassifierKind::Mlp => "NN",
+            ClassifierKind::AdaBoost => "AB",
+            ClassifierKind::RbfSvm => "R-SVM",
+        }
+    }
+}
+
+/// A pool plus the metadata the experiments need to interpret it.
+#[derive(Debug, Clone)]
+pub struct ExperimentPool {
+    /// The scored pool the samplers consume.
+    pub pool: ScoredPool,
+    /// The hidden ground truth (for the oracle and the target measure).
+    pub truth: Vec<bool>,
+    /// The true F-measure (α = ½) of the pool — the quantity being estimated.
+    pub true_f_measure: f64,
+    /// The true precision of the pool.
+    pub true_precision: f64,
+    /// The true recall of the pool.
+    pub true_recall: f64,
+    /// The decision threshold to pass to score-squashing samplers.
+    pub score_threshold: f64,
+    /// The profile name the pool was built from.
+    pub profile_name: String,
+}
+
+impl ExperimentPool {
+    fn from_parts(
+        pool: ScoredPool,
+        truth: Vec<bool>,
+        score_threshold: f64,
+        profile_name: &str,
+    ) -> Self {
+        let measures = oasis::measures::exhaustive_measures(pool.predictions(), &truth, 0.5);
+        ExperimentPool {
+            pool,
+            truth,
+            true_f_measure: measures.f_measure,
+            true_precision: measures.precision,
+            true_recall: measures.recall,
+            score_threshold,
+            profile_name: profile_name.to_string(),
+        }
+    }
+
+    /// Number of items in the pool.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Whether the pool is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+}
+
+/// Build a pool directly from the profile's score model.
+///
+/// * `scale` scales the pool size (1.0 = the paper's pool).
+/// * `calibrated` selects calibrated (posterior probability) vs uncalibrated
+///   (raw logit) scores — the two regimes of Figure 3.
+pub fn direct_pool(
+    profile: &DatasetProfile,
+    scale: f64,
+    calibrated: bool,
+    seed: u64,
+) -> ExperimentPool {
+    let config = profile
+        .direct_pool_config(scale)
+        .with_uncalibrated_scores(!calibrated);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (pool, truth) = DirectPoolModel::new(config).generate(&mut rng);
+    // Uncalibrated scores are logits with decision threshold at 0.
+    let threshold = if calibrated { 0.5 } else { 0.0 };
+    ExperimentPool::from_parts(pool, truth, threshold, profile.name)
+}
+
+/// Pick the decision threshold that maximises the α-weighted F-measure
+/// *projected onto the full pool's class balance*.
+///
+/// Classifiers are trained on a class-balanced subsample (training data need
+/// not be representative — paper Section 2.1.1), so their natural decision
+/// boundary over-predicts matches by orders of magnitude once applied to the
+/// imbalanced pool.  This helper re-weights the training examples by the ratio
+/// of pool to subsample class counts and sweeps candidate thresholds, which is
+/// how a practitioner would tune the operating point before deployment.
+pub fn tune_threshold(
+    positive_scores: &[f64],
+    negative_scores: &[f64],
+    pool_positives: f64,
+    pool_negatives: f64,
+    alpha: f64,
+) -> f64 {
+    assert!(
+        !positive_scores.is_empty() && !negative_scores.is_empty(),
+        "need scores from both classes to tune a threshold"
+    );
+    let weight_positive = pool_positives / positive_scores.len() as f64;
+    let weight_negative = pool_negatives / negative_scores.len() as f64;
+    // Candidate thresholds: midpoints between consecutive distinct scores.
+    let mut all: Vec<f64> = positive_scores
+        .iter()
+        .chain(negative_scores.iter())
+        .copied()
+        .collect();
+    all.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    let mut best_threshold = all[0] - 1.0;
+    let mut best_f = f64::NEG_INFINITY;
+    let mut candidates = vec![all[0] - 1.0];
+    candidates.extend(all.windows(2).map(|w| (w[0] + w[1]) / 2.0));
+    candidates.push(all[all.len() - 1] + 1.0);
+    for &threshold in &candidates {
+        let tp = positive_scores.iter().filter(|&&s| s > threshold).count() as f64
+            * weight_positive;
+        let fp = negative_scores.iter().filter(|&&s| s > threshold).count() as f64
+            * weight_negative;
+        let actual_positives = pool_positives;
+        let denom = alpha * (tp + fp) + (1.0 - alpha) * actual_positives;
+        let f = if denom > 0.0 { tp / denom } else { 0.0 };
+        if f > best_f {
+            best_f = f;
+            best_threshold = threshold;
+        }
+    }
+    best_threshold
+}
+
+/// Train the requested classifier on a class-balanced subsample of the
+/// dataset's labelled pairs and return it as a boxed scorer.
+fn train_classifier(
+    kind: ClassifierKind,
+    training: &TrainingSet,
+    rng: &mut StdRng,
+) -> Box<dyn Classifier> {
+    match kind {
+        ClassifierKind::LinearSvm => Box::new(LinearSvm::train(training, rng)),
+        ClassifierKind::LogisticRegression => Box::new(LogisticRegression::train(training, rng)),
+        ClassifierKind::Mlp => Box::new(MlpClassifier::train(training, rng)),
+        ClassifierKind::AdaBoost => Box::new(AdaBoostClassifier::train(training)),
+        ClassifierKind::RbfSvm => Box::new(RbfSvm::train(training, rng)),
+    }
+}
+
+/// The result of running the full ER pipeline on a profile.
+#[derive(Debug, Clone)]
+pub struct PipelinePoolResult {
+    /// The evaluation pool and its metadata.
+    pub experiment_pool: ExperimentPool,
+    /// The labelled pool with feature vectors (for further analysis).
+    pub labelled: LabelledPool,
+}
+
+/// Build a pool through the full ER pipeline: synthetic records → similarity
+/// features → classifier → scores.
+///
+/// * `scale` scales the pool size (1.0 = the paper's pool).
+/// * `kind` selects the classifier family.
+/// * `calibrated` applies Platt scaling (fit on the training subsample) to the
+///   classifier's raw scores.
+/// * Returns `None` for profiles without a record-level generator
+///   (tweets100k).
+pub fn pipeline_pool(
+    profile: &DatasetProfile,
+    scale: f64,
+    kind: ClassifierKind,
+    calibrated: bool,
+    seed: u64,
+) -> Option<PipelinePoolResult> {
+    let generator_config = profile.generator_config(scale)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = SyntheticDataset::generate(generator_config, &mut rng);
+    let builder = PoolBuilder::fit(&dataset);
+    let (features, labels) = builder.feature_matrix(&dataset);
+
+    // Training subsample: the paper trains on a random labelled subset of the
+    // dataset.  A class-balanced subsample keeps training fast and stable
+    // under extreme imbalance.
+    let full_set = TrainingSet::new(features.clone(), labels.clone());
+    let per_class = (dataset.match_count().max(10)).min(2000);
+    let training = full_set.balanced_subsample(per_class, &mut rng);
+    let classifier = train_classifier(kind, &training, &mut rng);
+
+    // Optional Platt calibration fit on the training subsample's raw scores.
+    let raw_training_scores: Vec<f64> = training
+        .features
+        .iter()
+        .map(|f| classifier.score(f))
+        .collect();
+    let scaler = if calibrated {
+        Some(PlattScaler::fit(&raw_training_scores, &training.labels))
+    } else {
+        None
+    };
+
+    // Tune the decision threshold for the pool's class balance (see
+    // `tune_threshold`): the balanced training subsample would otherwise leave
+    // the classifier wildly over-predicting matches on the imbalanced pool.
+    let positive_scores: Vec<f64> = raw_training_scores
+        .iter()
+        .zip(training.labels.iter())
+        .filter_map(|(&s, &l)| l.then_some(s))
+        .collect();
+    let negative_scores: Vec<f64> = raw_training_scores
+        .iter()
+        .zip(training.labels.iter())
+        .filter_map(|(&s, &l)| (!l).then_some(s))
+        .collect();
+    let pool_positives = dataset.match_count().max(1) as f64;
+    let pool_negatives = (dataset.pair_count() - dataset.match_count()).max(1) as f64;
+    let raw_threshold = tune_threshold(
+        &positive_scores,
+        &negative_scores,
+        pool_positives,
+        pool_negatives,
+        0.5,
+    );
+    let threshold = match &scaler {
+        Some(s) => s.calibrate(raw_threshold),
+        None => raw_threshold,
+    };
+    let labelled = builder.build_pool(
+        &dataset,
+        |f| {
+            let raw = classifier.score(f);
+            match &scaler {
+                Some(s) => s.calibrate(raw),
+                None => raw,
+            }
+        },
+        threshold,
+    );
+    let experiment_pool = ExperimentPool::from_parts(
+        labelled.pool.clone(),
+        labelled.truth.clone(),
+        threshold,
+        profile.name,
+    );
+    Some(PipelinePoolResult {
+        experiment_pool,
+        labelled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_pool_has_metadata_consistent_with_truth() {
+        let profile = DatasetProfile::abt_buy();
+        let ep = direct_pool(&profile, 0.05, true, 1);
+        assert!(!ep.is_empty());
+        assert!(ep.len() > 1000);
+        assert!((0.0..=1.0).contains(&ep.true_f_measure));
+        assert_eq!(ep.truth.len(), ep.len());
+        assert_eq!(ep.profile_name, "Abt-Buy");
+        assert_eq!(ep.score_threshold, 0.5);
+    }
+
+    #[test]
+    fn uncalibrated_direct_pool_uses_logit_scores() {
+        let profile = DatasetProfile::dblp_acm();
+        let calibrated = direct_pool(&profile, 0.05, true, 2);
+        let uncalibrated = direct_pool(&profile, 0.05, false, 2);
+        assert!(calibrated.pool.scores_are_probabilities());
+        assert!(!uncalibrated.pool.scores_are_probabilities());
+        assert_eq!(uncalibrated.score_threshold, 0.0);
+        // Same seed → same ground truth either way.
+        assert_eq!(calibrated.truth, uncalibrated.truth);
+    }
+
+    #[test]
+    fn classifier_kinds_enumerate_the_figure5_lineup() {
+        let all = ClassifierKind::all();
+        assert_eq!(all.len(), 5);
+        let labels: Vec<&str> = all.iter().map(|k| k.label()).collect();
+        assert!(labels.contains(&"L-SVM"));
+        assert!(labels.contains(&"NN"));
+        assert!(labels.contains(&"AB"));
+        assert!(labels.contains(&"LR"));
+        assert!(labels.contains(&"R-SVM"));
+    }
+
+    #[test]
+    fn tuned_threshold_restores_precision_under_imbalance() {
+        // Positives score high, negatives low, but the pool has 1000x more
+        // negatives: the tuned threshold must sit above most negatives.
+        let positive: Vec<f64> = (0..50).map(|i| 1.0 + i as f64 * 0.02).collect();
+        let negative: Vec<f64> = (0..50).map(|i| -1.0 + i as f64 * 0.03).collect();
+        let threshold = tune_threshold(&positive, &negative, 50.0, 50_000.0, 0.5);
+        let fp = negative.iter().filter(|&&s| s > threshold).count();
+        let tp = positive.iter().filter(|&&s| s > threshold).count();
+        assert!(tp > 30, "threshold {threshold} keeps most true positives ({tp})");
+        assert!(
+            fp <= 1,
+            "threshold {threshold} must exclude almost every negative (kept {fp})"
+        );
+        // With balanced pool weights the threshold can be far more permissive.
+        let balanced = tune_threshold(&positive, &negative, 50.0, 50.0, 0.5);
+        assert!(balanced <= threshold);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn tune_threshold_requires_both_classes() {
+        tune_threshold(&[1.0], &[], 1.0, 1.0, 0.5);
+    }
+
+    #[test]
+    fn pipeline_pool_produces_a_working_classifier() {
+        let profile = DatasetProfile::abt_buy();
+        // Tiny scale keeps the test fast: ~500 pairs.
+        let result = pipeline_pool(&profile, 0.01, ClassifierKind::LinearSvm, false, 3).unwrap();
+        let ep = &result.experiment_pool;
+        assert!(ep.len() > 100);
+        assert!(ep.true_recall >= 0.0);
+        // The pool's features are exposed for further analysis.
+        assert_eq!(result.labelled.features.len(), ep.len());
+        // With uncalibrated margins the scores leave [0, 1].
+        assert!(!ep.pool.scores_are_probabilities());
+    }
+
+    #[test]
+    fn pipeline_pool_calibration_yields_probability_scores() {
+        let profile = DatasetProfile::dblp_acm();
+        let result =
+            pipeline_pool(&profile, 0.01, ClassifierKind::LogisticRegression, true, 4).unwrap();
+        assert!(result.experiment_pool.pool.scores_are_probabilities());
+    }
+
+    #[test]
+    fn tweets_profile_has_no_pipeline_pool() {
+        let profile = DatasetProfile::tweets100k();
+        assert!(pipeline_pool(&profile, 0.1, ClassifierKind::LinearSvm, false, 5).is_none());
+        // But its direct pool works.
+        let ep = direct_pool(&profile, 0.05, true, 5);
+        assert!(ep.len() > 500);
+    }
+}

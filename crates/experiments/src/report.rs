@@ -1,0 +1,133 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (shorter rows are padded with empty cells).
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the table with column alignment and a header separator.
+    pub fn render(&self) -> String {
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for (i, cell) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<width$}"));
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with the given number of decimal places, rendering NaN as
+/// `"-"` (used for undefined estimates).
+pub fn fmt_float(value: f64, decimals: usize) -> String {
+    if value.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{value:.decimals$}")
+    }
+}
+
+/// Format a large integer with thousands separators for readability.
+pub fn fmt_count(value: u64) -> String {
+    let digits: Vec<char> = value.to_string().chars().rev().collect();
+    let mut out = String::new();
+    for (i, c) in digits.iter().enumerate() {
+        if i > 0 && i % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*c);
+    }
+    out.chars().rev().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut table = TextTable::new(vec!["Dataset", "Size", "F"]);
+        table.add_row(vec!["Abt-Buy", "53,753", "0.595"]);
+        table.add_row(vec!["cora", "328,291", "0.839"]);
+        let rendered = table.render();
+        assert!(rendered.contains("Dataset"));
+        assert!(rendered.contains("Abt-Buy"));
+        assert!(rendered.lines().count() >= 4);
+        assert_eq!(table.row_count(), 2);
+        // Every data line should be at least as wide as its widest cell.
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut table = TextTable::new(vec!["a", "b", "c"]);
+        table.add_row(vec!["only one"]);
+        let rendered = table.render();
+        assert!(rendered.contains("only one"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_float(0.123456, 3), "0.123");
+        assert_eq!(fmt_float(f64::NAN, 3), "-");
+        assert_eq!(fmt_float(1.0, 1), "1.0");
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_000), "1,000");
+        assert_eq!(fmt_count(4_397_038), "4,397,038");
+    }
+}

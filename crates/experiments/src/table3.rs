@@ -1,0 +1,211 @@
+//! Table 3: CPU time per run and per iteration on the cora pool.
+//!
+//! The point of the paper's Table 3 is the *scaling* contrast: static IS
+//! samples from a non-uniform distribution over the whole pool (cost linear in
+//! the pool size N per draw), while OASIS samples over K strata (cost linear
+//! in K), so OASIS is an order of magnitude faster per iteration and its cost
+//! is essentially independent of N.
+
+use crate::methods::Method;
+use crate::pools::{direct_pool, ExperimentPool};
+use crate::report::{fmt_float, TextTable};
+use er_core::datasets::DatasetProfile;
+use oasis::oracle::GroundTruthOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Timing of one sampling method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingRow {
+    /// Method label.
+    pub method: String,
+    /// Average wall-clock time per run, in seconds.
+    pub seconds_per_run: f64,
+    /// Average wall-clock time per iteration, in seconds.
+    pub seconds_per_iteration: f64,
+}
+
+/// The reproduced Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3 {
+    /// One row per method.
+    pub rows: Vec<TimingRow>,
+    /// Pool size used.
+    pub pool_size: usize,
+    /// Iterations per run.
+    pub iterations: usize,
+    /// Runs per method.
+    pub runs: usize,
+}
+
+/// Configuration of the timing experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Config {
+    /// Pool scale (1.0 reproduces the paper's ~3.3×10⁵-pair cora pool).
+    pub scale: f64,
+    /// Sampling iterations per run (the paper's runs consume ~2×10⁴ labels).
+    pub iterations: usize,
+    /// Number of runs per method to average over.
+    pub runs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Table3Config {
+    fn default() -> Self {
+        Table3Config {
+            scale: 0.3,
+            iterations: 10_000,
+            runs: 3,
+            seed: 2017,
+        }
+    }
+}
+
+/// The methods timed in Table 3, in the paper's row order.
+pub fn table3_methods() -> Vec<Method> {
+    vec![
+        Method::Passive,
+        Method::ImportanceSampling,
+        Method::oasis(30),
+        Method::oasis(60),
+        Method::oasis(120),
+        Method::Stratified { strata: 30 },
+    ]
+}
+
+/// Time one method on the pool.
+fn time_method(
+    pool: &ExperimentPool,
+    method: Method,
+    iterations: usize,
+    runs: usize,
+    seed: u64,
+) -> TimingRow {
+    let mut total_seconds = 0.0;
+    for run_index in 0..runs {
+        let mut rng = StdRng::seed_from_u64(seed + run_index as u64);
+        let mut oracle = GroundTruthOracle::new(pool.truth.clone());
+        let start = Instant::now();
+        let mut sampler = method
+            .build(&pool.pool, 0.5, pool.score_threshold)
+            .expect("valid method");
+        for _ in 0..iterations {
+            sampler
+                .step(&pool.pool, &mut oracle, &mut rng)
+                .expect("step cannot fail");
+        }
+        total_seconds += start.elapsed().as_secs_f64();
+    }
+    let seconds_per_run = total_seconds / runs as f64;
+    TimingRow {
+        method: method.label(),
+        seconds_per_run,
+        seconds_per_iteration: seconds_per_run / iterations as f64,
+    }
+}
+
+/// Run the timing experiment on the cora pool.
+pub fn run(config: &Table3Config) -> Table3 {
+    let pool = direct_pool(&DatasetProfile::cora(), config.scale, true, config.seed);
+    run_on_pool(&pool, config)
+}
+
+/// Run the timing experiment on a caller-supplied pool.
+pub fn run_on_pool(pool: &ExperimentPool, config: &Table3Config) -> Table3 {
+    let rows = table3_methods()
+        .into_iter()
+        .map(|m| time_method(pool, m, config.iterations, config.runs, config.seed))
+        .collect();
+    Table3 {
+        rows,
+        pool_size: pool.len(),
+        iterations: config.iterations,
+        runs: config.runs,
+    }
+}
+
+impl Table3 {
+    /// Render as a plain-text table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec![
+            "Sampling method",
+            "Avg CPU time per run (s)",
+            "Avg CPU time per iteration (s)",
+        ]);
+        for row in &self.rows {
+            table.add_row(vec![
+                row.method.clone(),
+                fmt_float(row.seconds_per_run, 4),
+                format!("{:.3e}", row.seconds_per_iteration),
+            ]);
+        }
+        format!(
+            "Table 3: CPU times on the cora pool ({} pairs, {} iterations/run, {} runs)\n{}",
+            self.pool_size, self.iterations, self.runs,
+            table.render()
+        )
+    }
+
+    /// The row for a method label, if present.
+    pub fn row(&self, label: &str) -> Option<&TimingRow> {
+        self.rows.iter().find(|r| r.method == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Table3Config {
+        Table3Config {
+            scale: 0.02,
+            iterations: 300,
+            runs: 1,
+            seed: 31,
+        }
+    }
+
+    #[test]
+    fn times_every_method() {
+        let table = run(&tiny_config());
+        assert_eq!(table.rows.len(), 6);
+        for row in &table.rows {
+            assert!(row.seconds_per_run > 0.0);
+            assert!(row.seconds_per_iteration > 0.0);
+            assert!(row.seconds_per_run >= row.seconds_per_iteration);
+        }
+        assert!(table.row("IS").is_some());
+        assert!(table.row("OASIS 30").is_some());
+        assert!(table.row("nonexistent").is_none());
+    }
+
+    #[test]
+    fn is_is_slower_per_iteration_than_oasis() {
+        // The paper's key scaling claim: static IS pays O(N) per draw, OASIS
+        // O(K).  Even at reduced scale the ordering must hold.
+        let table = run(&Table3Config {
+            scale: 0.1,
+            iterations: 500,
+            runs: 1,
+            seed: 32,
+        });
+        let is_time = table.row("IS").unwrap().seconds_per_iteration;
+        let oasis_time = table.row("OASIS 30").unwrap().seconds_per_iteration;
+        assert!(
+            is_time > 2.0 * oasis_time,
+            "IS per-iteration time {is_time:.2e} should clearly exceed OASIS {oasis_time:.2e}"
+        );
+    }
+
+    #[test]
+    fn render_contains_all_methods() {
+        let table = run(&tiny_config());
+        let text = table.render();
+        assert!(text.contains("Table 3"));
+        for row in &table.rows {
+            assert!(text.contains(&row.method));
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Convergence diagnostics (paper Section 6.3.3, Figure 4).
+//!
+//! These helpers quantify how quickly OASIS's internal model approaches the
+//! quantities it is estimating: the per-stratum oracle probabilities `π`, the
+//! asymptotically optimal instrumental distribution `v*`, and the F-measure
+//! itself.  They are *evaluation-of-the-evaluator* tools: they require ground
+//! truth, so they are only available in simulation studies.
+
+use crate::instrumental::stratified_optimal;
+use crate::measures::exhaustive_measures;
+use crate::pool::ScoredPool;
+use crate::strata::Strata;
+
+/// Mean absolute error between two equally long vectors.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn mean_absolute_error(estimate: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(estimate.len(), truth.len(), "length mismatch");
+    assert!(!estimate.is_empty(), "empty vectors");
+    let total: f64 = estimate
+        .iter()
+        .zip(truth.iter())
+        .map(|(&e, &t)| (e - t).abs())
+        .sum();
+    total / estimate.len() as f64
+}
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` in nats between two discrete
+/// distributions over the same support.
+///
+/// Entries where `p = 0` contribute nothing.  If some `p > 0` has `q = 0` the
+/// divergence is `+∞`, which the ε-greedy construction prevents in practice.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "length mismatch");
+    let mut total = 0.0;
+    for (&pi, &qi) in p.iter().zip(q.iter()) {
+        if pi > 0.0 {
+            if qi > 0.0 {
+                total += pi * (pi / qi).ln();
+            } else {
+                return f64::INFINITY;
+            }
+        }
+    }
+    total
+}
+
+/// Ground-truth reference quantities for a pool + stratification, used to
+/// score the convergence of OASIS's internal estimates (paper Figure 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleReference {
+    /// True per-stratum match rates `π` (with a deterministic oracle).
+    pub true_pi: Vec<f64>,
+    /// True F-measure on the pool.
+    pub true_f_measure: f64,
+    /// The asymptotically optimal stratified instrumental distribution `v*`
+    /// evaluated at the *true* `π` and `F_α`.
+    pub optimal_v: Vec<f64>,
+    /// The α at which the reference was computed.
+    pub alpha: f64,
+}
+
+impl OracleReference {
+    /// Compute the reference quantities from full ground truth.
+    ///
+    /// # Panics
+    /// Panics if `truth.len() != pool.len()`.
+    pub fn compute(pool: &ScoredPool, strata: &Strata, truth: &[bool], alpha: f64) -> Self {
+        assert_eq!(pool.len(), truth.len(), "truth must cover the whole pool");
+        let true_pi = strata.true_match_rates(truth);
+        let true_f = exhaustive_measures(pool.predictions(), truth, alpha).f_measure;
+        let optimal_v = stratified_optimal(
+            strata.weights(),
+            strata.mean_predictions(),
+            &true_pi,
+            true_f,
+            alpha,
+        );
+        OracleReference {
+            true_pi,
+            true_f_measure: true_f,
+            optimal_v,
+            alpha,
+        }
+    }
+
+    /// Mean absolute error of a π estimate against the true per-stratum rates.
+    pub fn pi_error(&self, pi_estimate: &[f64]) -> f64 {
+        mean_absolute_error(pi_estimate, &self.true_pi)
+    }
+
+    /// Mean absolute error of an instrumental-distribution estimate against
+    /// the optimal `v*`.
+    pub fn v_error(&self, v_estimate: &[f64]) -> f64 {
+        mean_absolute_error(v_estimate, &self.optimal_v)
+    }
+
+    /// KL divergence from the optimal `v*` to an estimate (paper Figure 4d,
+    /// "KL divergence from v* to v̂": zero iff the estimate has converged).
+    pub fn v_kl_divergence(&self, v_estimate: &[f64]) -> f64 {
+        kl_divergence(&self.optimal_v, v_estimate)
+    }
+
+    /// Absolute error of an F-measure estimate against the pool truth.
+    pub fn f_error(&self, f_estimate: f64) -> f64 {
+        (f_estimate - self.true_f_measure).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strata::{CsfStratifier, Stratifier};
+
+    fn toy_pool() -> (ScoredPool, Vec<bool>) {
+        let scores = vec![0.95, 0.9, 0.85, 0.6, 0.4, 0.2, 0.1, 0.05, 0.02, 0.01];
+        let predictions = vec![
+            true, true, true, true, false, false, false, false, false, false,
+        ];
+        let truth = vec![
+            true, true, false, true, false, false, false, false, false, false,
+        ];
+        (ScoredPool::new(scores, predictions).unwrap(), truth)
+    }
+
+    #[test]
+    fn mae_basic() {
+        assert!((mean_absolute_error(&[1.0, 2.0], &[0.0, 4.0]) - 1.5).abs() < 1e-12);
+        assert_eq!(mean_absolute_error(&[0.5], &[0.5]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mae_rejects_length_mismatch() {
+        mean_absolute_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn kl_divergence_properties() {
+        let p = [0.5, 0.3, 0.2];
+        assert!((kl_divergence(&p, &p)).abs() < 1e-15, "KL(p‖p) = 0");
+        let q = [0.4, 0.4, 0.2];
+        let d = kl_divergence(&p, &q);
+        assert!(d > 0.0);
+        // Zero q mass where p has mass → infinite divergence.
+        assert!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]).is_infinite());
+        // Zero p mass entries are ignored.
+        assert!((kl_divergence(&[1.0, 0.0], &[0.5, 0.5]) - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_quantities_match_ground_truth() {
+        let (pool, truth) = toy_pool();
+        let strata = CsfStratifier::new(3).stratify(&pool).unwrap();
+        let reference = OracleReference::compute(&pool, &strata, &truth, 0.5);
+        // True F: TP=3, FP=1, FN=0 → P=0.75, R=1 → F=6/7
+        assert!((reference.true_f_measure - 6.0 / 7.0).abs() < 1e-12);
+        assert_eq!(reference.true_pi.len(), strata.len());
+        assert!((reference.optimal_v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Perfect estimates score zero error.
+        assert_eq!(reference.pi_error(&reference.true_pi), 0.0);
+        assert_eq!(reference.v_error(&reference.optimal_v), 0.0);
+        assert!(reference.v_kl_divergence(&reference.optimal_v) < 1e-12);
+        assert_eq!(reference.f_error(6.0 / 7.0), 0.0);
+        assert!(reference.f_error(0.5) > 0.0);
+    }
+
+    #[test]
+    fn worse_estimates_score_larger_errors() {
+        let (pool, truth) = toy_pool();
+        let strata = CsfStratifier::new(3).stratify(&pool).unwrap();
+        let reference = OracleReference::compute(&pool, &strata, &truth, 0.5);
+        let slightly_off: Vec<f64> = reference.true_pi.iter().map(|&p| (p + 0.05).min(1.0)).collect();
+        let badly_off: Vec<f64> = reference.true_pi.iter().map(|&p| (p + 0.3).min(1.0)).collect();
+        assert!(reference.pi_error(&slightly_off) < reference.pi_error(&badly_off));
+        let uniform = vec![1.0 / strata.len() as f64; strata.len()];
+        assert!(reference.v_kl_divergence(&uniform) > 0.0);
+    }
+}

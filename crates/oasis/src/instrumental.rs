@@ -1,0 +1,232 @@
+//! Instrumental (proposal) distributions for importance sampling.
+//!
+//! The asymptotically optimal instrumental distribution for F-measure
+//! estimation (paper Eqn. 5) concentrates sampling effort where it most
+//! reduces the estimator's asymptotic variance.  Because it depends on the
+//! unknown true F-measure and oracle probabilities, OASIS evaluates it with
+//! plug-in estimates over strata (Sec. 4.2.3) and mixes in an ε fraction of
+//! the underlying distribution to guarantee every stratum retains non-zero
+//! mass — the ε-greedy distribution of Eqn. 6/12 that makes the estimator
+//! consistent (Theorem 3 and Remark 5).
+//!
+//! The same pointwise formula is also used by the *static* importance sampler
+//! of Sawade et al. (the `IS` baseline), which plugs in similarity scores once
+//! and never adapts.
+
+/// Un-normalised pointwise value of the asymptotically optimal instrumental
+/// distribution (paper Eqn. 5) for an item with
+/// * `prediction` — the ER system's predicted label `ℓ̂(z)`,
+/// * `oracle_probability` — (an estimate of) `p(1|z)`,
+/// * `f_measure` — (an estimate of) the true `F_α`,
+/// * `alpha` — the F-measure weight.
+///
+/// The caller multiplies by the underlying mass `p(z)` (or the stratum weight
+/// `ω_k`) and normalises over the pool/strata.
+pub fn optimal_mass(prediction: bool, oracle_probability: f64, f_measure: f64, alpha: f64) -> f64 {
+    let p1 = oracle_probability.clamp(0.0, 1.0);
+    let f = f_measure.clamp(0.0, 1.0);
+    if prediction {
+        // ℓ̂(z) = 1 branch: sqrt(α²F²(1 − p) + (1 − F)² p)
+        (alpha * alpha * f * f * (1.0 - p1) + (1.0 - f) * (1.0 - f) * p1).sqrt()
+    } else {
+        // ℓ̂(z) = 0 branch: (1 − α) F sqrt(p)
+        (1.0 - alpha) * f * p1.sqrt()
+    }
+}
+
+/// The stratified asymptotically optimal instrumental distribution `v*`
+/// (paper Sec. 4.2.3), **normalised to sum to one**.
+///
+/// * `weights` — stratum weights `ω_k = |P_k| / N`,
+/// * `mean_predictions` — per-stratum mean predicted label `λ_k`,
+/// * `pi_estimates` — per-stratum oracle-probability estimates `π̂_k`,
+/// * `f_estimate` — current F-measure estimate,
+/// * `alpha` — F-measure weight.
+///
+/// If every un-normalised mass is zero (possible early on when `F̂ = 0` and no
+/// stratum is predicted positive) the function falls back to the stratum
+/// weights, which is the natural "no information" proposal.
+pub fn stratified_optimal(
+    weights: &[f64],
+    mean_predictions: &[f64],
+    pi_estimates: &[f64],
+    f_estimate: f64,
+    alpha: f64,
+) -> Vec<f64> {
+    debug_assert_eq!(weights.len(), mean_predictions.len());
+    debug_assert_eq!(weights.len(), pi_estimates.len());
+    let f = f_estimate.clamp(0.0, 1.0);
+    let mut v: Vec<f64> = weights
+        .iter()
+        .zip(mean_predictions.iter())
+        .zip(pi_estimates.iter())
+        .map(|((&w, &lambda), &pi)| {
+            let pi = pi.clamp(0.0, 1.0);
+            let negative_branch = (1.0 - alpha) * (1.0 - lambda) * f * pi.sqrt();
+            let positive_branch = lambda
+                * (alpha * alpha * f * f * (1.0 - pi) + (1.0 - f) * (1.0 - f) * pi).sqrt();
+            w * (negative_branch + positive_branch)
+        })
+        .collect();
+    let total: f64 = v.iter().sum();
+    if total > 0.0 && total.is_finite() {
+        for value in &mut v {
+            *value /= total;
+        }
+        v
+    } else {
+        normalise_or_uniform(weights)
+    }
+}
+
+/// Mix a target distribution with the underlying distribution:
+/// `q = ε·p + (1 − ε)·q*` (paper Eqn. 6/12).  Both inputs must already be
+/// normalised; the output is normalised by construction.
+pub fn epsilon_greedy(underlying: &[f64], optimal: &[f64], epsilon: f64) -> Vec<f64> {
+    debug_assert_eq!(underlying.len(), optimal.len());
+    underlying
+        .iter()
+        .zip(optimal.iter())
+        .map(|(&p, &q)| epsilon * p + (1.0 - epsilon) * q)
+        .collect()
+}
+
+/// Normalise a non-negative vector to sum to one, falling back to the uniform
+/// distribution when the total mass is zero or non-finite.
+pub fn normalise_or_uniform(mass: &[f64]) -> Vec<f64> {
+    let total: f64 = mass.iter().sum();
+    if total > 0.0 && total.is_finite() {
+        mass.iter().map(|&m| m / total).collect()
+    } else {
+        vec![1.0 / mass.len() as f64; mass.len()]
+    }
+}
+
+/// The pointwise asymptotically optimal instrumental distribution over a whole
+/// pool, as used by the static IS baseline of Sawade et al.: plug similarity
+/// scores (squashed to `[0, 1]`) in place of the oracle probabilities, and an
+/// initial F-measure guess in place of the true value.  Returns a normalised
+/// probability vector over pool items.
+pub fn pointwise_optimal(
+    predictions: &[bool],
+    probabilities: &[f64],
+    f_guess: f64,
+    alpha: f64,
+) -> Vec<f64> {
+    debug_assert_eq!(predictions.len(), probabilities.len());
+    let mass: Vec<f64> = predictions
+        .iter()
+        .zip(probabilities.iter())
+        .map(|(&pred, &p)| optimal_mass(pred, p, f_guess, alpha))
+        .collect();
+    normalise_or_uniform(&mass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_mass_zero_when_no_signal() {
+        // A predicted non-match with zero oracle probability contributes nothing
+        // to the F-measure and gets zero optimal mass (Remark 5 motivation).
+        assert_eq!(optimal_mass(false, 0.0, 0.5, 0.5), 0.0);
+        // A predicted match always has positive mass when F < 1.
+        assert!(optimal_mass(true, 0.0, 0.5, 0.5) > 0.0);
+    }
+
+    #[test]
+    fn optimal_mass_matches_formula() {
+        let alpha: f64 = 0.5;
+        let f: f64 = 0.6;
+        let p: f64 = 0.3;
+        let expected_pos = (alpha * alpha * f * f * (1.0 - p) + (1.0 - f) * (1.0 - f) * p).sqrt();
+        let expected_neg = (1.0 - alpha) * f * p.sqrt();
+        assert!((optimal_mass(true, p, f, alpha) - expected_pos).abs() < 1e-15);
+        assert!((optimal_mass(false, p, f, alpha) - expected_neg).abs() < 1e-15);
+    }
+
+    #[test]
+    fn optimal_mass_clamps_out_of_range_inputs() {
+        let clean = optimal_mass(true, 1.0, 1.0, 0.5);
+        let dirty = optimal_mass(true, 1.7, 1.3, 0.5);
+        assert!((clean - dirty).abs() < 1e-15);
+        assert!(optimal_mass(false, -0.5, 0.5, 0.5) >= 0.0);
+    }
+
+    #[test]
+    fn stratified_optimal_is_a_distribution() {
+        let weights = [0.7, 0.2, 0.1];
+        let lambdas = [0.0, 0.5, 1.0];
+        let pis = [0.01, 0.4, 0.95];
+        let v = stratified_optimal(&weights, &lambdas, &pis, 0.6, 0.5);
+        let total: f64 = v.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(v.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn stratified_optimal_prefers_informative_strata() {
+        // A small stratum full of predicted matches with uncertain labels should
+        // receive far more mass per item than a big stratum of confident
+        // non-matches.
+        let weights = [0.95, 0.05];
+        let lambdas = [0.0, 1.0];
+        let pis = [0.001, 0.5];
+        let v = stratified_optimal(&weights, &lambdas, &pis, 0.5, 0.5);
+        let per_item_0 = v[0] / weights[0];
+        let per_item_1 = v[1] / weights[1];
+        assert!(
+            per_item_1 > 5.0 * per_item_0,
+            "per-item mass: uncertain-match stratum {per_item_1} vs non-match stratum {per_item_0}"
+        );
+    }
+
+    #[test]
+    fn stratified_optimal_degenerate_falls_back_to_weights() {
+        // F̂ = 0 and no predicted positives → all optimal masses are zero.
+        let weights = [0.25, 0.75];
+        let v = stratified_optimal(&weights, &[0.0, 0.0], &[0.2, 0.3], 0.0, 0.5);
+        assert!((v[0] - 0.25).abs() < 1e-12);
+        assert!((v[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_greedy_keeps_all_mass_positive() {
+        let underlying = [0.5, 0.3, 0.2];
+        let optimal = [1.0, 0.0, 0.0];
+        let mixed = epsilon_greedy(&underlying, &optimal, 0.1);
+        assert!((mixed.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(mixed.iter().all(|&x| x > 0.0), "no stratum may starve: {mixed:?}");
+        assert!((mixed[1] - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_extremes_recover_components() {
+        let underlying = [0.5, 0.5];
+        let optimal = [0.9, 0.1];
+        let explore = epsilon_greedy(&underlying, &optimal, 1.0);
+        let exploit = epsilon_greedy(&underlying, &optimal, 0.0);
+        assert_eq!(explore, underlying.to_vec());
+        assert_eq!(exploit, optimal.to_vec());
+    }
+
+    #[test]
+    fn normalise_or_uniform_handles_zero_and_nan() {
+        assert_eq!(normalise_or_uniform(&[0.0, 0.0]), vec![0.5, 0.5]);
+        assert_eq!(normalise_or_uniform(&[f64::NAN, 1.0]).len(), 2);
+        let v = normalise_or_uniform(&[2.0, 6.0]);
+        assert!((v[0] - 0.25).abs() < 1e-12);
+        assert!((v[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pointwise_optimal_is_normalised_and_prefers_predicted_matches() {
+        let predictions = [true, false, false, false];
+        let probabilities = [0.5, 0.01, 0.02, 0.01];
+        let q = pointwise_optimal(&predictions, &probabilities, 0.5, 0.5);
+        assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(q[0] > q[1]);
+        assert!(q[0] > q[3]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Static (non-adaptive) importance sampling — the "IS" baseline of
+//! Section 6.2, after Sawade et al. (NIPS 2010).
+//!
+//! The instrumental distribution approximates the asymptotically optimal form
+//! of Eqn. 5 by plugging in the similarity scores (mapped to the unit
+//! interval) in place of the oracle probabilities, and an initial guess in
+//! place of the true F-measure.  It is fixed before any label is observed and
+//! never adapts, so its efficiency hinges entirely on how well calibrated the
+//! scores are (paper Section 6.3.2).
+//!
+//! The distribution lives over the *entire pool* of `N` items and — as in the
+//! reference implementation, which uses `numpy.random.choice` — each draw
+//! costs `O(N)`, which is what makes IS an order of magnitude slower than
+//! OASIS in the paper's Table 3.
+
+use super::{sample_categorical, Sampler, StepOutcome};
+use crate::error::{Error, Result};
+use crate::estimator::{AisEstimator, Estimate};
+use crate::instrumental::pointwise_optimal;
+use crate::oracle::Oracle;
+use crate::pool::ScoredPool;
+use rand::Rng;
+
+/// Map an arbitrary real-valued score to `(0, 1)` via the logistic function,
+/// shifted so the decision threshold `tau` maps to ½.
+pub(crate) fn logistic(score: f64, tau: f64) -> f64 {
+    1.0 / (1.0 + (-(score - tau)).exp())
+}
+
+/// Static importance sampler over the whole pool.
+#[derive(Debug, Clone)]
+pub struct ImportanceSampler {
+    /// Normalised instrumental probabilities over the pool items.
+    proposal: Vec<f64>,
+    /// Importance weights `p(z)/q(z) = (1/N)/q_i`, pre-computed.
+    weights: Vec<f64>,
+    estimator: AisEstimator,
+}
+
+impl ImportanceSampler {
+    /// Build the static IS sampler.
+    ///
+    /// * `alpha` — F-measure weight.
+    /// * `score_threshold` — decision threshold `τ` used to squash raw scores
+    ///   through the logistic function when they are not already
+    ///   probabilities.  Ignored for probability scores.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] if `alpha` lies outside `[0, 1]`.
+    pub fn new(pool: &ScoredPool, alpha: f64, score_threshold: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&alpha) || alpha.is_nan() {
+            return Err(Error::InvalidParameter {
+                name: "alpha",
+                message: format!("must be in [0, 1], got {alpha}"),
+            });
+        }
+        // Scores as stand-ins for the oracle probabilities.
+        let probabilities: Vec<f64> = if pool.scores_are_probabilities() {
+            pool.scores().to_vec()
+        } else {
+            pool.scores()
+                .iter()
+                .map(|&s| logistic(s, score_threshold))
+                .collect()
+        };
+        // Initial F-measure guess from the same plug-in quantities.
+        let f_guess = initial_f_guess(pool.predictions(), &probabilities, alpha);
+        let proposal = pointwise_optimal(pool.predictions(), &probabilities, f_guess, alpha);
+        let uniform = pool.uniform_mass();
+        let weights = proposal
+            .iter()
+            .map(|&q| if q > 0.0 { uniform / q } else { 0.0 })
+            .collect();
+        Ok(ImportanceSampler {
+            proposal,
+            weights,
+            estimator: AisEstimator::new(alpha),
+        })
+    }
+
+    /// The (normalised) static instrumental distribution over pool items.
+    pub fn proposal(&self) -> &[f64] {
+        &self.proposal
+    }
+}
+
+/// Plug-in initial guess of the F-measure from scores treated as probabilities
+/// (the same construction as paper Algorithm 2, but without strata).
+pub(crate) fn initial_f_guess(predictions: &[bool], probabilities: &[f64], alpha: f64) -> f64 {
+    let mut tp = 0.0;
+    let mut predicted = 0.0;
+    let mut actual = 0.0;
+    for (&pred, &p) in predictions.iter().zip(probabilities.iter()) {
+        let l_hat = f64::from(u8::from(pred));
+        tp += p * l_hat;
+        predicted += l_hat;
+        actual += p;
+    }
+    let denom = alpha * predicted + (1.0 - alpha) * actual;
+    if denom > 0.0 {
+        (tp / denom).clamp(0.0, 1.0)
+    } else {
+        0.5
+    }
+}
+
+impl Sampler for ImportanceSampler {
+    fn step<O: Oracle, R: Rng + ?Sized>(
+        &mut self,
+        pool: &ScoredPool,
+        oracle: &mut O,
+        rng: &mut R,
+    ) -> Result<StepOutcome> {
+        let item = sample_categorical(rng, &self.proposal);
+        let prediction = pool.prediction(item);
+        let label = oracle.query(item, rng)?;
+        let weight = self.weights[item];
+        self.estimator.observe(weight, prediction, label);
+        Ok(StepOutcome {
+            item,
+            prediction,
+            label,
+            weight,
+        })
+    }
+
+    fn estimate(&self) -> Estimate {
+        self.estimator.estimate()
+    }
+
+    fn name(&self) -> &'static str {
+        "IS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::exhaustive_measures;
+    use crate::oracle::GroundTruthOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn calibrated_pool(n: usize, match_rate: f64, seed: u64) -> (ScoredPool, Vec<bool>) {
+        use rand::Rng as _;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scores = Vec::with_capacity(n);
+        let mut predictions = Vec::with_capacity(n);
+        let mut truth = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Draw a "probability" then the label from it → perfectly calibrated.
+            let p: f64 = if rng.gen_bool(match_rate) {
+                0.5 + 0.5 * rng.gen::<f64>()
+            } else {
+                0.35 * rng.gen::<f64>()
+            };
+            let is_match = rng.gen_bool(p);
+            scores.push(p);
+            predictions.push(p > 0.5);
+            truth.push(is_match);
+        }
+        (ScoredPool::new(scores, predictions).unwrap(), truth)
+    }
+
+    #[test]
+    fn logistic_maps_threshold_to_half() {
+        assert!((logistic(2.0, 2.0) - 0.5).abs() < 1e-12);
+        assert!(logistic(10.0, 0.0) > 0.99);
+        assert!(logistic(-10.0, 0.0) < 0.01);
+    }
+
+    #[test]
+    fn initial_f_guess_bounds() {
+        let g = initial_f_guess(&[true, false], &[0.9, 0.1], 0.5);
+        assert!((0.0..=1.0).contains(&g));
+        // No predictions and no probability mass → fallback ½.
+        assert_eq!(initial_f_guess(&[false], &[0.0], 0.5), 0.5);
+    }
+
+    #[test]
+    fn rejects_bad_alpha() {
+        let (pool, _) = calibrated_pool(50, 0.2, 1);
+        assert!(ImportanceSampler::new(&pool, -0.1, 0.0).is_err());
+        assert!(ImportanceSampler::new(&pool, 1.1, 0.0).is_err());
+        assert!(ImportanceSampler::new(&pool, f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn proposal_is_normalised_and_favours_predicted_matches() {
+        let (pool, _) = calibrated_pool(2000, 0.05, 2);
+        let sampler = ImportanceSampler::new(&pool, 0.5, 0.5).unwrap();
+        let total: f64 = sampler.proposal().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Average proposal mass on predicted matches should exceed the uniform mass.
+        let uniform = pool.uniform_mass();
+        let mut match_mass = 0.0;
+        let mut match_count = 0usize;
+        for (i, &q) in sampler.proposal().iter().enumerate() {
+            if pool.prediction(i) {
+                match_mass += q;
+                match_count += 1;
+            }
+        }
+        assert!(match_count > 0);
+        assert!(match_mass / match_count as f64 > uniform);
+    }
+
+    #[test]
+    fn converges_to_true_f_measure_with_fewer_labels_than_passive() {
+        let (pool, truth) = calibrated_pool(5000, 0.02, 3);
+        let target = exhaustive_measures(pool.predictions(), &truth, 0.5).f_measure;
+
+        // Run IS and passive with the same modest label budget; IS should land closer.
+        let budget = 400;
+        let repeats = 20;
+        let mut is_err = 0.0;
+        let mut passive_err = 0.0;
+        for r in 0..repeats {
+            let mut oracle = GroundTruthOracle::new(truth.clone());
+            let mut rng = StdRng::seed_from_u64(100 + r);
+            let mut is = ImportanceSampler::new(&pool, 0.5, 0.5).unwrap();
+            let est = is
+                .run_until_budget(&pool, &mut oracle, &mut rng, budget, 100_000)
+                .unwrap();
+            is_err += (est.to_measures().f_measure - target).abs();
+
+            let mut oracle = GroundTruthOracle::new(truth.clone());
+            let mut rng = StdRng::seed_from_u64(500 + r);
+            let mut passive = super::super::PassiveSampler::new(0.5);
+            let est = passive
+                .run_until_budget(&pool, &mut oracle, &mut rng, budget, 100_000)
+                .unwrap();
+            passive_err += (est.to_measures().f_measure - target).abs();
+        }
+        assert!(
+            is_err < passive_err,
+            "IS mean abs err {} should beat passive {}",
+            is_err / repeats as f64,
+            passive_err / repeats as f64
+        );
+    }
+
+    #[test]
+    fn works_with_uncalibrated_scores() {
+        use rand::Rng as _;
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 500;
+        let mut scores = Vec::with_capacity(n);
+        let mut predictions = Vec::with_capacity(n);
+        let mut truth = Vec::with_capacity(n);
+        for _ in 0..n {
+            let is_match = rng.gen_bool(0.1);
+            let margin: f64 = if is_match {
+                rng.gen::<f64>() * 3.0
+            } else {
+                -rng.gen::<f64>() * 3.0
+            };
+            scores.push(margin);
+            predictions.push(margin > 0.0);
+            truth.push(is_match);
+        }
+        let pool = ScoredPool::new(scores, predictions).unwrap();
+        let mut oracle = GroundTruthOracle::new(truth);
+        let mut sampler = ImportanceSampler::new(&pool, 0.5, 0.0).unwrap();
+        let est = sampler.run(&pool, &mut oracle, &mut rng, 500).unwrap();
+        assert!(est.f_measure.is_finite());
+        assert!(est.f_measure > 0.5, "classifier is near-perfect, estimate {}", est.f_measure);
+        assert_eq!(sampler.name(), "IS");
+    }
+}

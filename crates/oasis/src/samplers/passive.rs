@@ -1,0 +1,144 @@
+//! Passive (uniform i.i.d.) sampling — the baseline of Section 6.2.
+
+use super::{Sampler, StepOutcome};
+use crate::error::Result;
+use crate::estimator::{AisEstimator, Estimate};
+use crate::oracle::Oracle;
+use crate::pool::ScoredPool;
+use rand::Rng;
+
+/// Uniform-with-replacement sampler with the plain (unweighted) F-measure
+/// estimator of Eqn. 1.
+///
+/// This is the statistically sound but label-hungry default: under a class
+/// imbalance of `1:r` it needs on the order of `r` labels per match found, so
+/// the estimate can remain undefined for thousands of labels (paper
+/// Section 6.3.1).
+#[derive(Debug, Clone)]
+pub struct PassiveSampler {
+    estimator: AisEstimator,
+}
+
+impl PassiveSampler {
+    /// Create a passive sampler estimating the α-weighted F-measure.
+    pub fn new(alpha: f64) -> Self {
+        PassiveSampler {
+            estimator: AisEstimator::new(alpha),
+        }
+    }
+}
+
+impl Sampler for PassiveSampler {
+    fn step<O: Oracle, R: Rng + ?Sized>(
+        &mut self,
+        pool: &ScoredPool,
+        oracle: &mut O,
+        rng: &mut R,
+    ) -> Result<StepOutcome> {
+        let item = rng.gen_range(0..pool.len());
+        let prediction = pool.prediction(item);
+        let label = oracle.query(item, rng)?;
+        self.estimator.observe(1.0, prediction, label);
+        Ok(StepOutcome {
+            item,
+            prediction,
+            label,
+            weight: 1.0,
+        })
+    }
+
+    fn estimate(&self) -> Estimate {
+        self.estimator.estimate()
+    }
+
+    fn name(&self) -> &'static str {
+        "Passive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::exhaustive_measures;
+    use crate::oracle::GroundTruthOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn balanced_pool(n: usize, seed: u64) -> (ScoredPool, Vec<bool>) {
+        use rand::Rng as _;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scores = Vec::with_capacity(n);
+        let mut predictions = Vec::with_capacity(n);
+        let mut truth = Vec::with_capacity(n);
+        for _ in 0..n {
+            let is_match = rng.gen_bool(0.4);
+            let score: f64 = if is_match {
+                0.5 + 0.5 * rng.gen::<f64>()
+            } else {
+                0.5 * rng.gen::<f64>()
+            };
+            scores.push(score);
+            predictions.push(score > 0.55);
+            truth.push(is_match);
+        }
+        (ScoredPool::new(scores, predictions).unwrap(), truth)
+    }
+
+    #[test]
+    fn converges_to_true_f_measure_on_balanced_data() {
+        let (pool, truth) = balanced_pool(2000, 1);
+        let target = exhaustive_measures(pool.predictions(), &truth, 0.5).f_measure;
+        let mut oracle = GroundTruthOracle::new(truth);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sampler = PassiveSampler::new(0.5);
+        let estimate = sampler.run(&pool, &mut oracle, &mut rng, 4000).unwrap();
+        assert!(
+            (estimate.f_measure - target).abs() < 0.05,
+            "estimate {} vs target {target}",
+            estimate.f_measure
+        );
+    }
+
+    #[test]
+    fn step_outcome_is_consistent_with_pool_and_oracle() {
+        let (pool, truth) = balanced_pool(50, 3);
+        let mut oracle = GroundTruthOracle::new(truth.clone());
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sampler = PassiveSampler::new(0.5);
+        for _ in 0..100 {
+            let outcome = sampler.step(&pool, &mut oracle, &mut rng).unwrap();
+            assert!(outcome.item < pool.len());
+            assert_eq!(outcome.prediction, pool.prediction(outcome.item));
+            assert_eq!(outcome.label, truth[outcome.item]);
+            assert_eq!(outcome.weight, 1.0);
+        }
+        assert!(oracle.labels_consumed() <= 100);
+        assert_eq!(oracle.queries_issued(), 100);
+    }
+
+    #[test]
+    fn estimate_undefined_until_a_positive_is_sampled() {
+        // A pool of only true/predicted negatives keeps the F-measure undefined.
+        let pool = ScoredPool::new(vec![0.1; 10], vec![false; 10]).unwrap();
+        let mut oracle = GroundTruthOracle::new(vec![false; 10]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sampler = PassiveSampler::new(0.5);
+        sampler.run(&pool, &mut oracle, &mut rng, 20).unwrap();
+        assert!(!sampler.estimate().is_defined());
+        assert_eq!(sampler.name(), "Passive");
+    }
+
+    #[test]
+    fn run_until_budget_stops_at_budget() {
+        let (pool, truth) = balanced_pool(500, 7);
+        let mut oracle = GroundTruthOracle::new(truth);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut sampler = PassiveSampler::new(0.5);
+        sampler
+            .run_until_budget(&pool, &mut oracle, &mut rng, 50, 100_000)
+            .unwrap();
+        assert!(oracle.labels_consumed() >= 50);
+        // With-replacement sampling may overshoot by at most one label per step.
+        assert!(oracle.labels_consumed() <= 51);
+    }
+}

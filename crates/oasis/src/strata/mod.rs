@@ -1,0 +1,230 @@
+//! Stratification of the record-pair pool by similarity score.
+//!
+//! The paper (Section 4.2.1) uses stratification as a *parameter-reduction*
+//! device: instead of estimating one oracle probability `p(1|z)` per pair, it
+//! estimates one per stratum, relying on the similarity score being a good
+//! proxy for the oracle probability within a stratum.
+//!
+//! Two stratifiers are provided:
+//! * [`CsfStratifier`] — the cumulative-√F rule of Dalenius & Hodges (paper
+//!   Algorithm 1), which aims for minimal intra-stratum score variance.
+//! * [`EqualSizeStratifier`] — equal-count bins over the score order, the
+//!   alternative mentioned from Druck & McCallum.
+
+mod csf;
+mod equal_size;
+
+pub use csf::CsfStratifier;
+pub use equal_size::EqualSizeStratifier;
+
+use crate::error::{Error, Result};
+use crate::pool::ScoredPool;
+
+/// A partition of the pool into `K` disjoint strata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Strata {
+    /// `allocations[k]` lists the pool indices belonging to stratum `k`.
+    allocations: Vec<Vec<usize>>,
+    /// `assignment[i]` is the stratum index of pool item `i` (the map `κ`).
+    assignment: Vec<usize>,
+    /// Stratum weights `ω_k = |P_k| / N`.
+    weights: Vec<f64>,
+    /// Mean similarity score per stratum.
+    mean_scores: Vec<f64>,
+    /// Mean predicted label per stratum (`λ_k` in the paper).
+    mean_predictions: Vec<f64>,
+}
+
+impl Strata {
+    /// Build the stratum summary data from raw allocations.
+    ///
+    /// Empty strata are removed (paper Algorithm 1, line 19).
+    ///
+    /// # Errors
+    /// [`Error::EmptyStrata`] if every allocation is empty, or
+    /// [`Error::IndexOutOfBounds`] if an allocation references an item outside
+    /// the pool.
+    pub fn from_allocations(pool: &ScoredPool, allocations: Vec<Vec<usize>>) -> Result<Self> {
+        let non_empty: Vec<Vec<usize>> = allocations
+            .into_iter()
+            .filter(|stratum| !stratum.is_empty())
+            .collect();
+        if non_empty.is_empty() {
+            return Err(Error::EmptyStrata);
+        }
+        let n = pool.len();
+        let mut assignment = vec![usize::MAX; n];
+        let mut weights = Vec::with_capacity(non_empty.len());
+        let mut mean_scores = Vec::with_capacity(non_empty.len());
+        let mut mean_predictions = Vec::with_capacity(non_empty.len());
+        for (k, stratum) in non_empty.iter().enumerate() {
+            let mut score_sum = 0.0;
+            let mut pred_sum = 0.0;
+            for &index in stratum {
+                if index >= n {
+                    return Err(Error::IndexOutOfBounds { index, len: n });
+                }
+                assignment[index] = k;
+                score_sum += pool.score(index);
+                pred_sum += f64::from(u8::from(pool.prediction(index)));
+            }
+            let size = stratum.len() as f64;
+            weights.push(size / n as f64);
+            mean_scores.push(score_sum / size);
+            mean_predictions.push(pred_sum / size);
+        }
+        Ok(Strata {
+            allocations: non_empty,
+            assignment,
+            weights,
+            mean_scores,
+            mean_predictions,
+        })
+    }
+
+    /// Number of strata `K`.
+    pub fn len(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// Whether there are zero strata (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.allocations.is_empty()
+    }
+
+    /// Pool indices belonging to stratum `k`.
+    pub fn members(&self, k: usize) -> &[usize] {
+        &self.allocations[k]
+    }
+
+    /// Number of items in stratum `k`.
+    pub fn size(&self, k: usize) -> usize {
+        self.allocations[k].len()
+    }
+
+    /// Stratum index `κ(z)` of pool item `index`, or `None` if the item was
+    /// not allocated to any stratum (possible when stratifying a sub-pool).
+    pub fn stratum_of(&self, index: usize) -> Option<usize> {
+        match self.assignment.get(index) {
+            Some(&k) if k != usize::MAX => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Stratum weights `ω_k = |P_k| / N`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Mean similarity score of each stratum.
+    pub fn mean_scores(&self) -> &[f64] {
+        &self.mean_scores
+    }
+
+    /// Mean predicted label `λ_k` of each stratum.
+    pub fn mean_predictions(&self) -> &[f64] {
+        &self.mean_predictions
+    }
+
+    /// Compute the true per-stratum match rate given full ground truth.  Used
+    /// only for diagnostics (paper Figure 4), never by the samplers.
+    pub fn true_match_rates(&self, truth: &[bool]) -> Vec<f64> {
+        self.allocations
+            .iter()
+            .map(|stratum| {
+                let matches = stratum.iter().filter(|&&i| truth[i]).count();
+                matches as f64 / stratum.len() as f64
+            })
+            .collect()
+    }
+}
+
+/// A strategy for partitioning a pool into strata based on similarity scores.
+pub trait Stratifier {
+    /// Partition `pool` into (approximately) the configured number of strata.
+    fn stratify(&self, pool: &ScoredPool) -> Result<Strata>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> ScoredPool {
+        ScoredPool::new(
+            vec![0.9, 0.8, 0.7, 0.3, 0.2, 0.1],
+            vec![true, true, true, false, false, false],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_allocations_computes_summaries() {
+        let p = pool();
+        let strata =
+            Strata::from_allocations(&p, vec![vec![0, 1, 2], vec![3, 4, 5]]).unwrap();
+        assert_eq!(strata.len(), 2);
+        assert_eq!(strata.size(0), 3);
+        assert_eq!(strata.members(1), &[3, 4, 5]);
+        assert!((strata.weights()[0] - 0.5).abs() < 1e-12);
+        assert!((strata.mean_scores()[0] - 0.8).abs() < 1e-12);
+        assert!((strata.mean_scores()[1] - 0.2).abs() < 1e-12);
+        assert!((strata.mean_predictions()[0] - 1.0).abs() < 1e-12);
+        assert!((strata.mean_predictions()[1] - 0.0).abs() < 1e-12);
+        assert_eq!(strata.stratum_of(0), Some(0));
+        assert_eq!(strata.stratum_of(5), Some(1));
+    }
+
+    #[test]
+    fn empty_strata_are_dropped() {
+        let p = pool();
+        let strata =
+            Strata::from_allocations(&p, vec![vec![], vec![0, 1], vec![], vec![2, 3, 4, 5]])
+                .unwrap();
+        assert_eq!(strata.len(), 2);
+        assert_eq!(strata.size(0), 2);
+        assert_eq!(strata.size(1), 4);
+    }
+
+    #[test]
+    fn all_empty_is_an_error() {
+        let p = pool();
+        assert_eq!(
+            Strata::from_allocations(&p, vec![vec![], vec![]]),
+            Err(Error::EmptyStrata)
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_allocation_is_an_error() {
+        let p = pool();
+        let err = Strata::from_allocations(&p, vec![vec![0, 99]]).unwrap_err();
+        assert_eq!(err, Error::IndexOutOfBounds { index: 99, len: 6 });
+    }
+
+    #[test]
+    fn unallocated_items_report_no_stratum() {
+        let p = pool();
+        let strata = Strata::from_allocations(&p, vec![vec![0, 1]]).unwrap();
+        assert_eq!(strata.stratum_of(5), None);
+        assert_eq!(strata.stratum_of(0), Some(0));
+    }
+
+    #[test]
+    fn weights_sum_to_one_when_all_items_allocated() {
+        let p = pool();
+        let strata =
+            Strata::from_allocations(&p, vec![vec![0], vec![1, 2], vec![3, 4, 5]]).unwrap();
+        let total: f64 = strata.weights().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn true_match_rates_match_ground_truth() {
+        let p = pool();
+        let strata = Strata::from_allocations(&p, vec![vec![0, 1, 2], vec![3, 4, 5]]).unwrap();
+        let truth = vec![true, true, false, false, false, false];
+        let rates = strata.true_match_rates(&truth);
+        assert!((rates[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((rates[1] - 0.0).abs() < 1e-12);
+    }
+}

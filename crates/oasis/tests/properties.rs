@@ -1,0 +1,331 @@
+//! Property-based tests of the OASIS crate's core invariants.
+
+use oasis::bayes::BetaBernoulliModel;
+use oasis::diagnostics::kl_divergence;
+use oasis::estimator::AisEstimator;
+use oasis::instrumental::{
+    epsilon_greedy, normalise_or_uniform, optimal_mass, pointwise_optimal, stratified_optimal,
+};
+use oasis::measures::{exhaustive_measures, ConfusionCounts};
+use oasis::oracle::{GroundTruthOracle, Oracle};
+use oasis::pool::ScoredPool;
+use oasis::samplers::{OasisConfig, OasisSampler, PassiveSampler, Sampler, StratifiedSampler};
+use oasis::strata::{CsfStratifier, EqualSizeStratifier, Stratifier};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a pool of (score, prediction, truth) triples with scores in [0, 1].
+fn pool_strategy(
+    min_len: usize,
+    max_len: usize,
+) -> impl Strategy<Value = (Vec<f64>, Vec<bool>, Vec<bool>)> {
+    prop::collection::vec((0.0f64..=1.0, any::<bool>(), any::<bool>()), min_len..max_len).prop_map(
+        |items| {
+            let scores = items.iter().map(|(s, _, _)| *s).collect();
+            let predictions = items.iter().map(|(_, p, _)| *p).collect();
+            let truth = items.iter().map(|(_, _, t)| *t).collect();
+            (scores, predictions, truth)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ----- measures -----
+
+    #[test]
+    fn f_measure_always_within_unit_interval(
+        (scores, predictions, truth) in pool_strategy(1, 200),
+        alpha in 0.0f64..=1.0,
+    ) {
+        let _ = scores;
+        let m = exhaustive_measures(&predictions, &truth, alpha);
+        prop_assert!((0.0..=1.0).contains(&m.f_measure));
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+    }
+
+    #[test]
+    fn f_measure_is_between_precision_and_recall(
+        (_, predictions, truth) in pool_strategy(1, 200),
+    ) {
+        let m = exhaustive_measures(&predictions, &truth, 0.5);
+        let lo = m.precision.min(m.recall);
+        let hi = m.precision.max(m.recall);
+        // F_{1/2} is the harmonic mean, hence between precision and recall
+        // (when both are defined; undefined values map to 0 and the bound
+        // still holds with slack for that edge case).
+        prop_assert!(m.f_measure <= hi + 1e-12);
+        if m.precision > 0.0 && m.recall > 0.0 {
+            prop_assert!(m.f_measure >= lo - 1e-12);
+        }
+    }
+
+    #[test]
+    fn confusion_counts_scale_invariance(
+        tp in 0.0f64..100.0, fp in 0.0f64..100.0, fn_ in 0.0f64..100.0,
+        scale in 0.1f64..10.0, alpha in 0.0f64..=1.0,
+    ) {
+        let counts = ConfusionCounts { tp, fp, fn_, tn: 5.0 };
+        let scaled = ConfusionCounts { tp: tp * scale, fp: fp * scale, fn_: fn_ * scale, tn: 5.0 * scale };
+        match (counts.f_measure(alpha), scaled.f_measure(alpha)) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+            (None, None) => {}
+            _ => prop_assert!(false, "definedness must be scale-invariant"),
+        }
+    }
+
+    // ----- estimator -----
+
+    #[test]
+    fn ais_estimator_with_unit_weights_matches_exhaustive(
+        (_, predictions, truth) in pool_strategy(1, 200),
+        alpha in 0.0f64..=1.0,
+    ) {
+        let mut est = AisEstimator::new(alpha);
+        for (&p, &t) in predictions.iter().zip(truth.iter()) {
+            est.observe(1.0, p, t);
+        }
+        let expected = exhaustive_measures(&predictions, &truth, alpha);
+        if let Some(f) = est.f_measure() {
+            prop_assert!((f - expected.f_measure).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ais_estimate_stays_in_unit_interval_for_positive_weights(
+        observations in prop::collection::vec((0.001f64..100.0, any::<bool>(), any::<bool>()), 1..300),
+        alpha in 0.0f64..=1.0,
+    ) {
+        let mut est = AisEstimator::new(alpha);
+        for &(w, p, t) in &observations {
+            est.observe(w, p, t);
+        }
+        if let Some(f) = est.f_measure() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&f), "f = {f}");
+        }
+        if let Some(p) = est.precision() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+        }
+        if let Some(r) = est.recall() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&r));
+        }
+    }
+
+    // ----- instrumental distributions -----
+
+    #[test]
+    fn optimal_mass_is_nonnegative_and_finite(
+        prediction in any::<bool>(),
+        p in -0.5f64..1.5,
+        f in -0.5f64..1.5,
+        alpha in 0.0f64..=1.0,
+    ) {
+        let mass = optimal_mass(prediction, p, f, alpha);
+        prop_assert!(mass.is_finite());
+        prop_assert!(mass >= 0.0);
+    }
+
+    #[test]
+    fn stratified_optimal_is_normalised(
+        strata in prop::collection::vec((0.01f64..1.0, 0.0f64..=1.0, 0.0f64..=1.0), 1..50),
+        f in 0.0f64..=1.0,
+        alpha in 0.0f64..=1.0,
+    ) {
+        let raw_weights: Vec<f64> = strata.iter().map(|(w, _, _)| *w).collect();
+        let weights = normalise_or_uniform(&raw_weights);
+        let lambdas: Vec<f64> = strata.iter().map(|(_, l, _)| *l).collect();
+        let pis: Vec<f64> = strata.iter().map(|(_, _, p)| *p).collect();
+        let v = stratified_optimal(&weights, &lambdas, &pis, f, alpha);
+        let total: f64 = v.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        prop_assert!(v.iter().all(|&x| x >= 0.0 && x.is_finite()));
+    }
+
+    #[test]
+    fn epsilon_greedy_lower_bounds_every_entry(
+        weights in prop::collection::vec(0.01f64..1.0, 1..50),
+        epsilon in 0.0001f64..=1.0,
+    ) {
+        let underlying = normalise_or_uniform(&weights);
+        // Adversarial optimal distribution: all mass on index 0.
+        let mut optimal = vec![0.0; underlying.len()];
+        optimal[0] = 1.0;
+        let mixed = epsilon_greedy(&underlying, &optimal, epsilon);
+        for (i, (&m, &u)) in mixed.iter().zip(underlying.iter()).enumerate() {
+            prop_assert!(m >= epsilon * u - 1e-15, "entry {i} starved");
+        }
+        let total: f64 = mixed.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pointwise_optimal_is_normalised(
+        items in prop::collection::vec((any::<bool>(), 0.0f64..=1.0), 1..200),
+        f in 0.0f64..=1.0,
+    ) {
+        let predictions: Vec<bool> = items.iter().map(|(p, _)| *p).collect();
+        let probabilities: Vec<f64> = items.iter().map(|(_, q)| *q).collect();
+        let q = pointwise_optimal(&predictions, &probabilities, f, 0.5);
+        let total: f64 = q.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    // ----- KL divergence -----
+
+    #[test]
+    fn kl_divergence_nonnegative_and_zero_on_self(
+        weights in prop::collection::vec(0.01f64..1.0, 1..50),
+    ) {
+        let p = normalise_or_uniform(&weights);
+        prop_assert!(kl_divergence(&p, &p).abs() < 1e-12);
+        let q = normalise_or_uniform(&weights.iter().rev().cloned().collect::<Vec<_>>());
+        prop_assert!(kl_divergence(&p, &q) >= -1e-12);
+    }
+
+    // ----- Bayesian model -----
+
+    #[test]
+    fn posterior_means_stay_in_unit_interval(
+        guesses in prop::collection::vec(0.0f64..=1.0, 1..30),
+        eta in 0.1f64..100.0,
+        observations in prop::collection::vec((0usize..30, any::<bool>()), 0..200),
+        decay in any::<bool>(),
+    ) {
+        let mut model = BetaBernoulliModel::from_prior_guess(&guesses, eta, decay).unwrap();
+        for &(stratum, label) in &observations {
+            if stratum < guesses.len() {
+                model.observe(stratum, label);
+            }
+        }
+        for k in 0..model.strata_count() {
+            let mean = model.posterior_mean(k);
+            prop_assert!((0.0..=1.0).contains(&mean), "stratum {k} mean {mean}");
+            prop_assert!(model.posterior_variance(k) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn posterior_mean_converges_to_empirical_rate(
+        rate_num in 0usize..=20,
+        observations in 50usize..200,
+    ) {
+        let rate = rate_num as f64 / 20.0;
+        let mut model = BetaBernoulliModel::from_prior_guess(&[0.5], 2.0, false).unwrap();
+        let positives = (observations as f64 * rate).round() as usize;
+        for i in 0..observations {
+            model.observe(0, i < positives);
+        }
+        let empirical = positives as f64 / observations as f64;
+        prop_assert!((model.posterior_mean(0) - empirical).abs() < 0.05);
+    }
+
+    // ----- stratification -----
+
+    #[test]
+    fn csf_stratification_is_a_partition(
+        (scores, predictions, _) in pool_strategy(2, 300),
+        k in 1usize..40,
+    ) {
+        let pool = ScoredPool::new(scores, predictions).unwrap();
+        let strata = CsfStratifier::new(k).stratify(&pool).unwrap();
+        let mut seen = vec![false; pool.len()];
+        for s in 0..strata.len() {
+            for &i in strata.members(s) {
+                prop_assert!(!seen[i], "item {i} in two strata");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some item unallocated");
+        prop_assert!(strata.len() <= k);
+        let weight_sum: f64 = strata.weights().iter().sum();
+        prop_assert!((weight_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_size_stratification_is_balanced_partition(
+        (scores, predictions, _) in pool_strategy(2, 300),
+        k in 1usize..40,
+    ) {
+        let pool = ScoredPool::new(scores, predictions).unwrap();
+        let strata = EqualSizeStratifier::new(k).stratify(&pool).unwrap();
+        let sizes: Vec<usize> = (0..strata.len()).map(|s| strata.size(s)).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "sizes {sizes:?}");
+        prop_assert_eq!(sizes.iter().sum::<usize>(), pool.len());
+    }
+
+    // ----- samplers -----
+
+    #[test]
+    fn oasis_importance_weights_are_bounded_by_one_over_epsilon(
+        (scores, predictions, truth) in pool_strategy(5, 150),
+        epsilon in 0.01f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let pool = ScoredPool::new(scores, predictions).unwrap();
+        let mut oracle = GroundTruthOracle::new(truth);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = OasisConfig::default()
+            .with_strata_count(5)
+            .with_epsilon(epsilon);
+        let mut sampler = OasisSampler::new(&pool, config).unwrap();
+        for _ in 0..30 {
+            let outcome = sampler.step(&pool, &mut oracle, &mut rng).unwrap();
+            // w = ω_k / v_k ≤ ω_k / (ε ω_k) = 1/ε  (paper, proof of Theorem 3)
+            prop_assert!(outcome.weight <= 1.0 / epsilon + 1e-9,
+                "weight {} exceeds 1/ε = {}", outcome.weight, 1.0 / epsilon);
+            prop_assert!(outcome.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn samplers_never_exceed_pool_bounds_and_respect_budget_accounting(
+        (scores, predictions, truth) in pool_strategy(3, 100),
+        seed in any::<u64>(),
+    ) {
+        let pool = ScoredPool::new(scores, predictions).unwrap();
+        let n = pool.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let mut oracle = GroundTruthOracle::new(truth.clone());
+        let mut passive = PassiveSampler::new(0.5);
+        let mut stratified = StratifiedSampler::new(&pool, 0.5, 5).unwrap();
+        let mut oasis = OasisSampler::new(&pool, OasisConfig::default().with_strata_count(5)).unwrap();
+        for _ in 0..40 {
+            let a = passive.step(&pool, &mut oracle, &mut rng).unwrap();
+            let b = stratified.step(&pool, &mut oracle, &mut rng).unwrap();
+            let c = oasis.step(&pool, &mut oracle, &mut rng).unwrap();
+            prop_assert!(a.item < n && b.item < n && c.item < n);
+        }
+        // Budget accounting: distinct labels ≤ min(pool size, total queries).
+        prop_assert!(oracle.labels_consumed() <= n);
+        prop_assert!(oracle.labels_consumed() <= oracle.queries_issued());
+        prop_assert_eq!(oracle.queries_issued(), 120);
+    }
+
+    #[test]
+    fn exhausting_the_pool_recovers_exact_measures_for_oasis(
+        (scores, predictions, truth) in pool_strategy(3, 60),
+        seed in any::<u64>(),
+    ) {
+        // With enough iterations on a small pool every item gets labelled; the
+        // OASIS estimate must then be close to the exact pool F-measure
+        // (consistency, Theorem 3, in its finite-pool form).
+        let pool = ScoredPool::new(scores, predictions.clone()).unwrap();
+        let target = exhaustive_measures(&predictions, &truth, 0.5);
+        let mut oracle = GroundTruthOracle::new(truth);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = OasisConfig::default().with_strata_count(4).with_epsilon(0.2);
+        let mut sampler = OasisSampler::new(&pool, config).unwrap();
+        let iterations = pool.len() * 400;
+        let est = sampler.run(&pool, &mut oracle, &mut rng, iterations).unwrap();
+        if target.f_measure > 0.0 {
+            prop_assert!((est.to_measures().f_measure - target.f_measure).abs() < 0.25,
+                "estimate {} vs target {}", est.to_measures().f_measure, target.f_measure);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Cross-crate integration tests: the full pipeline from synthetic data
+//! generation through classification to OASIS evaluation.
+
+use classifiers::{Classifier, LinearSvm, LogisticRegression, PlattScaler, TrainingSet};
+use er_core::datasets::corruption::CorruptionConfig;
+use er_core::datasets::generator::{GeneratorConfig, SyntheticDataset};
+use er_core::datasets::vocabulary::EntityKind;
+use er_core::datasets::{DatasetProfile, DirectPoolModel};
+use er_core::pool_builder::PoolBuilder;
+use oasis::measures::exhaustive_measures;
+use oasis::oracle::{GroundTruthOracle, NoisyOracle, Oracle};
+use oasis::samplers::{
+    ImportanceSampler, OasisConfig, OasisSampler, PassiveSampler, Sampler, StratifiedSampler,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build a full pipeline pool: records → features → trained L-SVM → scores.
+fn pipeline_pool(seed: u64) -> (oasis::ScoredPool, Vec<bool>, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = SyntheticDataset::generate(
+        GeneratorConfig {
+            kind: EntityKind::Product,
+            source_a_size: 150,
+            source_b_size: 150,
+            match_count: 30,
+            corruption: CorruptionConfig::moderate(),
+            deduplication: false,
+            dedup_cluster_size: 0,
+        },
+        &mut rng,
+    );
+    let builder = PoolBuilder::fit(&dataset);
+    let (features, labels) = builder.feature_matrix(&dataset);
+    let training = TrainingSet::new(features, labels).balanced_subsample(30, &mut rng);
+    let svm = LinearSvm::train(&training, &mut rng);
+    let labelled = builder.build_pool(&dataset, |f| svm.score(f), 0.0);
+    let target = exhaustive_measures(labelled.pool.predictions(), &labelled.truth, 0.5).f_measure;
+    (labelled.pool, labelled.truth, target)
+}
+
+#[test]
+fn full_pipeline_oasis_estimate_approaches_exhaustive_truth() {
+    let (pool, truth, target) = pipeline_pool(1);
+    assert!(target > 0.0, "the trained classifier must find some matches");
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut oracle = GroundTruthOracle::new(truth);
+    let mut sampler = OasisSampler::new(
+        &pool,
+        OasisConfig::default().with_strata_count(20).with_score_threshold(0.0),
+    )
+    .unwrap();
+    sampler
+        .run_until_budget(&pool, &mut oracle, &mut rng, 2500, 2_000_000)
+        .unwrap();
+    let estimate = sampler.estimate();
+    assert!(
+        (estimate.f_measure - target).abs() < 0.12,
+        "OASIS estimate {:.3} vs exhaustive {:.3}",
+        estimate.f_measure,
+        target
+    );
+    // Budget accounting is honest: distinct labels never exceed the pool size.
+    assert!(oracle.labels_consumed() <= pool.len());
+}
+
+#[test]
+fn all_four_methods_converge_on_the_same_pipeline_pool() {
+    let (pool, truth, target) = pipeline_pool(3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let budget = pool.len(); // enough to label everything if needed
+
+    let estimates: Vec<(&str, f64)> = {
+        let mut results = Vec::new();
+
+        let mut oracle = GroundTruthOracle::new(truth.clone());
+        let mut passive = PassiveSampler::new(0.5);
+        passive
+            .run_until_budget(&pool, &mut oracle, &mut rng, budget, 500_000)
+            .unwrap();
+        results.push(("passive", passive.estimate().to_measures().f_measure));
+
+        let mut oracle = GroundTruthOracle::new(truth.clone());
+        let mut stratified = StratifiedSampler::new(&pool, 0.5, 20).unwrap();
+        stratified
+            .run_until_budget(&pool, &mut oracle, &mut rng, budget, 500_000)
+            .unwrap();
+        results.push(("stratified", stratified.estimate().to_measures().f_measure));
+
+        let mut oracle = GroundTruthOracle::new(truth.clone());
+        let mut is = ImportanceSampler::new(&pool, 0.5, 0.0).unwrap();
+        is.run_until_budget(&pool, &mut oracle, &mut rng, budget, 500_000)
+            .unwrap();
+        results.push(("is", is.estimate().to_measures().f_measure));
+
+        let mut oracle = GroundTruthOracle::new(truth.clone());
+        let mut oasis = OasisSampler::new(
+            &pool,
+            OasisConfig::default().with_strata_count(20).with_score_threshold(0.0),
+        )
+        .unwrap();
+        oasis
+            .run_until_budget(&pool, &mut oracle, &mut rng, budget, 500_000)
+            .unwrap();
+        results.push(("oasis", oasis.estimate().to_measures().f_measure));
+        results
+    };
+
+    for (name, estimate) in estimates {
+        assert!(
+            (estimate - target).abs() < 0.2,
+            "{name} estimate {estimate:.3} should approach the exhaustive value {target:.3}"
+        );
+    }
+}
+
+#[test]
+fn calibrated_scores_from_platt_scaling_flow_through_oasis() {
+    let (pool, truth, target) = pipeline_pool(5);
+    // Calibrate the margin scores into probabilities and rebuild the pool.
+    let mut rng = StdRng::seed_from_u64(6);
+    let scores = pool.scores().to_vec();
+    let scaler = PlattScaler::fit(&scores, &truth);
+    let calibrated: Vec<f64> = scores.iter().map(|&s| scaler.calibrate(s)).collect();
+    let calibrated_pool =
+        oasis::ScoredPool::new(calibrated, pool.predictions().to_vec()).unwrap();
+    assert!(calibrated_pool.scores_are_probabilities());
+
+    let mut oracle = GroundTruthOracle::new(truth);
+    let mut sampler =
+        OasisSampler::new(&calibrated_pool, OasisConfig::default().with_strata_count(20)).unwrap();
+    sampler
+        .run_until_budget(&calibrated_pool, &mut oracle, &mut rng, 2500, 2_000_000)
+        .unwrap();
+    assert!(
+        (sampler.estimate().f_measure - target).abs() < 0.12,
+        "estimate {:.3} vs target {:.3}",
+        sampler.estimate().f_measure,
+        target
+    );
+}
+
+#[test]
+fn direct_pool_profiles_work_with_every_sampler_and_noisy_oracles() {
+    let profile = DatasetProfile::dblp_acm();
+    let mut rng = StdRng::seed_from_u64(7);
+    let (pool, truth) = DirectPoolModel::new(profile.direct_pool_config(0.1)).generate(&mut rng);
+    let target = exhaustive_measures(pool.predictions(), &truth, 0.5).f_measure;
+
+    // Deterministic oracle.
+    let mut oracle = GroundTruthOracle::new(truth.clone());
+    let mut sampler = OasisSampler::new(&pool, OasisConfig::default()).unwrap();
+    sampler
+        .run_until_budget(&pool, &mut oracle, &mut rng, 600, 1_000_000)
+        .unwrap();
+    assert!((sampler.estimate().to_measures().f_measure - target).abs() < 0.25);
+
+    // Noisy oracle with a 2% flip rate still yields a sane, defined estimate.
+    let mut noisy = NoisyOracle::from_ground_truth(&truth, 0.02).unwrap();
+    let mut sampler = OasisSampler::new(&pool, OasisConfig::default()).unwrap();
+    sampler
+        .run_until_budget(&pool, &mut noisy, &mut rng, 600, 1_000_000)
+        .unwrap();
+    let estimate = sampler.estimate();
+    assert!(estimate.is_defined());
+    assert!((0.0..=1.0 + 1e-9).contains(&estimate.f_measure));
+}
+
+#[test]
+fn logistic_regression_scores_are_usable_without_calibration() {
+    // Probability-scored classifiers can feed OASIS directly (no logistic
+    // squashing needed because the scores are already in [0, 1]).
+    let mut rng = StdRng::seed_from_u64(8);
+    let dataset = SyntheticDataset::generate(
+        GeneratorConfig::small_linkage(EntityKind::Citation),
+        &mut rng,
+    );
+    let builder = PoolBuilder::fit(&dataset);
+    let (features, labels) = builder.feature_matrix(&dataset);
+    let training = TrainingSet::new(features, labels).balanced_subsample(12, &mut rng);
+    let lr = LogisticRegression::train(&training, &mut rng);
+    let labelled = builder.build_pool(&dataset, |f| lr.score(f), 0.5);
+    assert!(labelled.pool.scores_are_probabilities());
+
+    let mut oracle = GroundTruthOracle::new(labelled.truth.clone());
+    let mut sampler =
+        OasisSampler::new(&labelled.pool, OasisConfig::default().with_strata_count(10)).unwrap();
+    sampler
+        .run_until_budget(&labelled.pool, &mut oracle, &mut rng, 800, 1_000_000)
+        .unwrap();
+    assert!(sampler.estimate().is_defined());
+}

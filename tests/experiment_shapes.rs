@@ -1,0 +1,159 @@
+//! Integration tests asserting the qualitative *shape* of the paper's results
+//! at reduced scale: who wins, in which regimes, and by roughly how much.
+
+use experiments::curves::{method_curve, CurveConfig};
+use experiments::figure2::{run_profile, Figure2Config};
+use experiments::methods::Method;
+use experiments::pools::direct_pool;
+use experiments::table3::{run_on_pool, Table3Config};
+use er_core::datasets::DatasetProfile;
+
+/// Mean of the defined entries of a slice.
+fn mean_defined(values: &[f64]) -> f64 {
+    let defined: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if defined.is_empty() {
+        f64::NAN
+    } else {
+        defined.iter().sum::<f64>() / defined.len() as f64
+    }
+}
+
+#[test]
+fn figure2_shape_oasis_beats_passive_and_stratified_under_imbalance() {
+    // Abt-Buy-style pool at 30% scale (≈16k pairs, 15 matches).  The slow
+    // O(N)-per-draw IS baseline is exercised in the figure3 shape test; here
+    // we compare the methods whose per-step cost is O(1)/O(K) so the pool can
+    // be large enough for the comparison to be statistically meaningful.
+    let pool = direct_pool(&DatasetProfile::abt_buy(), 0.3, true, 71);
+    let config = CurveConfig {
+        checkpoints: vec![200, 500, 1000],
+        repeats: 20,
+        alpha: 0.5,
+        seed: 71,
+        threads: 4,
+    };
+    let oasis = mean_defined(&method_curve(&pool, Method::oasis(30), &config).absolute_error);
+    let passive = mean_defined(&method_curve(&pool, Method::Passive, &config).absolute_error);
+    let stratified = mean_defined(
+        &method_curve(&pool, Method::Stratified { strata: 30 }, &config).absolute_error,
+    );
+    assert!(
+        oasis < passive,
+        "OASIS mean error {oasis:.4} must beat passive {passive:.4}"
+    );
+    assert!(
+        oasis < stratified + 0.01,
+        "OASIS mean error {oasis:.4} must not lose to stratified {stratified:.4}"
+    );
+}
+
+#[test]
+fn figure2_shape_methods_tie_on_balanced_data() {
+    // tweets100k: no class imbalance → no meaningful advantage for OASIS
+    // (paper Section 6.3.1, "Balanced classes").
+    let config = Figure2Config {
+        scale: 0.05,
+        repeats: 20,
+        budget_fraction: 0.1,
+        checkpoints: 4,
+        seed: 72,
+        threads: 4,
+        datasets: vec!["tweets100k".to_string()],
+    };
+    let curves = run_profile(&DatasetProfile::tweets100k(), &config);
+    let passive = mean_defined(
+        &curves
+            .curves
+            .iter()
+            .find(|c| c.label == "Passive")
+            .unwrap()
+            .absolute_error,
+    );
+    let oasis = mean_defined(
+        &curves
+            .curves
+            .iter()
+            .find(|c| c.label.starts_with("OASIS"))
+            .unwrap()
+            .absolute_error,
+    );
+    // Both are small and close: the gap should be a fraction of the passive error.
+    assert!(passive < 0.1, "passive error should be small on balanced data: {passive}");
+    assert!(
+        (oasis - passive).abs() < 0.05,
+        "OASIS ({oasis:.4}) and passive ({passive:.4}) should be comparable on balanced data"
+    );
+}
+
+#[test]
+fn figure3_shape_calibration_matters_more_for_is_than_for_oasis() {
+    // Compare final errors with calibrated vs uncalibrated scores on DBLP-ACM.
+    let profile = DatasetProfile::dblp_acm();
+    let repeats = 15;
+    let budgets = vec![80, 160];
+    let curve_for = |calibrated: bool, method: Method, seed: u64| {
+        let pool = direct_pool(&profile, 0.05, calibrated, seed);
+        let config = CurveConfig {
+            checkpoints: budgets.clone(),
+            repeats,
+            alpha: 0.5,
+            seed,
+            threads: 4,
+        };
+        method_curve(&pool, method, &config)
+    };
+    let is_cal = mean_defined(&curve_for(true, Method::ImportanceSampling, 5).absolute_error);
+    let is_uncal = mean_defined(&curve_for(false, Method::ImportanceSampling, 5).absolute_error);
+    let oasis_cal = mean_defined(&curve_for(true, Method::oasis(60), 5).absolute_error);
+    let oasis_uncal = mean_defined(&curve_for(false, Method::oasis(60), 5).absolute_error);
+
+    let is_degradation = is_uncal - is_cal;
+    let oasis_degradation = oasis_uncal - oasis_cal;
+    assert!(
+        is_degradation > oasis_degradation - 0.005,
+        "IS should degrade at least as much as OASIS when scores are uncalibrated \
+         (IS: {is_cal:.4} → {is_uncal:.4}, OASIS: {oasis_cal:.4} → {oasis_uncal:.4})"
+    );
+    // And OASIS with uncalibrated scores should still beat IS with uncalibrated scores.
+    assert!(
+        oasis_uncal <= is_uncal + 0.01,
+        "OASIS uncal {oasis_uncal:.4} vs IS uncal {is_uncal:.4}"
+    );
+}
+
+#[test]
+fn table3_shape_is_scales_with_pool_size_oasis_does_not() {
+    // Time IS and OASIS on two pool sizes; the IS per-iteration cost should
+    // grow roughly with N while OASIS stays flat (paper Section 6.3.5).
+    let small_pool = direct_pool(&DatasetProfile::cora(), 0.02, true, 9);
+    let large_pool = direct_pool(&DatasetProfile::cora(), 0.2, true, 9);
+    let config = Table3Config {
+        scale: 0.0, // unused by run_on_pool
+        iterations: 400,
+        runs: 1,
+        seed: 10,
+    };
+    let small = run_on_pool(&small_pool, &config);
+    let large = run_on_pool(&large_pool, &config);
+    let ratio = |table: &experiments::table3::Table3, label: &str| {
+        table.row(label).unwrap().seconds_per_iteration
+    };
+    let is_growth = ratio(&large, "IS") / ratio(&small, "IS");
+    let oasis_growth = ratio(&large, "OASIS 30") / ratio(&small, "OASIS 30");
+    assert!(
+        is_growth > 3.0,
+        "IS per-iteration cost should grow with pool size (observed growth {is_growth:.1}x)"
+    );
+    assert!(
+        oasis_growth < is_growth,
+        "OASIS growth ({oasis_growth:.1}x) should be smaller than IS growth ({is_growth:.1}x)"
+    );
+    // And within the large pool, IS is the slowest method per iteration.
+    let is_time = ratio(&large, "IS");
+    for label in ["Passive", "OASIS 30", "OASIS 60", "OASIS 120", "Stratified"] {
+        assert!(
+            is_time > ratio(&large, label),
+            "IS should be slower per iteration than {label}"
+        );
+    }
+}
