@@ -39,21 +39,42 @@ fn bench_ablations(c: &mut Criterion) {
     let repeats = 20;
     let budget = 200;
 
-    println!("\nAblation: mean |F̂ − F| on Abt-Buy (scale 0.05) after {budget} labels, {repeats} repeats");
+    println!(
+        "\nAblation: mean |F̂ − F| on Abt-Buy (scale 0.05) after {budget} labels, {repeats} repeats"
+    );
     for epsilon in [1e-3, 1e-1, 1.0] {
-        let err = oasis_error(OasisConfig::default().with_epsilon(epsilon), repeats, budget);
+        let err = oasis_error(
+            OasisConfig::default().with_epsilon(epsilon),
+            repeats,
+            budget,
+        );
         println!("  epsilon = {epsilon:>5}: {err:.4}");
     }
     for strata in [10, 30, 60, 120] {
-        let err = oasis_error(OasisConfig::default().with_strata_count(strata), repeats, budget);
+        let err = oasis_error(
+            OasisConfig::default().with_strata_count(strata),
+            repeats,
+            budget,
+        );
         println!("  K = {strata:>3}: {err:.4}");
     }
     for decay in [true, false] {
-        let err = oasis_error(OasisConfig::default().with_prior_decay(decay), repeats, budget);
+        let err = oasis_error(
+            OasisConfig::default().with_prior_decay(decay),
+            repeats,
+            budget,
+        );
         println!("  prior decay = {decay}: {err:.4}");
     }
-    for (label, choice) in [("CSF", StratifierChoice::Csf), ("equal-size", StratifierChoice::EqualSize)] {
-        let err = oasis_error(OasisConfig::default().with_stratifier(choice), repeats, budget);
+    for (label, choice) in [
+        ("CSF", StratifierChoice::Csf),
+        ("equal-size", StratifierChoice::EqualSize),
+    ] {
+        let err = oasis_error(
+            OasisConfig::default().with_stratifier(choice),
+            repeats,
+            budget,
+        );
         println!("  stratifier = {label}: {err:.4}");
     }
 

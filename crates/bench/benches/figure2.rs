@@ -1,8 +1,8 @@
 //! Bench: regenerate Figure 2 (error vs label budget, all pools and methods).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use experiments::figure2::{run, run_profile, Figure2Config};
 use er_core::datasets::DatasetProfile;
+use experiments::figure2::{run, run_profile, Figure2Config};
 
 fn bench_figure2(c: &mut Criterion) {
     // One representative pool at moderate scale for the printed output.

@@ -1,8 +1,8 @@
 //! Bench: regenerate Figure 3 (calibrated vs uncalibrated scores).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use experiments::figure3::{run, run_panel, Figure3Config};
 use er_core::datasets::DatasetProfile;
+use experiments::figure3::{run, run_panel, Figure3Config};
 
 fn bench_figure3(c: &mut Criterion) {
     let config = Figure3Config {

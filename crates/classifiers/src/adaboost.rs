@@ -95,8 +95,8 @@ impl AdaBoostClassifier {
         for _ in 0..config.rounds {
             // Find the stump with minimal weighted error.
             let mut best: Option<(Stump, f64)> = None;
-            for feature in 0..d {
-                for &threshold in &candidates[feature] {
+            for (feature, thresholds) in candidates.iter().enumerate() {
+                for &threshold in thresholds {
                     for polarity in [1.0, -1.0] {
                         let stump = Stump {
                             feature,
@@ -147,10 +147,7 @@ impl AdaBoostClassifier {
 
 impl Classifier for AdaBoostClassifier {
     fn score(&self, features: &[f64]) -> f64 {
-        self.stumps
-            .iter()
-            .map(|s| s.alpha * s.vote(features))
-            .sum()
+        self.stumps.iter().map(|s| s.alpha * s.vote(features)).sum()
     }
 
     fn decision_threshold(&self) -> f64 {
@@ -202,11 +199,19 @@ mod tests {
             },
         );
         let auc_single = roc_auc(
-            &test.features.iter().map(|f| single.score(f)).collect::<Vec<_>>(),
+            &test
+                .features
+                .iter()
+                .map(|f| single.score(f))
+                .collect::<Vec<_>>(),
             &test.labels,
         );
         let auc_boosted = roc_auc(
-            &test.features.iter().map(|f| boosted.score(f)).collect::<Vec<_>>(),
+            &test
+                .features
+                .iter()
+                .map(|f| boosted.score(f))
+                .collect::<Vec<_>>(),
             &test.labels,
         );
         assert!(

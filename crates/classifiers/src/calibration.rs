@@ -218,9 +218,9 @@ mod tests {
         }
         // Check rough calibration: bucket by predicted probability.
         let test = synthetic_pair_data(3000, 0.4, 65);
-        let mut bucket_p = vec![0.0; 5];
-        let mut bucket_pos = vec![0.0; 5];
-        let mut bucket_n = vec![0usize; 5];
+        let mut bucket_p = [0.0; 5];
+        let mut bucket_pos = [0.0; 5];
+        let mut bucket_n = [0usize; 5];
         for (f, &label) in test.features.iter().zip(test.labels.iter()) {
             let p = calibrated.score(f);
             let bucket = ((p * 5.0) as usize).min(4);
@@ -244,12 +244,7 @@ mod tests {
     fn cross_validated_fit_runs_and_calibrates() {
         let data = synthetic_pair_data(600, 0.4, 66);
         let mut rng = StdRng::seed_from_u64(67);
-        let scaler = PlattScaler::fit_cross_validated(
-            &data,
-            5,
-            |fold, rng| LinearSvm::train(fold, rng),
-            &mut rng,
-        );
+        let scaler = PlattScaler::fit_cross_validated(&data, 5, LinearSvm::train, &mut rng);
         // Higher margins must map to higher probabilities.
         assert!(scaler.a > 0.0);
         assert!(scaler.calibrate(3.0) > scaler.calibrate(-3.0));
@@ -281,6 +276,6 @@ mod tests {
     fn one_fold_cross_validation_panics() {
         let data = synthetic_pair_data(50, 0.4, 70);
         let mut rng = StdRng::seed_from_u64(71);
-        PlattScaler::fit_cross_validated(&data, 1, |fold, rng| LinearSvm::train(fold, rng), &mut rng);
+        PlattScaler::fit_cross_validated(&data, 1, LinearSvm::train, &mut rng);
     }
 }

@@ -49,7 +49,11 @@ impl TrainingSet {
     /// Draw a class-balanced subsample of up to `per_class` examples per class
     /// (useful for training on heavily imbalanced pair data; the paper trains
     /// on a random subset of the dataset with ground truth).
-    pub fn balanced_subsample<R: Rng + ?Sized>(&self, per_class: usize, rng: &mut R) -> TrainingSet {
+    pub fn balanced_subsample<R: Rng + ?Sized>(
+        &self,
+        per_class: usize,
+        rng: &mut R,
+    ) -> TrainingSet {
         let mut positive_indices: Vec<usize> = Vec::new();
         let mut negative_indices: Vec<usize> = Vec::new();
         for (i, &label) in self.labels.iter().enumerate() {

@@ -152,9 +152,9 @@ mod tests {
         let test = synthetic_pair_data(3000, 0.4, 27);
         let mut rng = StdRng::seed_from_u64(28);
         let lr = LogisticRegression::train(&train, &mut rng);
-        let mut bucket_p = vec![0.0; 5];
-        let mut bucket_pos = vec![0.0; 5];
-        let mut bucket_n = vec![0usize; 5];
+        let mut bucket_p = [0.0; 5];
+        let mut bucket_pos = [0.0; 5];
+        let mut bucket_n = [0usize; 5];
         for (f, &label) in test.features.iter().zip(test.labels.iter()) {
             let p = lr.probability(f);
             let b = ((p * 5.0) as usize).min(4);

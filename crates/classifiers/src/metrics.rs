@@ -78,7 +78,10 @@ mod tests {
 
     #[test]
     fn accuracy_basic() {
-        assert_eq!(accuracy(&[true, false, true], &[true, true, true]), 2.0 / 3.0);
+        assert_eq!(
+            accuracy(&[true, false, true], &[true, true, true]),
+            2.0 / 3.0
+        );
         assert_eq!(accuracy(&[true], &[true]), 1.0);
     }
 
@@ -91,10 +94,7 @@ mod tests {
     #[test]
     fn f1_basic() {
         // TP=1, FP=1, FN=1 → F1 = 2/(2+1+1) = 0.5
-        assert_eq!(
-            f1_score(&[true, true, false], &[true, false, true]),
-            0.5
-        );
+        assert_eq!(f1_score(&[true, true, false], &[true, false, true]), 0.5);
         assert_eq!(f1_score(&[false, false], &[false, false]), 0.0);
         assert_eq!(f1_score(&[true, true], &[true, true]), 1.0);
     }

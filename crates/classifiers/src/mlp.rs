@@ -70,7 +70,11 @@ impl MlpClassifier {
         // Xavier-style initialisation.
         let init_scale = (1.0 / d.max(1) as f64).sqrt();
         let mut hidden_weights: Vec<Vec<f64>> = (0..h)
-            .map(|_| (0..d).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * init_scale).collect())
+            .map(|_| {
+                (0..d)
+                    .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * init_scale)
+                    .collect()
+            })
             .collect();
         let mut hidden_bias = vec![0.0; h];
         let mut output_weights: Vec<f64> = (0..h)
@@ -105,8 +109,8 @@ impl MlpClassifier {
                 for j in 0..h {
                     let hidden_error =
                         output_error * output_weights[j] * (1.0 - hidden_activation[j].powi(2));
-                    output_weights[j] -= eta
-                        * (output_error * hidden_activation[j] + config.l2 * output_weights[j]);
+                    output_weights[j] -=
+                        eta * (output_error * hidden_activation[j] + config.l2 * output_weights[j]);
                     for (w, &xi) in hidden_weights[j].iter_mut().zip(x.iter()) {
                         *w -= eta * (hidden_error * xi + config.l2 * *w);
                     }

@@ -64,7 +64,11 @@ impl RbfSvm {
     ///
     /// # Panics
     /// Panics if the training set is empty or `fourier_features` is zero.
-    pub fn train_with<R: Rng + ?Sized>(data: &TrainingSet, config: RbfSvmConfig, rng: &mut R) -> Self {
+    pub fn train_with<R: Rng + ?Sized>(
+        data: &TrainingSet,
+        config: RbfSvmConfig,
+        rng: &mut R,
+    ) -> Self {
         assert!(!data.is_empty(), "cannot train on an empty training set");
         assert!(
             config.fourier_features > 0,
@@ -101,12 +105,7 @@ impl RbfSvm {
         }
     }
 
-    fn map_features(
-        x: &[f64],
-        projections: &[Vec<f64>],
-        phases: &[f64],
-        scale: f64,
-    ) -> Vec<f64> {
+    fn map_features(x: &[f64], projections: &[Vec<f64>], phases: &[f64], scale: f64) -> Vec<f64> {
         projections
             .iter()
             .zip(phases.iter())
@@ -190,11 +189,19 @@ mod tests {
         );
         let linear = LinearSvm::train(&data, &mut rng2);
         let rbf_acc = accuracy(
-            &data.features.iter().map(|f| rbf.predict(f)).collect::<Vec<_>>(),
+            &data
+                .features
+                .iter()
+                .map(|f| rbf.predict(f))
+                .collect::<Vec<_>>(),
             &data.labels,
         );
         let linear_acc = accuracy(
-            &data.features.iter().map(|f| linear.predict(f)).collect::<Vec<_>>(),
+            &data
+                .features
+                .iter()
+                .map(|f| linear.predict(f))
+                .collect::<Vec<_>>(),
             &data.labels,
         );
         assert!(rbf_acc > 0.9, "RBF accuracy {rbf_acc}");
@@ -212,7 +219,10 @@ mod tests {
         assert_eq!(svm.name(), "R-SVM");
         assert!(!svm.scores_are_probabilities());
         assert_eq!(svm.decision_threshold(), 0.0);
-        assert_eq!(svm.fourier_features(), RbfSvmConfig::default().fourier_features);
+        assert_eq!(
+            svm.fourier_features(),
+            RbfSvmConfig::default().fourier_features
+        );
     }
 
     #[test]

@@ -199,7 +199,11 @@ mod tests {
             let corrupted = corrupt_text(original, &CorruptionConfig::light(), &mut rng);
             total += ngram_jaccard(original, &corrupted, 3);
         }
-        assert!(total / runs as f64 > 0.8, "mean similarity {}", total / runs as f64);
+        assert!(
+            total / runs as f64 > 0.8,
+            "mean similarity {}",
+            total / runs as f64
+        );
     }
 
     #[test]
@@ -221,7 +225,10 @@ mod tests {
                 3,
             );
         }
-        assert!(light_total > heavy_total, "light {light_total} vs heavy {heavy_total}");
+        assert!(
+            light_total > heavy_total,
+            "light {light_total} vs heavy {heavy_total}"
+        );
     }
 
     #[test]

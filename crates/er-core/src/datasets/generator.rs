@@ -127,10 +127,9 @@ impl SyntheticDataset {
                 b: b_index,
             });
         }
-        let mut next_entity_id = config.source_a_size as u64;
-        for b_index in match_count..config.source_b_size {
-            let values = kind.generate_entity(next_entity_id, rng);
-            next_entity_id += 1;
+        for (offset, b_index) in (match_count..config.source_b_size).enumerate() {
+            let entity_id = config.source_a_size as u64 + offset as u64;
+            let values = kind.generate_entity(entity_id, rng);
             source_b.push(Record::new(b_index as u64, values));
         }
         // Shuffle source B so matched records are not all at the front, then
@@ -154,7 +153,6 @@ impl SyntheticDataset {
             })
             .collect();
 
-        let mut source_a = source_a;
         let mut source_b = source_b;
         normalize_records(&schema, &mut source_a);
         normalize_records(&schema, &mut source_b);
@@ -366,11 +364,15 @@ mod tests {
     #[test]
     fn small_configs_are_valid() {
         let mut rng = StdRng::seed_from_u64(5);
-        let linkage =
-            SyntheticDataset::generate(GeneratorConfig::small_linkage(EntityKind::Product), &mut rng);
+        let linkage = SyntheticDataset::generate(
+            GeneratorConfig::small_linkage(EntityKind::Product),
+            &mut rng,
+        );
         assert!(linkage.match_count() > 0);
-        let dedup =
-            SyntheticDataset::generate(GeneratorConfig::small_dedup(EntityKind::Citation), &mut rng);
+        let dedup = SyntheticDataset::generate(
+            GeneratorConfig::small_dedup(EntityKind::Citation),
+            &mut rng,
+        );
         assert!(dedup.match_count() > 0);
         assert!(dedup.imbalance_ratio().unwrap() > 1.0);
     }

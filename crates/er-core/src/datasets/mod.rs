@@ -26,5 +26,5 @@ pub mod score_model;
 pub mod vocabulary;
 
 pub use generator::{GeneratorConfig, SyntheticDataset};
-pub use profiles::{DatasetProfile, Domain, all_profiles, profile_by_name};
+pub use profiles::{all_profiles, profile_by_name, DatasetProfile, Domain};
 pub use score_model::{DirectPoolConfig, DirectPoolModel};

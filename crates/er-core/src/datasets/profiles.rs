@@ -391,7 +391,9 @@ mod tests {
     fn generator_configs_exist_for_er_profiles_only() {
         assert!(DatasetProfile::abt_buy().generator_config(0.01).is_some());
         assert!(DatasetProfile::cora().generator_config(0.01).is_some());
-        assert!(DatasetProfile::tweets100k().generator_config(0.01).is_none());
+        assert!(DatasetProfile::tweets100k()
+            .generator_config(0.01)
+            .is_none());
     }
 
     #[test]

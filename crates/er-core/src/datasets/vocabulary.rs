@@ -18,36 +18,126 @@ pub const BRANDS: &[&str] = &[
 
 /// Product type nouns.
 pub const PRODUCT_NOUNS: &[&str] = &[
-    "camera", "printer", "laptop", "monitor", "keyboard", "headphones", "speaker", "router",
-    "tablet", "projector", "scanner", "drive", "charger", "webcam", "microphone", "dock",
+    "camera",
+    "printer",
+    "laptop",
+    "monitor",
+    "keyboard",
+    "headphones",
+    "speaker",
+    "router",
+    "tablet",
+    "projector",
+    "scanner",
+    "drive",
+    "charger",
+    "webcam",
+    "microphone",
+    "dock",
 ];
 
 /// Product qualifiers.
 pub const PRODUCT_QUALIFIERS: &[&str] = &[
-    "digital", "wireless", "compact", "portable", "professional", "ultra", "mini", "smart",
-    "premium", "classic", "advanced", "dual", "rapid", "silent", "precision", "studio",
+    "digital",
+    "wireless",
+    "compact",
+    "portable",
+    "professional",
+    "ultra",
+    "mini",
+    "smart",
+    "premium",
+    "classic",
+    "advanced",
+    "dual",
+    "rapid",
+    "silent",
+    "precision",
+    "studio",
 ];
 
 /// Description filler words for long-text fields.
 pub const DESCRIPTION_WORDS: &[&str] = &[
-    "high", "resolution", "battery", "life", "lightweight", "design", "warranty", "includes",
-    "adapter", "cable", "performance", "storage", "memory", "display", "zoom", "optical",
-    "noise", "cancelling", "ergonomic", "rechargeable", "bluetooth", "usb", "compatible",
-    "energy", "efficient", "fast", "reliable", "durable", "sleek", "modern",
+    "high",
+    "resolution",
+    "battery",
+    "life",
+    "lightweight",
+    "design",
+    "warranty",
+    "includes",
+    "adapter",
+    "cable",
+    "performance",
+    "storage",
+    "memory",
+    "display",
+    "zoom",
+    "optical",
+    "noise",
+    "cancelling",
+    "ergonomic",
+    "rechargeable",
+    "bluetooth",
+    "usb",
+    "compatible",
+    "energy",
+    "efficient",
+    "fast",
+    "reliable",
+    "durable",
+    "sleek",
+    "modern",
 ];
 
 /// Research topic words for citation titles.
 pub const TOPIC_WORDS: &[&str] = &[
-    "learning", "inference", "sampling", "estimation", "resolution", "entity", "database",
-    "query", "optimization", "distributed", "streaming", "graph", "index", "transaction",
-    "probabilistic", "adaptive", "scalable", "efficient", "approximate", "parallel", "robust",
-    "online", "incremental", "bayesian", "variational", "stochastic",
+    "learning",
+    "inference",
+    "sampling",
+    "estimation",
+    "resolution",
+    "entity",
+    "database",
+    "query",
+    "optimization",
+    "distributed",
+    "streaming",
+    "graph",
+    "index",
+    "transaction",
+    "probabilistic",
+    "adaptive",
+    "scalable",
+    "efficient",
+    "approximate",
+    "parallel",
+    "robust",
+    "online",
+    "incremental",
+    "bayesian",
+    "variational",
+    "stochastic",
 ];
 
 /// Author surnames for citations.
 pub const SURNAMES: &[&str] = &[
-    "smith", "nguyen", "garcia", "mueller", "tanaka", "kowalski", "okafor", "johansson",
-    "rossi", "petrov", "santos", "yamamoto", "haddad", "oconnor", "dubois", "larsen",
+    "smith",
+    "nguyen",
+    "garcia",
+    "mueller",
+    "tanaka",
+    "kowalski",
+    "okafor",
+    "johansson",
+    "rossi",
+    "petrov",
+    "santos",
+    "yamamoto",
+    "haddad",
+    "oconnor",
+    "dubois",
+    "larsen",
 ];
 
 /// Publication venues.
@@ -57,20 +147,35 @@ pub const VENUES: &[&str] = &[
 
 /// Restaurant name words.
 pub const RESTAURANT_WORDS: &[&str] = &[
-    "golden", "dragon", "olive", "garden", "blue", "plate", "corner", "bistro", "harbor",
-    "grill", "maple", "kitchen", "sunset", "terrace", "river", "cafe", "royal", "spice",
-    "urban", "table",
+    "golden", "dragon", "olive", "garden", "blue", "plate", "corner", "bistro", "harbor", "grill",
+    "maple", "kitchen", "sunset", "terrace", "river", "cafe", "royal", "spice", "urban", "table",
 ];
 
 /// Street names for restaurant addresses.
 pub const STREETS: &[&str] = &[
-    "main st", "oak ave", "elm st", "park blvd", "市場 st", "river rd", "hill dr", "lake view",
-    "union sq", "grand ave", "second st", "bay rd",
+    "main st",
+    "oak ave",
+    "elm st",
+    "park blvd",
+    "市場 st",
+    "river rd",
+    "hill dr",
+    "lake view",
+    "union sq",
+    "grand ave",
+    "second st",
+    "bay rd",
 ];
 
 /// Cities for restaurant listings.
 pub const CITIES: &[&str] = &[
-    "springfield", "riverton", "lakewood", "fairview", "georgetown", "clinton", "salem",
+    "springfield",
+    "riverton",
+    "lakewood",
+    "fairview",
+    "georgetown",
+    "clinton",
+    "salem",
     "madison",
 ];
 
@@ -198,7 +303,11 @@ mod tests {
     #[test]
     fn entities_match_their_schema_arity() {
         let mut rng = StdRng::seed_from_u64(1);
-        for kind in [EntityKind::Product, EntityKind::Citation, EntityKind::Restaurant] {
+        for kind in [
+            EntityKind::Product,
+            EntityKind::Citation,
+            EntityKind::Restaurant,
+        ] {
             for id in 0..20 {
                 let values = kind.generate_entity(id, &mut rng);
                 assert_eq!(values.len(), kind.schema().len());

@@ -7,9 +7,7 @@
 //! missing value on either side yields a feature of 0 for that field.
 
 use crate::record::{FieldType, FieldValue, Record, Schema};
-use crate::similarity::{
-    exact_match, ngram_jaccard, normalized_numeric_similarity, CosineTfIdf,
-};
+use crate::similarity::{exact_match, ngram_jaccard, normalized_numeric_similarity, CosineTfIdf};
 
 /// Extracts per-field similarity feature vectors for record pairs.
 #[derive(Debug, Clone)]
@@ -116,12 +114,36 @@ mod tests {
 
     fn sources() -> (Vec<Record>, Vec<Record>) {
         let a = vec![
-            record(0, "canon powershot a520", "compact digital camera four megapixel", 199.0, "canon"),
-            record(1, "hp laserjet 1020", "monochrome laser printer for home office", 129.0, "hp"),
+            record(
+                0,
+                "canon powershot a520",
+                "compact digital camera four megapixel",
+                199.0,
+                "canon",
+            ),
+            record(
+                1,
+                "hp laserjet 1020",
+                "monochrome laser printer for home office",
+                129.0,
+                "hp",
+            ),
         ];
         let b = vec![
-            record(0, "canon power shot a520", "digital camera compact 4 megapixel", 205.0, "canon"),
-            record(1, "sony mdr headphones", "over ear studio headphones", 89.0, "sony"),
+            record(
+                0,
+                "canon power shot a520",
+                "digital camera compact 4 megapixel",
+                205.0,
+                "canon",
+            ),
+            record(
+                1,
+                "sony mdr headphones",
+                "over ear studio headphones",
+                89.0,
+                "sony",
+            ),
         ];
         (a, b)
     }

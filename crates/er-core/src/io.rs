@@ -36,13 +36,15 @@ fn parse_field(cell: &str, field_type: FieldType, line: usize) -> Result<FieldVa
         return Ok(FieldValue::Missing);
     }
     match field_type {
-        FieldType::Numeric => trimmed
-            .parse::<f64>()
-            .map(FieldValue::Number)
-            .map_err(|_| ParseError::InvalidNumber {
-                line,
-                value: trimmed.to_string(),
-            }),
+        FieldType::Numeric => {
+            trimmed
+                .parse::<f64>()
+                .map(FieldValue::Number)
+                .map_err(|_| ParseError::InvalidNumber {
+                    line,
+                    value: trimmed.to_string(),
+                })
+        }
         FieldType::ShortText | FieldType::LongText | FieldType::Categorical => {
             Ok(FieldValue::Text(trimmed.to_string()))
         }

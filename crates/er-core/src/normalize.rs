@@ -15,7 +15,9 @@ pub fn normalize_text(input: &str) -> String {
     let mut last_was_space = true;
     for c in input.chars() {
         let mapped: Option<char> = match c {
-            'á' | 'à' | 'â' | 'ä' | 'ã' | 'å' | 'Á' | 'À' | 'Â' | 'Ä' | 'Ã' | 'Å' => Some('a'),
+            'á' | 'à' | 'â' | 'ä' | 'ã' | 'å' | 'Á' | 'À' | 'Â' | 'Ä' | 'Ã' | 'Å' => {
+                Some('a')
+            }
             'é' | 'è' | 'ê' | 'ë' | 'É' | 'È' | 'Ê' | 'Ë' => Some('e'),
             'í' | 'ì' | 'î' | 'ï' | 'Í' | 'Ì' | 'Î' | 'Ï' => Some('i'),
             'ó' | 'ò' | 'ô' | 'ö' | 'õ' | 'Ó' | 'Ò' | 'Ô' | 'Ö' | 'Õ' => Some('o'),
@@ -124,8 +126,14 @@ mod tests {
             ("price", FieldType::Numeric),
         ]);
         let mut records = vec![
-            Record::new(0, vec![FieldValue::Text("A!".into()), FieldValue::Number(10.0)]),
-            Record::new(1, vec![FieldValue::Text("B".into()), FieldValue::Number(30.0)]),
+            Record::new(
+                0,
+                vec![FieldValue::Text("A!".into()), FieldValue::Number(10.0)],
+            ),
+            Record::new(
+                1,
+                vec![FieldValue::Text("B".into()), FieldValue::Number(30.0)],
+            ),
             Record::new(2, vec![FieldValue::Text("C".into()), FieldValue::Missing]),
         ];
         normalize_records(&schema, &mut records);

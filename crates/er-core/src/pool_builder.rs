@@ -111,7 +111,10 @@ mod tests {
 
     fn dataset() -> SyntheticDataset {
         let mut rng = StdRng::seed_from_u64(11);
-        SyntheticDataset::generate(GeneratorConfig::small_linkage(EntityKind::Product), &mut rng)
+        SyntheticDataset::generate(
+            GeneratorConfig::small_linkage(EntityKind::Product),
+            &mut rng,
+        )
     }
 
     /// A hand-rolled score: mean of the feature vector (all features are
@@ -128,10 +131,7 @@ mod tests {
         assert_eq!(features.len(), data.pair_count());
         assert_eq!(labels.len(), data.pair_count());
         assert_eq!(features[0].len(), builder.extractor().feature_count());
-        assert_eq!(
-            labels.iter().filter(|&&l| l).count(),
-            data.match_count()
-        );
+        assert_eq!(labels.iter().filter(|&&l| l).count(), data.match_count());
     }
 
     #[test]

@@ -88,7 +88,11 @@ impl TfIdfVectorizer {
             // content as similar, otherwise dissimilar.
             return f64::from(u8::from(a == b));
         }
-        let (small, large) = if va.len() <= vb.len() { (&va, &vb) } else { (&vb, &va) };
+        let (small, large) = if va.len() <= vb.len() {
+            (&va, &vb)
+        } else {
+            (&vb, &va)
+        };
         let mut dot = 0.0;
         for (index, weight) in small {
             if let Some(other) = large.get(index) {
@@ -149,10 +153,7 @@ mod tests {
     #[test]
     fn unrelated_documents_score_low() {
         let v = TfIdfVectorizer::fit(&corpus());
-        let s = v.cosine_similarity(
-            "digital camera optical zoom",
-            "noise cancelling headphones",
-        );
+        let s = v.cosine_similarity("digital camera optical zoom", "noise cancelling headphones");
         assert!(s < 0.2, "similarity {s}");
     }
 

@@ -139,7 +139,9 @@ mod tests {
         assert!(jw > jaro);
         assert!((jw - 0.961111).abs() < 1e-3, "got {jw}");
         // No prefix → no boost.
-        assert!((jaro_winkler_similarity("abc", "xbc") - jaro_similarity("abc", "xbc")).abs() < 1e-12);
+        assert!(
+            (jaro_winkler_similarity("abc", "xbc") - jaro_similarity("abc", "xbc")).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -151,11 +153,18 @@ mod tests {
             ("same", "same"),
         ];
         for (a, b) in pairs {
-            for f in [levenshtein_similarity, jaro_similarity, jaro_winkler_similarity] {
+            for f in [
+                levenshtein_similarity,
+                jaro_similarity,
+                jaro_winkler_similarity,
+            ] {
                 let ab = f(a, b);
                 let ba = f(b, a);
                 assert!((ab - ba).abs() < 1e-12, "asymmetry on ({a:?},{b:?})");
-                assert!((0.0..=1.0).contains(&ab), "out of range on ({a:?},{b:?}): {ab}");
+                assert!(
+                    (0.0..=1.0).contains(&ab),
+                    "out of range on ({a:?},{b:?}): {ab}"
+                );
             }
         }
     }

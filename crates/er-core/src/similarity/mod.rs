@@ -12,7 +12,9 @@ mod jaccard;
 mod numeric;
 
 pub use cosine::{CosineTfIdf, TfIdfVectorizer};
-pub use edit::{jaro_similarity, jaro_winkler_similarity, levenshtein_distance, levenshtein_similarity};
+pub use edit::{
+    jaro_similarity, jaro_winkler_similarity, levenshtein_distance, levenshtein_similarity,
+};
 pub use jaccard::{ngram_jaccard, token_jaccard};
 pub use numeric::normalized_numeric_similarity;
 

@@ -12,6 +12,9 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// A named string-similarity measure under test.
+type NamedMeasure = (&'static str, fn(&str, &str) -> f64);
+
 /// A strategy over short "record-field-like" strings: words of lowercase
 /// letters and digits separated by spaces.
 fn field_text() -> impl Strategy<Value = String> {
@@ -25,7 +28,7 @@ proptest! {
 
     #[test]
     fn similarities_are_bounded_symmetric_and_reflexive(a in field_text(), b in field_text()) {
-        let measures: Vec<(&str, fn(&str, &str) -> f64)> = vec![
+        let measures: Vec<NamedMeasure> = vec![
             ("levenshtein", levenshtein_similarity),
             ("jaro", jaro_similarity),
             ("jaro_winkler", jaro_winkler_similarity),

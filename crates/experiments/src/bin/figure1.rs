@@ -7,5 +7,8 @@ fn main() {
     let scale = experiments::parse_arg(&args, "scale", 1.0f64);
     let strata = experiments::parse_arg(&args, "strata", 30usize);
     let seed = experiments::parse_arg(&args, "seed", 2017u64);
-    println!("{}", experiments::figure1::run(scale, strata, seed).render());
+    println!(
+        "{}",
+        experiments::figure1::run(scale, strata, seed).render()
+    );
 }

@@ -75,12 +75,7 @@ impl MethodCurve {
 }
 
 /// Record the estimate trajectory of one run at the requested checkpoints.
-fn run_once(
-    pool: &ExperimentPool,
-    method: Method,
-    config: &CurveConfig,
-    seed: u64,
-) -> Vec<f64> {
+fn run_once(pool: &ExperimentPool, method: Method, config: &CurveConfig, seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sampler = method
         .build(&pool.pool, config.alpha, pool.score_threshold)
@@ -166,8 +161,7 @@ pub fn method_curve(pool: &ExperimentPool, method: Method, config: &CurveConfig)
             .sum::<f64>()
             / defined as f64;
         let mean: f64 = values.iter().sum::<f64>() / defined as f64;
-        let variance: f64 =
-            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / defined as f64;
+        let variance: f64 = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / defined as f64;
         absolute_error.push(mean_abs_err);
         std_dev.push(variance.sqrt());
     }
@@ -199,7 +193,10 @@ mod tests {
     use er_core::datasets::DatasetProfile;
 
     fn small_pool() -> ExperimentPool {
-        direct_pool(&DatasetProfile::abt_buy(), 0.05, true, 7)
+        // 15% of Abt-Buy keeps the strong class imbalance but leaves enough
+        // matches (~7) that the F-estimate is defined at the early
+        // checkpoints for every repeat seed, not just lucky ones.
+        direct_pool(&DatasetProfile::abt_buy(), 0.15, true, 7)
     }
 
     #[test]
@@ -259,14 +256,7 @@ mod tests {
             threads: 1,
         };
         let sequential = method_curve(&pool, Method::Passive, &base);
-        let parallel = method_curve(
-            &pool,
-            Method::Passive,
-            &CurveConfig {
-                threads: 3,
-                ..base
-            },
-        );
+        let parallel = method_curve(&pool, Method::Passive, &CurveConfig { threads: 3, ..base });
         // Identical seeds per repeat → identical statistics regardless of threading.
         for (a, b) in sequential
             .absolute_error

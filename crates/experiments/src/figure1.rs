@@ -109,7 +109,11 @@ mod tests {
             first > last,
             "lowest-score stratum ({first}) should exceed highest-score stratum ({last})"
         );
-        assert!(figure.size_ratio() > 10.0, "size ratio {}", figure.size_ratio());
+        assert!(
+            figure.size_ratio() > 10.0,
+            "size ratio {}",
+            figure.size_ratio()
+        );
     }
 
     #[test]

@@ -122,7 +122,11 @@ impl Figure3 {
             out.push_str(&format!(
                 "\n--- {} ({}) true F1/2 = {:.3} ---\n",
                 panel.name,
-                if panel.calibrated { "calibrated" } else { "uncalibrated" },
+                if panel.calibrated {
+                    "calibrated"
+                } else {
+                    "uncalibrated"
+                },
                 panel.true_f_measure
             ));
             let mut header = vec!["Budget".to_string()];
@@ -161,14 +165,8 @@ impl Figure3 {
             seen
         };
         for name in names {
-            let calibrated = self
-                .panels
-                .iter()
-                .find(|p| p.name == name && p.calibrated);
-            let uncalibrated = self
-                .panels
-                .iter()
-                .find(|p| p.name == name && !p.calibrated);
+            let calibrated = self.panels.iter().find(|p| p.name == name && p.calibrated);
+            let uncalibrated = self.panels.iter().find(|p| p.name == name && !p.calibrated);
             if let (Some(cal), Some(uncal)) = (calibrated, uncalibrated) {
                 for (c, u) in cal.curves.iter().zip(uncal.curves.iter()) {
                     degradations.push((
@@ -205,10 +203,7 @@ mod tests {
         let names: Vec<&str> = figure.panels.iter().map(|p| p.name.as_str()).collect();
         assert!(names.contains(&"Abt-Buy"));
         assert!(names.contains(&"DBLP-ACM"));
-        assert_eq!(
-            figure.panels.iter().filter(|p| p.calibrated).count(),
-            2
-        );
+        assert_eq!(figure.panels.iter().filter(|p| p.calibrated).count(), 2);
         for panel in &figure.panels {
             assert_eq!(panel.curves.len(), 2);
             assert_eq!(panel.curves[0].label, "IS");

@@ -187,7 +187,10 @@ mod tests {
             repeats: 6,
             seed: 21,
             threads: 2,
-            classifiers: vec![ClassifierKind::LinearSvm, ClassifierKind::LogisticRegression],
+            classifiers: vec![
+                ClassifierKind::LinearSvm,
+                ClassifierKind::LogisticRegression,
+            ],
         }
     }
 

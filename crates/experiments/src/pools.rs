@@ -165,10 +165,10 @@ pub fn tune_threshold(
     candidates.extend(all.windows(2).map(|w| (w[0] + w[1]) / 2.0));
     candidates.push(all[all.len() - 1] + 1.0);
     for &threshold in &candidates {
-        let tp = positive_scores.iter().filter(|&&s| s > threshold).count() as f64
-            * weight_positive;
-        let fp = negative_scores.iter().filter(|&&s| s > threshold).count() as f64
-            * weight_negative;
+        let tp =
+            positive_scores.iter().filter(|&&s| s > threshold).count() as f64 * weight_positive;
+        let fp =
+            negative_scores.iter().filter(|&&s| s > threshold).count() as f64 * weight_negative;
         let actual_positives = pool_positives;
         let denom = alpha * (tp + fp) + (1.0 - alpha) * actual_positives;
         let f = if denom > 0.0 { tp / denom } else { 0.0 };
@@ -231,7 +231,7 @@ pub fn pipeline_pool(
     // dataset.  A class-balanced subsample keeps training fast and stable
     // under extreme imbalance.
     let full_set = TrainingSet::new(features.clone(), labels.clone());
-    let per_class = (dataset.match_count().max(10)).min(2000);
+    let per_class = dataset.match_count().clamp(10, 2000);
     let training = full_set.balanced_subsample(per_class, &mut rng);
     let classifier = train_classifier(kind, &training, &mut rng);
 
@@ -345,7 +345,10 @@ mod tests {
         let threshold = tune_threshold(&positive, &negative, 50.0, 50_000.0, 0.5);
         let fp = negative.iter().filter(|&&s| s > threshold).count();
         let tp = positive.iter().filter(|&&s| s > threshold).count();
-        assert!(tp > 30, "threshold {threshold} keeps most true positives ({tp})");
+        assert!(
+            tp > 30,
+            "threshold {threshold} keeps most true positives ({tp})"
+        );
         assert!(
             fp <= 1,
             "threshold {threshold} must exclude almost every negative (kept {fp})"

@@ -84,11 +84,15 @@ impl Table1 {
                 fmt_count(row.published_size),
                 fmt_float(row.published_imbalance, 2),
                 fmt_count(row.published_matches),
-                row.synthetic_size.map(fmt_count).unwrap_or_else(|| "direct-pool only".to_string()),
+                row.synthetic_size
+                    .map(fmt_count)
+                    .unwrap_or_else(|| "direct-pool only".to_string()),
                 row.synthetic_imbalance
                     .map(|i| fmt_float(i, 2))
                     .unwrap_or_else(|| "-".to_string()),
-                row.synthetic_matches.map(fmt_count).unwrap_or_else(|| "-".to_string()),
+                row.synthetic_matches
+                    .map(fmt_count)
+                    .unwrap_or_else(|| "-".to_string()),
             ]);
         }
         format!(

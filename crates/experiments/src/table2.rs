@@ -41,17 +41,12 @@ pub struct Table2 {
 pub fn run(scale: f64, seed: u64) -> Table2 {
     let mut rows = Vec::new();
     for profile in all_profiles() {
-        let experiment_pool = match pipeline_pool(
-            &profile,
-            scale,
-            ClassifierKind::LinearSvm,
-            false,
-            seed,
-        ) {
-            Some(result) => result.experiment_pool,
-            // tweets100k has no record-level pipeline; use the direct pool.
-            None => direct_pool(&profile, scale, true, seed),
-        };
+        let experiment_pool =
+            match pipeline_pool(&profile, scale, ClassifierKind::LinearSvm, false, seed) {
+                Some(result) => result.experiment_pool,
+                // tweets100k has no record-level pipeline; use the direct pool.
+                None => direct_pool(&profile, scale, true, seed),
+            };
         let matches = experiment_pool.truth.iter().filter(|&&t| t).count();
         let pool_size = experiment_pool.len();
         let imbalance = if matches > 0 {

@@ -143,7 +143,9 @@ impl Table3 {
         }
         format!(
             "Table 3: CPU times on the cora pool ({} pairs, {} iterations/run, {} runs)\n{}",
-            self.pool_size, self.iterations, self.runs,
+            self.pool_size,
+            self.iterations,
+            self.runs,
             table.render()
         )
     }

@@ -50,7 +50,7 @@ impl BetaBernoulliModel {
                 message: "initial probability guess must not be empty".to_string(),
             });
         }
-        if !(eta > 0.0) || !eta.is_finite() {
+        if eta <= 0.0 || !eta.is_finite() {
             return Err(Error::InvalidParameter {
                 name: "eta",
                 message: format!("prior strength must be positive and finite, got {eta}"),
@@ -97,7 +97,7 @@ impl BetaBernoulliModel {
         if gamma0
             .iter()
             .chain(gamma1.iter())
-            .any(|&g| !(g >= 0.0) || !g.is_finite())
+            .any(|&g| g < 0.0 || !g.is_finite())
         {
             return Err(Error::InvalidParameter {
                 name: "gamma",
@@ -218,8 +218,7 @@ mod tests {
     #[test]
     fn prior_decay_reduces_prior_influence() {
         let mut with_decay = BetaBernoulliModel::from_prior_guess(&[0.9], 100.0, true).unwrap();
-        let mut without_decay =
-            BetaBernoulliModel::from_prior_guess(&[0.9], 100.0, false).unwrap();
+        let mut without_decay = BetaBernoulliModel::from_prior_guess(&[0.9], 100.0, false).unwrap();
         // The data say the true rate is 0, contradicting the strong prior of 0.9.
         for _ in 0..20 {
             with_decay.observe(0, false);
@@ -253,9 +252,8 @@ mod tests {
 
     #[test]
     fn explicit_hyperparameters_round_trip() {
-        let model =
-            BetaBernoulliModel::from_hyperparameters(vec![2.0, 1.0], vec![8.0, 1.0], false)
-                .unwrap();
+        let model = BetaBernoulliModel::from_hyperparameters(vec![2.0, 1.0], vec![8.0, 1.0], false)
+            .unwrap();
         assert!((model.posterior_mean(0) - 0.2).abs() < 1e-12);
         assert!((model.posterior_mean(1) - 0.5).abs() < 1e-12);
         let (g0, g1) = model.posterior_hyperparameters(0);
@@ -269,7 +267,9 @@ mod tests {
         assert!(BetaBernoulliModel::from_prior_guess(&[0.5], f64::NAN, false).is_err());
         assert!(BetaBernoulliModel::from_prior_guess(&[1.5], 2.0, false).is_err());
         assert!(BetaBernoulliModel::from_hyperparameters(vec![], vec![], false).is_err());
-        assert!(BetaBernoulliModel::from_hyperparameters(vec![1.0], vec![1.0, 2.0], false).is_err());
+        assert!(
+            BetaBernoulliModel::from_hyperparameters(vec![1.0], vec![1.0, 2.0], false).is_err()
+        );
         assert!(BetaBernoulliModel::from_hyperparameters(vec![-1.0], vec![1.0], false).is_err());
     }
 

@@ -174,8 +174,16 @@ mod tests {
         let (pool, truth) = toy_pool();
         let strata = CsfStratifier::new(3).stratify(&pool).unwrap();
         let reference = OracleReference::compute(&pool, &strata, &truth, 0.5);
-        let slightly_off: Vec<f64> = reference.true_pi.iter().map(|&p| (p + 0.05).min(1.0)).collect();
-        let badly_off: Vec<f64> = reference.true_pi.iter().map(|&p| (p + 0.3).min(1.0)).collect();
+        let slightly_off: Vec<f64> = reference
+            .true_pi
+            .iter()
+            .map(|&p| (p + 0.05).min(1.0))
+            .collect();
+        let badly_off: Vec<f64> = reference
+            .true_pi
+            .iter()
+            .map(|&p| (p + 0.3).min(1.0))
+            .collect();
         assert!(reference.pi_error(&slightly_off) < reference.pi_error(&badly_off));
         let uniform = vec![1.0 / strata.len() as f64; strata.len()];
         assert!(reference.v_kl_divergence(&uniform) > 0.0);

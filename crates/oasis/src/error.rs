@@ -62,7 +62,10 @@ impl fmt::Display for Error {
                 "length mismatch: {scores} scores but {predictions} predictions"
             ),
             Error::NonFiniteScore { index, value } => {
-                write!(f, "similarity score at index {index} is not finite: {value}")
+                write!(
+                    f,
+                    "similarity score at index {index} is not finite: {value}"
+                )
             }
             Error::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter `{name}`: {message}")
@@ -72,7 +75,10 @@ impl fmt::Display for Error {
                 write!(f, "item index {index} out of bounds for pool of size {len}")
             }
             Error::OracleOutOfBounds { index, len } => {
-                write!(f, "oracle queried for index {index} but only knows {len} items")
+                write!(
+                    f,
+                    "oracle queried for index {index} but only knows {len} items"
+                )
             }
         }
     }
@@ -110,7 +116,10 @@ mod tests {
                 "epsilon",
             ),
             (Error::EmptyStrata, "no strata"),
-            (Error::IndexOutOfBounds { index: 9, len: 3 }, "out of bounds"),
+            (
+                Error::IndexOutOfBounds { index: 9, len: 3 },
+                "out of bounds",
+            ),
             (Error::OracleOutOfBounds { index: 9, len: 3 }, "oracle"),
         ];
         for (err, needle) in cases {

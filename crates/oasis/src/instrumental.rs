@@ -63,8 +63,8 @@ pub fn stratified_optimal(
         .map(|((&w, &lambda), &pi)| {
             let pi = pi.clamp(0.0, 1.0);
             let negative_branch = (1.0 - alpha) * (1.0 - lambda) * f * pi.sqrt();
-            let positive_branch = lambda
-                * (alpha * alpha * f * f * (1.0 - pi) + (1.0 - f) * (1.0 - f) * pi).sqrt();
+            let positive_branch =
+                lambda * (alpha * alpha * f * f * (1.0 - pi) + (1.0 - f) * (1.0 - f) * pi).sqrt();
             w * (negative_branch + positive_branch)
         })
         .collect();
@@ -197,7 +197,10 @@ mod tests {
         let optimal = [1.0, 0.0, 0.0];
         let mixed = epsilon_greedy(&underlying, &optimal, 0.1);
         assert!((mixed.iter().sum::<f64>() - 1.0).abs() < 1e-12);
-        assert!(mixed.iter().all(|&x| x > 0.0), "no stratum may starve: {mixed:?}");
+        assert!(
+            mixed.iter().all(|&x| x > 0.0),
+            "no stratum may starve: {mixed:?}"
+        );
         assert!((mixed[1] - 0.03).abs() < 1e-12);
     }
 

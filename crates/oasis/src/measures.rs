@@ -202,7 +202,10 @@ mod tests {
         assert!((r - 8.0 / 12.0).abs() < 1e-12);
         let f1 = c.f_measure(0.5).unwrap();
         let harmonic = 2.0 * p * r / (p + r);
-        assert!((f1 - harmonic).abs() < 1e-12, "F1/2 must equal the harmonic mean");
+        assert!(
+            (f1 - harmonic).abs() < 1e-12,
+            "F1/2 must equal the harmonic mean"
+        );
     }
 
     #[test]

@@ -264,7 +264,11 @@ mod tests {
         let mut sampler = ImportanceSampler::new(&pool, 0.5, 0.0).unwrap();
         let est = sampler.run(&pool, &mut oracle, &mut rng, 500).unwrap();
         assert!(est.f_measure.is_finite());
-        assert!(est.f_measure > 0.5, "classifier is near-perfect, estimate {}", est.f_measure);
+        assert!(
+            est.f_measure > 0.5,
+            "classifier is near-perfect, estimate {}",
+            est.f_measure
+        );
         assert_eq!(sampler.name(), "IS");
     }
 }

@@ -145,10 +145,7 @@ impl<S: Sampler> TrackedSampler<S> {
 
     /// A normal-approximation confidence interval at the given level, or
     /// `None` while the estimate is undefined.
-    pub fn confidence_interval(
-        &self,
-        level: f64,
-    ) -> Option<crate::confidence::ConfidenceInterval> {
+    pub fn confidence_interval(&self, level: f64) -> Option<crate::confidence::ConfidenceInterval> {
         self.tracker.confidence_interval(level)
     }
 }

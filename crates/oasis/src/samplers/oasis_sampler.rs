@@ -121,7 +121,7 @@ impl OasisConfig {
             });
         }
         if let Some(eta) = self.prior_strength {
-            if !(eta > 0.0) || !eta.is_finite() {
+            if eta <= 0.0 || !eta.is_finite() {
                 return Err(Error::InvalidParameter {
                     name: "prior_strength",
                     message: format!("must be positive and finite, got {eta}"),
@@ -217,9 +217,7 @@ impl OasisSampler {
     pub fn with_strata(pool: &ScoredPool, strata: Strata, config: OasisConfig) -> Result<Self> {
         config.validate()?;
         let init = initialise(pool, &strata, config.alpha, config.score_threshold);
-        let eta = config
-            .prior_strength
-            .unwrap_or(2.0 * strata.len() as f64);
+        let eta = config.prior_strength.unwrap_or(2.0 * strata.len() as f64);
         let model = BetaBernoulliModel::from_prior_guess(&init.pi_guess, eta, config.decay_prior)?;
         let estimator = AisEstimator::new(config.alpha);
         let k = strata.len();
@@ -419,13 +417,17 @@ mod tests {
     #[test]
     fn proposal_is_a_distribution_with_no_starving_stratum() {
         let (pool, _) = imbalanced_pool(2000, 0.02, 23, true);
-        let sampler = OasisSampler::new(&pool, OasisConfig::default().with_strata_count(20)).unwrap();
+        let sampler =
+            OasisSampler::new(&pool, OasisConfig::default().with_strata_count(20)).unwrap();
         let v = sampler.compute_proposal();
         assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // ε-greedy guarantees every stratum keeps at least ε·ω_k mass.
         for (k, &mass) in v.iter().enumerate() {
             let floor = sampler.config().epsilon * sampler.strata().weights()[k];
-            assert!(mass >= floor - 1e-15, "stratum {k} starved: {mass} < {floor}");
+            assert!(
+                mass >= floor - 1e-15,
+                "stratum {k} starved: {mass} < {floor}"
+            );
         }
     }
 

@@ -132,8 +132,9 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn imbalanced_pool(n: usize, seed: u64) -> ScoredPool {
-        // Heavy-tailed score distribution typical of ER: most scores near 0, a
-        // small cluster near 1.
+        // Heavy-tailed score distribution typical of ER: score density piles
+        // up toward 0 (squaring a uniform draw skews it low), plus a small
+        // cluster near 1.
         let mut rng = StdRng::seed_from_u64(seed);
         let mut scores = Vec::with_capacity(n);
         let mut predictions = Vec::with_capacity(n);
@@ -142,7 +143,7 @@ mod tests {
             let s: f64 = if is_matchy {
                 0.7 + 0.3 * rng.gen::<f64>()
             } else {
-                0.3 * rng.gen::<f64>()
+                0.3 * rng.gen::<f64>().powi(2)
             };
             scores.push(s);
             predictions.push(s > 0.5);
@@ -242,11 +243,8 @@ mod tests {
 
     #[test]
     fn more_strata_than_items_degrades_gracefully() {
-        let pool = ScoredPool::new(
-            vec![0.1, 0.2, 0.9, 0.95],
-            vec![false, false, true, true],
-        )
-        .unwrap();
+        let pool =
+            ScoredPool::new(vec![0.1, 0.2, 0.9, 0.95], vec![false, false, true, true]).unwrap();
         let strata = CsfStratifier::new(50).stratify(&pool).unwrap();
         assert!(strata.len() <= 4);
         let allocated: usize = (0..strata.len()).map(|k| strata.size(k)).sum();

@@ -160,8 +160,7 @@ mod tests {
     #[test]
     fn from_allocations_computes_summaries() {
         let p = pool();
-        let strata =
-            Strata::from_allocations(&p, vec![vec![0, 1, 2], vec![3, 4, 5]]).unwrap();
+        let strata = Strata::from_allocations(&p, vec![vec![0, 1, 2], vec![3, 4, 5]]).unwrap();
         assert_eq!(strata.len(), 2);
         assert_eq!(strata.size(0), 3);
         assert_eq!(strata.members(1), &[3, 4, 5]);

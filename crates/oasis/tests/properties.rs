@@ -20,14 +20,16 @@ fn pool_strategy(
     min_len: usize,
     max_len: usize,
 ) -> impl Strategy<Value = (Vec<f64>, Vec<bool>, Vec<bool>)> {
-    prop::collection::vec((0.0f64..=1.0, any::<bool>(), any::<bool>()), min_len..max_len).prop_map(
-        |items| {
-            let scores = items.iter().map(|(s, _, _)| *s).collect();
-            let predictions = items.iter().map(|(_, p, _)| *p).collect();
-            let truth = items.iter().map(|(_, _, t)| *t).collect();
-            (scores, predictions, truth)
-        },
+    prop::collection::vec(
+        (0.0f64..=1.0, any::<bool>(), any::<bool>()),
+        min_len..max_len,
     )
+    .prop_map(|items| {
+        let scores = items.iter().map(|(s, _, _)| *s).collect();
+        let predictions = items.iter().map(|(_, p, _)| *p).collect();
+        let truth = items.iter().map(|(_, _, t)| *t).collect();
+        (scores, predictions, truth)
+    })
 }
 
 proptest! {

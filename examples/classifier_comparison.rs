@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example classifier_comparison`
 
-use experiments::pools::{pipeline_pool, ClassifierKind};
 use er_core::datasets::DatasetProfile;
+use experiments::pools::{pipeline_pool, ClassifierKind};
 use oasis::oracle::{GroundTruthOracle, Oracle};
 use oasis::samplers::{OasisConfig, OasisSampler, Sampler};
 use rand::rngs::StdRng;

@@ -9,10 +9,10 @@
 //!
 //! Run with: `cargo run --release --example crowdsourcing_budget`
 
+use er_core::datasets::DatasetProfile;
 use experiments::curves::{compare_methods, CurveConfig};
 use experiments::methods::Method;
 use experiments::pools::direct_pool;
-use er_core::datasets::DatasetProfile;
 use oasis::oracle::{NoisyOracle, Oracle};
 use oasis::samplers::{OasisConfig, OasisSampler, Sampler};
 use rand::rngs::StdRng;
@@ -44,7 +44,10 @@ fn main() {
     ];
     let curves = compare_methods(&pool, &methods, &config);
 
-    println!("Expected |F̂ − F| by label budget (averaged over {} repeats):", config.repeats);
+    println!(
+        "Expected |F̂ − F| by label budget (averaged over {} repeats):",
+        config.repeats
+    );
     print!("{:>10}", "budget");
     for curve in &curves {
         print!("{:>12}", curve.label);

@@ -79,7 +79,13 @@ fn main() {
     )
     .expect("valid configuration");
     sampler
-        .run_until_budget(&labelled_pool.pool, &mut oracle, &mut rng, budget, 1_000_000)
+        .run_until_budget(
+            &labelled_pool.pool,
+            &mut oracle,
+            &mut rng,
+            budget,
+            1_000_000,
+        )
         .expect("sampling succeeds");
     let estimate = sampler.estimate();
     println!(

@@ -1,0 +1,19 @@
+//! Umbrella crate for the OASIS reproduction workspace.
+//!
+//! This package exists to own the workspace-level integration tests
+//! (`tests/end_to_end.rs`, `tests/experiment_shapes.rs`) and the runnable
+//! `examples/`. The substance lives in the member crates:
+//!
+//! * [`er_core`] — entity-resolution substrate (records, similarity, blocking,
+//!   synthetic datasets, pool building).
+//! * [`classifiers`] — from-scratch classifiers used as the ER systems under
+//!   evaluation.
+//! * [`oasis`] — the OASIS adaptive importance sampler and its baselines.
+//! * [`experiments`] — figure/table reproduction drivers.
+
+#![warn(missing_docs)]
+
+pub use classifiers;
+pub use er_core;
+pub use experiments;
+pub use oasis;

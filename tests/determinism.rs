@@ -1,0 +1,81 @@
+//! Deterministic-seed regression tests: a fixed seed on a fixed pool must
+//! reproduce the same estimates run after run, guarding against silent
+//! RNG-stream drift (a re-seeded generator, a reordered draw, a changed
+//! stratification tie-break all show up here as a loud failure).
+
+use er_core::datasets::score_model::{DirectPoolConfig, DirectPoolModel};
+use oasis::oracle::GroundTruthOracle;
+use oasis::samplers::{OasisConfig, OasisSampler, Sampler};
+use oasis::Estimate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The fixed synthetic pool every run of these tests evaluates against.
+fn fixed_pool() -> (oasis::ScoredPool, Vec<bool>) {
+    let config = DirectPoolConfig {
+        pool_size: 4000,
+        match_count: 60,
+        match_logit_mean: 1.2,
+        non_match_logit_mean: -3.0,
+        logit_noise: 1.4,
+        decision_threshold: 0.5,
+        uncalibrated_scores: false,
+    };
+    let mut rng = StdRng::seed_from_u64(90210);
+    DirectPoolModel::new(config).generate(&mut rng)
+}
+
+/// One complete OASIS run with a fixed sampling seed.
+fn run_oasis(seed: u64) -> Estimate {
+    let (pool, truth) = fixed_pool();
+    let mut oracle = GroundTruthOracle::new(truth);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sampler =
+        OasisSampler::new(&pool, OasisConfig::default().with_strata_count(25)).unwrap();
+    sampler
+        .run_until_budget(&pool, &mut oracle, &mut rng, 700, 1_000_000)
+        .unwrap()
+}
+
+#[test]
+fn same_seed_reproduces_the_estimate_exactly() {
+    let first = run_oasis(42);
+    let second = run_oasis(42);
+    assert!(first.is_defined());
+    assert!(
+        (first.f_measure - second.f_measure).abs() <= 1e-9,
+        "same-seed F-measure drifted: {} vs {}",
+        first.f_measure,
+        second.f_measure
+    );
+    assert!((first.precision - second.precision).abs() <= 1e-9);
+    assert!((first.recall - second.recall).abs() <= 1e-9);
+}
+
+#[test]
+fn different_seeds_explore_different_streams() {
+    // Complements the reproducibility check: the seed genuinely steers the
+    // sampling path, so identical estimates cannot come from a sampler that
+    // ignores its RNG.
+    let a = run_oasis(42);
+    let b = run_oasis(43);
+    assert!(
+        (a.f_measure - b.f_measure).abs() > 0.0,
+        "two seeds produced bit-identical estimates; is the RNG being used?"
+    );
+}
+
+#[test]
+fn pinned_seed_reproduces_the_golden_estimate() {
+    // Golden value recorded when the workspace was bootstrapped. It changes
+    // only if the RNG stream, the stratification, or the sampling logic
+    // changes — all of which must be deliberate, reviewed decisions. Update
+    // the constant (and say why in the commit) if such a change is intended.
+    const GOLDEN_F_MEASURE: f64 = 0.510022036087039;
+    let estimate = run_oasis(2017);
+    assert!(
+        (estimate.f_measure - GOLDEN_F_MEASURE).abs() <= 1e-9,
+        "RNG-stream drift: golden {GOLDEN_F_MEASURE:.12} vs observed {:.12}",
+        estimate.f_measure
+    );
+}

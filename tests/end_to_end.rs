@@ -42,12 +42,17 @@ fn pipeline_pool(seed: u64) -> (oasis::ScoredPool, Vec<bool>, f64) {
 #[test]
 fn full_pipeline_oasis_estimate_approaches_exhaustive_truth() {
     let (pool, truth, target) = pipeline_pool(1);
-    assert!(target > 0.0, "the trained classifier must find some matches");
+    assert!(
+        target > 0.0,
+        "the trained classifier must find some matches"
+    );
     let mut rng = StdRng::seed_from_u64(2);
     let mut oracle = GroundTruthOracle::new(truth);
     let mut sampler = OasisSampler::new(
         &pool,
-        OasisConfig::default().with_strata_count(20).with_score_threshold(0.0),
+        OasisConfig::default()
+            .with_strata_count(20)
+            .with_score_threshold(0.0),
     )
     .unwrap();
     sampler
@@ -96,7 +101,9 @@ fn all_four_methods_converge_on_the_same_pipeline_pool() {
         let mut oracle = GroundTruthOracle::new(truth.clone());
         let mut oasis = OasisSampler::new(
             &pool,
-            OasisConfig::default().with_strata_count(20).with_score_threshold(0.0),
+            OasisConfig::default()
+                .with_strata_count(20)
+                .with_score_threshold(0.0),
         )
         .unwrap();
         oasis
@@ -122,13 +129,15 @@ fn calibrated_scores_from_platt_scaling_flow_through_oasis() {
     let scores = pool.scores().to_vec();
     let scaler = PlattScaler::fit(&scores, &truth);
     let calibrated: Vec<f64> = scores.iter().map(|&s| scaler.calibrate(s)).collect();
-    let calibrated_pool =
-        oasis::ScoredPool::new(calibrated, pool.predictions().to_vec()).unwrap();
+    let calibrated_pool = oasis::ScoredPool::new(calibrated, pool.predictions().to_vec()).unwrap();
     assert!(calibrated_pool.scores_are_probabilities());
 
     let mut oracle = GroundTruthOracle::new(truth);
-    let mut sampler =
-        OasisSampler::new(&calibrated_pool, OasisConfig::default().with_strata_count(20)).unwrap();
+    let mut sampler = OasisSampler::new(
+        &calibrated_pool,
+        OasisConfig::default().with_strata_count(20),
+    )
+    .unwrap();
     sampler
         .run_until_budget(&calibrated_pool, &mut oracle, &mut rng, 2500, 2_000_000)
         .unwrap();

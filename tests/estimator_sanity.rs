@@ -1,0 +1,114 @@
+//! Estimator-sanity tests (the paper's consistency claim, Theorem 3 / the
+//! Delyon–Portier asymptotic-optimality setting): when a pool is driven to
+//! full labelling, the terminal estimate of every sampler must agree with the
+//! exhaustively computed F-measure.
+
+use er_core::datasets::score_model::{DirectPoolConfig, DirectPoolModel};
+use oasis::measures::exhaustive_measures;
+use oasis::oracle::{GroundTruthOracle, Oracle};
+use oasis::samplers::{OasisConfig, OasisSampler, PassiveSampler, Sampler, StratifiedSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ALPHA: f64 = 0.5;
+
+/// A modest imbalanced pool, small enough to label exhaustively in-test.
+fn pool_and_truth(seed: u64) -> (oasis::ScoredPool, Vec<bool>, f64) {
+    let config = DirectPoolConfig {
+        pool_size: 1500,
+        match_count: 45,
+        match_logit_mean: 1.0,
+        non_match_logit_mean: -2.5,
+        logit_noise: 1.5,
+        decision_threshold: 0.5,
+        uncalibrated_scores: false,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (pool, truth) = DirectPoolModel::new(config).generate(&mut rng);
+    let target = exhaustive_measures(pool.predictions(), &truth, ALPHA).f_measure;
+    (pool, truth, target)
+}
+
+/// Drive a sampler toward labelling the entire pool (draws are with
+/// replacement, so this takes more iterations than pool items), then return
+/// its terminal F-measure estimate. `min_coverage` is the fraction of the
+/// pool that must end up labelled: 1.0 for the non-adaptive samplers, a
+/// whisker less for OASIS, whose ε-greedy proposal decays the uniform mass,
+/// making the last few never-drawn items astronomically rare for some seeds.
+fn terminal_estimate<S: Sampler>(
+    sampler: &mut S,
+    pool: &oasis::ScoredPool,
+    truth: &[bool],
+    seed: u64,
+    min_coverage: f64,
+) -> f64 {
+    let mut oracle = GroundTruthOracle::new(truth.to_vec());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let estimate = sampler
+        .run_until_budget(pool, &mut oracle, &mut rng, pool.len(), 5_000_000)
+        .unwrap();
+    let coverage = oracle.labels_consumed() as f64 / pool.len() as f64;
+    assert!(
+        coverage >= min_coverage,
+        "{} labelled only {:.1}% of the pool (needed {:.1}%)",
+        sampler.name(),
+        coverage * 100.0,
+        min_coverage * 100.0
+    );
+    assert!(estimate.is_defined());
+    estimate.f_measure
+}
+
+#[test]
+fn fully_labelled_estimates_converge_to_the_exhaustive_f_measure() {
+    let (pool, truth, target) = pool_and_truth(11);
+    assert!(
+        target > 0.0,
+        "degenerate pool: exhaustive F-measure is zero"
+    );
+
+    let mut passive = PassiveSampler::new(ALPHA);
+    let mut stratified = StratifiedSampler::new(&pool, ALPHA, 25).unwrap();
+    let mut oasis_sampler =
+        OasisSampler::new(&pool, OasisConfig::default().with_strata_count(25)).unwrap();
+
+    let estimates = [
+        (
+            "passive",
+            terminal_estimate(&mut passive, &pool, &truth, 21, 1.0),
+        ),
+        (
+            "stratified",
+            terminal_estimate(&mut stratified, &pool, &truth, 22, 1.0),
+        ),
+        (
+            "oasis",
+            terminal_estimate(&mut oasis_sampler, &pool, &truth, 23, 1.0),
+        ),
+    ];
+
+    for (name, estimate) in estimates {
+        assert!(
+            (estimate - target).abs() < 0.05,
+            "{name} terminal estimate {estimate:.4} should match the exhaustive \
+             F-measure {target:.4} on a fully-labelled pool"
+        );
+    }
+}
+
+#[test]
+fn consistency_holds_across_pool_seeds() {
+    // The claim is about the estimator, not one lucky pool: repeat the
+    // terminal-agreement check on three structurally different pools.
+    for pool_seed in [101, 202, 303] {
+        let (pool, truth, target) = pool_and_truth(pool_seed);
+        let mut sampler =
+            OasisSampler::new(&pool, OasisConfig::default().with_strata_count(20)).unwrap();
+        let estimate = terminal_estimate(&mut sampler, &pool, &truth, pool_seed + 7, 0.95);
+        assert!(
+            (estimate - target).abs() < 0.06,
+            "pool seed {pool_seed}: OASIS terminal estimate {estimate:.4} vs \
+             exhaustive {target:.4}"
+        );
+    }
+}

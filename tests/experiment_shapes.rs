@@ -1,12 +1,12 @@
 //! Integration tests asserting the qualitative *shape* of the paper's results
 //! at reduced scale: who wins, in which regimes, and by roughly how much.
 
+use er_core::datasets::DatasetProfile;
 use experiments::curves::{method_curve, CurveConfig};
 use experiments::figure2::{run_profile, Figure2Config};
 use experiments::methods::Method;
 use experiments::pools::direct_pool;
 use experiments::table3::{run_on_pool, Table3Config};
-use er_core::datasets::DatasetProfile;
 
 /// Mean of the defined entries of a slice.
 fn mean_defined(values: &[f64]) -> f64 {
@@ -78,7 +78,10 @@ fn figure2_shape_methods_tie_on_balanced_data() {
             .absolute_error,
     );
     // Both are small and close: the gap should be a fraction of the passive error.
-    assert!(passive < 0.1, "passive error should be small on balanced data: {passive}");
+    assert!(
+        passive < 0.1,
+        "passive error should be small on balanced data: {passive}"
+    );
     assert!(
         (oasis - passive).abs() < 0.05,
         "OASIS ({oasis:.4}) and passive ({passive:.4}) should be comparable on balanced data"

@@ -1,0 +1,63 @@
+//! Offline stand-in for `crossbeam`, providing the scoped-thread API shape
+//! on top of `std::thread::scope` (stable since Rust 1.63).
+
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `scope(|s| ...)` / `s.spawn(|_| ...)`
+    //! signatures.
+
+    use std::any::Any;
+    use std::thread::ScopedJoinHandle;
+
+    /// A scope handle passed to [`scope`]'s closure; spawned closures receive
+    /// a reference to it, mirroring crossbeam's API.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope, so nested
+        /// spawns are possible as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Run `f` with a thread scope; all spawned threads are joined before
+    /// this returns.
+    ///
+    /// Unlike crossbeam, a panicking child thread propagates its panic at the
+    /// end of the scope rather than being collected into `Err` — callers in
+    /// this workspace `.expect()` the result anyway, so the observable
+    /// behaviour (abort the test/experiment with the panic message) matches.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_share_borrows() {
+        let counter = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

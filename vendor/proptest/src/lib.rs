@@ -1,0 +1,160 @@
+//! Offline subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this in-tree crate
+//! implements the slice of proptest the workspace's property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, implemented for numeric ranges,
+//!   tuples, regex-subset string literals and [`collection::vec`];
+//! * [`arbitrary::any`] for primitive types;
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`,
+//!   `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!` and `prop_assume!`;
+//! * a deterministic [`test_runner`] that replays seeds recorded in
+//!   `proptest-regressions/<file>.txt` before running fresh cases, records
+//!   the seed of any new failure there, and honours the `PROPTEST_CASES`
+//!   environment override so CI can run a deeper pass than local dev.
+//!
+//! Unsupported (by design, to stay small): shrinking, `prop_oneof!` over
+//! weighted arms, recursive strategies, full regex string generation.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        //! Namespace mirror so `prop::collection::vec(...)` works.
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Run the property-test functions in the block `cases` times each with
+/// freshly generated inputs; see the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr)) => {};
+    (
+        @cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run(
+                &($config),
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+                |__proptest_rng| {
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
+                    )+
+                    let __proptest_result: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    __proptest_result
+                },
+            );
+        }
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; failure reports the
+/// generating seed and aborts the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l != __r, $($fmt)+);
+    }};
+}
+
+/// Discard the current case (not counted as a failure) when a precondition
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

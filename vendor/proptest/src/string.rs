@@ -1,0 +1,181 @@
+//! String generation from a small regex subset.
+//!
+//! Real proptest interprets `&str` strategies as full regexes. This shim
+//! supports the subset the workspace's tests use: a sequence of atoms —
+//! a character class `[a-z0-9]`, the wildcard `.`, or a literal character —
+//! each optionally quantified with `{m,n}`, `{m}`, `?`, `*` or `+`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Characters the wildcard `.` draws from: ASCII letters (both cases),
+/// digits, punctuation, whitespace and a sprinkling of non-ASCII, so tests
+/// over "arbitrary" text exercise case-folding and normalisation paths.
+const ANY_CHAR_PALETTE: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'B', 'Z', '0', '1', '9', ' ', ' ', '\t', '.', ',', ';', '-',
+    '_', '!', '?', '#', '@', '/', '\\', '(', ')', '"', '\'', 'é', 'Ü', 'ß', 'ñ', 'λ', '中', '€',
+    '…', '\u{0301}',
+];
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Any,
+    Literal(char),
+    Class(Vec<char>),
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut StdRng) -> char {
+        match self {
+            Atom::Any => *ANY_CHAR_PALETTE.choose(rng).expect("palette is non-empty"),
+            Atom::Literal(c) => *c,
+            Atom::Class(chars) => *chars.choose(rng).expect("validated non-empty"),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Atom {
+    let mut members = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        match chars.next() {
+            None => panic!("unterminated character class in pattern {pattern:?}"),
+            Some(']') => break,
+            Some('-') if prev.is_some() && chars.peek().is_some_and(|&c| c != ']') => {
+                let start = prev.take().expect("checked above");
+                let end = chars.next().expect("peeked above");
+                assert!(start <= end, "invalid range {start}-{end} in {pattern:?}");
+                // `members` already holds `start`; add the rest of the range.
+                members.extend(((start as u32 + 1)..=(end as u32)).filter_map(char::from_u32));
+            }
+            Some(c) => {
+                members.push(c);
+                prev = Some(c);
+            }
+        }
+    }
+    assert!(!members.is_empty(), "empty character class in {pattern:?}");
+    Atom::Class(members)
+}
+
+fn parse(pattern: &str) -> Vec<Quantified> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier {{{spec}}} in {pattern:?}"));
+                        let hi = hi
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier {{{spec}}} in {pattern:?}"));
+                        (lo, hi)
+                    }
+                    None => {
+                        let exact: usize = spec
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier {{{spec}}} in {pattern:?}"));
+                        (exact, exact)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad quantifier bounds in {pattern:?}");
+        atoms.push(Quantified { atom, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for part in parse(self) {
+            let count = rng.gen_range(part.min..=part.max);
+            for _ in 0..count {
+                out.push(part.atom.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_quantifier_respects_alphabet_and_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[a-z0-9]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn wildcard_len_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = ".{0,60}".generate(&mut rng);
+            assert!(s.chars().count() <= 60);
+        }
+    }
+
+    #[test]
+    fn narrow_class() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = "[a-c]{0,6}".generate(&mut rng);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!("ab{3}c".generate(&mut rng), "abbbc");
+    }
+}

@@ -1,0 +1,213 @@
+//! The deterministic case runner behind the `proptest!` macro.
+//!
+//! Each test function runs `cases` generated inputs. Case seeds are derived
+//! deterministically from the source location and test name (perturbed by
+//! `PROPTEST_RNG_SEED` when set), so a failure is reproducible by seed alone.
+//! Before fresh cases, seeds recorded in
+//! `<crate>/proptest-regressions/<file-stem>.txt` are replayed; new failures
+//! are appended there (best-effort) so they stay pinned once committed.
+//!
+//! Environment overrides:
+//!
+//! * `PROPTEST_CASES` — overrides every config's case count (CI depth knob).
+//! * `PROPTEST_RNG_SEED` — perturbs the seed sequence to explore new inputs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; it does not count as run.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Runner configuration (the `ProptestConfig` subset the workspace uses).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections tolerated before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+
+    /// The effective case count: `PROPTEST_CASES` env var, if set and valid,
+    /// otherwise the configured value.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(value) => value.parse().unwrap_or_else(|_| {
+                panic!("PROPTEST_CASES must be a positive integer, got {value:?}")
+            }),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// FNV-1a, for deriving a stable per-test base seed from its identity.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn regression_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+    let stem = Path::new(source_file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_owned());
+    Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"))
+}
+
+/// Parse regression seeds: lines of the form `seed: <u64>`; `#` comments and
+/// blank lines are ignored.
+fn load_regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    contents
+        .lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            line.strip_prefix("seed:")
+                .and_then(|rest| rest.split('#').next())
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+        .collect()
+}
+
+fn record_failure(path: &Path, test_name: &str, seed: u64) {
+    // Best-effort: persisting the seed is a convenience, never a test error.
+    let _ = std::fs::create_dir_all(path.parent().expect("regression path has a parent"));
+    if load_regression_seeds(path).contains(&seed) {
+        return;
+    }
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = writeln!(
+            file,
+            "seed: {seed} # added automatically by {test_name}, do not edit"
+        );
+    }
+}
+
+/// Execute one property test: replay persisted regression seeds, then run
+/// `config.cases` fresh deterministic cases. Panics on the first failure,
+/// reporting the offending seed.
+pub fn run<F>(
+    config: &ProptestConfig,
+    manifest_dir: &str,
+    source_file: &str,
+    test_name: &str,
+    mut case: F,
+) where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let regressions = regression_path(manifest_dir, source_file);
+    let mut run_seed = |seed: u64, origin: &str| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => true,
+            Err(TestCaseError::Reject) => false,
+            Err(TestCaseError::Fail(message)) => {
+                if origin == "random" {
+                    record_failure(&regressions, test_name, seed);
+                }
+                panic!(
+                    "proptest case failed ({origin} seed {seed}) in {test_name}:\n{message}\n\
+                     To pin this case, keep `seed: {seed}` in {path}",
+                    path = regressions.display()
+                );
+            }
+        }
+    };
+
+    for seed in load_regression_seeds(&regressions) {
+        run_seed(seed, "regression");
+    }
+
+    let salt: u64 = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let base = fnv1a(format!("{source_file}::{test_name}::{salt}").as_bytes());
+
+    let cases = config.resolved_cases();
+    let mut passed = 0u32;
+    let mut attempts = 0u64;
+    let mut rejects = 0u32;
+    while passed < cases {
+        let seed = base.wrapping_add(attempts);
+        attempts += 1;
+        if run_seed(seed, "random") {
+            passed += 1;
+        } else {
+            rejects += 1;
+            assert!(
+                rejects <= config.max_global_rejects,
+                "{test_name}: too many prop_assume! rejections ({rejects}) — \
+                 strategy and assumptions are incompatible"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_cases_sets_cases() {
+        assert_eq!(ProptestConfig::with_cases(17).cases, 17);
+    }
+
+    #[test]
+    fn regression_lines_parse() {
+        let dir = std::env::temp_dir().join("proptest_shim_parse_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("example.txt");
+        std::fs::write(
+            &path,
+            "# comment\nseed: 41\n\nseed: 42 # trailing note\nnoise\n",
+        )
+        .unwrap();
+        assert_eq!(load_regression_seeds(&path), vec![41, 42]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

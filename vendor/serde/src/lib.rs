@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides `Serialize`/`Deserialize` as blanket-implemented marker traits
+//! plus the no-op derive macros from the in-tree `serde_derive`. This keeps
+//! `#[derive(Serialize, Deserialize)]` annotations compiling (documenting
+//! which types are serialization-ready) without pulling the real crate into
+//! an offline build. Swap in real serde by pointing the workspace dependency
+//! back at crates.io.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types; blanket-implemented for everything.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types; blanket-implemented for everything.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on plain data types but
+//! never drives an actual serializer (report rendering is hand-written text),
+//! so the derives can expand to nothing: the in-tree `serde` crate provides
+//! blanket implementations of its marker traits.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
