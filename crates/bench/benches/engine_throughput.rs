@@ -1,0 +1,74 @@
+//! Bench: `oasis-engine` session throughput (steps/sec) for concurrent
+//! sessions driven by the scoped-thread worker pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use er_core::datasets::DatasetProfile;
+use experiments::pools::direct_pool;
+use oasis::oracle::GroundTruthOracle;
+use oasis::samplers::OasisConfig;
+use oasis_engine::{Engine, LabelSource, SessionJob};
+
+const SESSIONS: usize = 8;
+const STEPS: usize = 500;
+
+/// Build an engine with `SESSIONS` fresh sessions over one shared pool.
+fn build_engine(pool: &experiments::pools::ExperimentPool) -> (Engine, Vec<SessionJob>) {
+    let engine = Engine::new();
+    engine.load_pool("cora", pool.pool.clone()).unwrap();
+    let config = OasisConfig::default().with_strata_count(30);
+    let mut jobs = Vec::with_capacity(SESSIONS);
+    for i in 0..SESSIONS as u64 {
+        let id = format!("s{i}");
+        engine
+            .create_session(
+                &id,
+                "cora",
+                config.clone(),
+                2017 + i,
+                LabelSource::GroundTruth(GroundTruthOracle::new(pool.truth.clone())),
+            )
+            .unwrap();
+        jobs.push(SessionJob::Steps {
+            session: id,
+            steps: STEPS,
+        });
+    }
+    (engine, jobs)
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let pool = direct_pool(&DatasetProfile::cora(), 0.05, true, 2017);
+
+    // One-off headline number: total steps / wall-clock at each worker count.
+    for workers in [1usize, 2, 4, 8] {
+        let (engine, jobs) = build_engine(&pool);
+        let start = std::time::Instant::now();
+        engine.run_parallel(&jobs, workers).unwrap();
+        let seconds = start.elapsed().as_secs_f64();
+        println!(
+            "engine throughput: {SESSIONS} sessions x {STEPS} steps, {workers} workers -> {:.0} steps/s",
+            (SESSIONS * STEPS) as f64 / seconds
+        );
+    }
+
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    for workers in [1usize, 4, 8] {
+        group.bench_function(
+            BenchmarkId::new(format!("{SESSIONS}_sessions"), format!("{workers}_workers")),
+            |b| {
+                b.iter(|| {
+                    // Session state advances across iterations (sessions are
+                    // long-lived by design), so rebuild per measurement to
+                    // keep the workload comparable.
+                    let (engine, jobs) = build_engine(&pool);
+                    engine.run_parallel(&jobs, workers).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! `oasis-serve` — the OASIS evaluation engine behind a line protocol.
+//!
+//! Speaks line-delimited JSON (one request object per line, one response
+//! object per line; see `oasis_engine::protocol` for the command table).
+//!
+//! Usage:
+//!
+//! ```text
+//! oasis-serve                   # serve stdin/stdout (scriptable, CI-friendly)
+//! oasis-serve --tcp 0.0.0.0:7171  # serve TCP, concurrent connections
+//! ```
+
+use oasis_engine::server::{serve_lines, serve_tcp};
+use oasis_engine::Engine;
+use std::io::{BufReader, Write as _};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "oasis-serve — OASIS evaluation engine speaking line-delimited JSON\n\n\
+             USAGE:\n  oasis-serve                serve stdin/stdout\n  \
+             oasis-serve --tcp ADDR     serve TCP on ADDR (e.g. 127.0.0.1:7171)\n\n\
+             Commands: load_pool, create_session, propose, label, step,\n\
+             run_budget, estimate, checkpoint, restore, sessions,\n\
+             delete_session, shutdown."
+        );
+        return;
+    }
+
+    // Strict argument parsing: a typo'd flag must not silently fall back to
+    // stdio mode (which would sit blocked on stdin with no diagnostic).
+    let mut tcp_addr: Option<String> = None;
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--tcp" => match rest.next() {
+                Some(addr) => tcp_addr = Some(addr.clone()),
+                None => {
+                    eprintln!("oasis-serve: --tcp requires an address (e.g. --tcp 127.0.0.1:7171)");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("oasis-serve: unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let engine = Engine::new();
+    let outcome = match tcp_addr {
+        Some(addr) => {
+            eprintln!("oasis-serve: listening on {addr}");
+            serve_tcp(&engine, &addr)
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut writer = stdout.lock();
+            let served = serve_lines(&engine, BufReader::new(stdin.lock()), &mut writer);
+            writer.flush().and(served.map(|_| ()))
+        }
+    };
+
+    if let Err(error) = outcome {
+        eprintln!("oasis-serve: transport error: {error}");
+        std::process::exit(1);
+    }
+}

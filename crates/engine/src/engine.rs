@@ -1,0 +1,395 @@
+//! The multi-session engine: shared pools, named sessions, and a scoped
+//! worker pool that drives many sessions concurrently.
+//!
+//! Sessions are fully independent (own sampler, own RNG, own oracle), so
+//! driving them from `W` worker threads produces estimates bit-identical to
+//! driving them one after another — concurrency changes wall-clock time, not
+//! results.  That property is what the `engine_parity` tests and experiment
+//! driver assert.
+
+use crate::checkpoint::SessionCheckpoint;
+use crate::error::{EngineError, EngineResult};
+use crate::session::{LabelSource, Session};
+use oasis::{Estimate, OasisConfig, ScoredPool};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A unit of work for [`Engine::run_parallel`]: drive one session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionJob {
+    /// Run a fixed number of steps.
+    Steps {
+        /// Session id.
+        session: String,
+        /// Number of propose→query→apply iterations.
+        steps: usize,
+    },
+    /// Run until the label budget is consumed (or `max_steps` elapse).
+    Budget {
+        /// Session id.
+        session: String,
+        /// Distinct-label budget.
+        budget: usize,
+        /// Iteration cap.
+        max_steps: usize,
+    },
+}
+
+impl SessionJob {
+    fn session_id(&self) -> &str {
+        match self {
+            SessionJob::Steps { session, .. } | SessionJob::Budget { session, .. } => session,
+        }
+    }
+}
+
+/// The engine: a registry of shared pools and concurrent sessions.
+///
+/// All methods take `&self`; interior locking makes the engine shareable
+/// across server connections and worker threads.
+#[derive(Debug, Default)]
+pub struct Engine {
+    pools: RwLock<HashMap<String, Arc<ScoredPool>>>,
+    sessions: RwLock<HashMap<String, Arc<Mutex<Session>>>>,
+}
+
+impl Engine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Register a pool under `id`, sharing it across future sessions.
+    ///
+    /// # Errors
+    /// [`EngineError::DuplicateId`] if the id is taken.
+    pub fn load_pool(&self, id: impl Into<String>, pool: ScoredPool) -> EngineResult<()> {
+        let id = id.into();
+        let mut pools = self.pools.write();
+        if pools.contains_key(&id) {
+            return Err(EngineError::DuplicateId(id));
+        }
+        pools.insert(id, Arc::new(pool));
+        Ok(())
+    }
+
+    /// Look up a shared pool.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownPool`] if it was never loaded.
+    pub fn pool(&self, id: &str) -> EngineResult<Arc<ScoredPool>> {
+        self.pools
+            .read()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownPool(id.to_string()))
+    }
+
+    /// Ids of all loaded pools, sorted.
+    pub fn pool_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.pools.read().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Create a session over a loaded pool.
+    ///
+    /// # Errors
+    /// Unknown pool, duplicate session id, or sampler construction failure.
+    pub fn create_session(
+        &self,
+        session_id: impl Into<String>,
+        pool_id: &str,
+        config: OasisConfig,
+        seed: u64,
+        source: LabelSource,
+    ) -> EngineResult<()> {
+        let session_id = session_id.into();
+        let pool = self.pool(pool_id)?;
+        // Fail fast on an obvious duplicate, but do the expensive sampler
+        // construction (stratification is O(N log N)) outside any lock so
+        // concurrent traffic on other sessions is not stalled.
+        if self.sessions.read().contains_key(&session_id) {
+            return Err(EngineError::DuplicateId(session_id));
+        }
+        let session = Session::new(session_id.clone(), pool_id, pool, config, seed, source)?;
+        let mut sessions = self.sessions.write();
+        if sessions.contains_key(&session_id) {
+            return Err(EngineError::DuplicateId(session_id));
+        }
+        sessions.insert(session_id, Arc::new(Mutex::new(session)));
+        Ok(())
+    }
+
+    /// Restore a session from a checkpoint; the checkpointed pool id must be
+    /// loaded and match the fingerprint.  The session is registered under
+    /// `session_id`, which may differ from the checkpointed id (restore-as).
+    ///
+    /// # Errors
+    /// Unknown pool, duplicate session id, or checkpoint mismatch.
+    pub fn restore_session(
+        &self,
+        session_id: impl Into<String>,
+        checkpoint: SessionCheckpoint,
+    ) -> EngineResult<()> {
+        let session_id = session_id.into();
+        let pool = self.pool(&checkpoint.pool_id)?;
+        if self.sessions.read().contains_key(&session_id) {
+            return Err(EngineError::DuplicateId(session_id));
+        }
+        // Fingerprint verification and sampler reconstruction are O(N);
+        // keep them outside the write lock (same pattern as create_session).
+        let mut checkpoint = checkpoint;
+        checkpoint.session_id = session_id.clone();
+        let session = Session::restore(checkpoint, pool)?;
+        let mut sessions = self.sessions.write();
+        if sessions.contains_key(&session_id) {
+            return Err(EngineError::DuplicateId(session_id));
+        }
+        sessions.insert(session_id, Arc::new(Mutex::new(session)));
+        Ok(())
+    }
+
+    /// Fetch a session handle.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSession`] if it does not exist.
+    pub fn session(&self, id: &str) -> EngineResult<Arc<Mutex<Session>>> {
+        self.sessions
+            .read()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownSession(id.to_string()))
+    }
+
+    /// Ids of all live sessions, sorted.
+    pub fn session_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.sessions.read().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Remove a session (its checkpoint, if any, remains valid).
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSession`] if it does not exist.
+    pub fn delete_session(&self, id: &str) -> EngineResult<()> {
+        self.sessions
+            .write()
+            .remove(id)
+            .map(|_| ())
+            .ok_or_else(|| EngineError::UnknownSession(id.to_string()))
+    }
+
+    /// Drive many sessions concurrently on a pool of `workers` scoped
+    /// threads, returning one estimate per job in job order.
+    ///
+    /// Work is distributed by an atomic cursor over the job list; since each
+    /// session owns its RNG and oracle, the estimates are bit-identical to
+    /// running the jobs sequentially, whatever the interleaving — provided
+    /// each session appears in at most one job.  Jobs naming the same session
+    /// are safe (the per-session mutex serialises them) but race for lock
+    /// order, so their split of the session's RNG stream is not
+    /// deterministic.
+    ///
+    /// # Errors
+    /// The first failing job's error (all jobs still run to completion).
+    pub fn run_parallel(&self, jobs: &[SessionJob], workers: usize) -> EngineResult<Vec<Estimate>> {
+        let workers = workers.max(1).min(jobs.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<EngineResult<Estimate>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= jobs.len() {
+                        break;
+                    }
+                    let job = &jobs[index];
+                    let outcome = self.run_job(job);
+                    *results[index].lock() = Some(outcome);
+                });
+            }
+        })
+        .expect("engine worker panicked");
+
+        let mut estimates = Vec::with_capacity(jobs.len());
+        for slot in results {
+            estimates.push(slot.into_inner().expect("every job ran")?);
+        }
+        Ok(estimates)
+    }
+
+    fn run_job(&self, job: &SessionJob) -> EngineResult<Estimate> {
+        let session = self.session(job.session_id())?;
+        let mut session = session.lock();
+        match job {
+            SessionJob::Steps { steps, .. } => session.step(*steps),
+            SessionJob::Budget {
+                budget, max_steps, ..
+            } => session.run_until_budget(*budget, *max_steps),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis::{GroundTruthOracle, OasisSampler, Sampler};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool_and_truth(n: usize, seed: u64) -> (ScoredPool, Vec<bool>) {
+        let (pool, truth) = crate::test_support::pool_and_truth(n, seed, 0.05);
+        ((*pool).clone(), truth)
+    }
+
+    #[test]
+    fn pool_and_session_registry_basics() {
+        let engine = Engine::new();
+        let (pool, truth) = pool_and_truth(300, 1);
+        engine.load_pool("p", pool.clone()).unwrap();
+        assert!(matches!(
+            engine.load_pool("p", pool),
+            Err(EngineError::DuplicateId(_))
+        ));
+        assert!(matches!(engine.pool("q"), Err(EngineError::UnknownPool(_))));
+        assert_eq!(engine.pool_ids(), vec!["p".to_string()]);
+
+        engine
+            .create_session(
+                "s",
+                "p",
+                OasisConfig::default().with_strata_count(4),
+                1,
+                LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
+            )
+            .unwrap();
+        assert!(matches!(
+            engine.create_session(
+                "s",
+                "p",
+                OasisConfig::default(),
+                1,
+                LabelSource::external(300)
+            ),
+            Err(EngineError::DuplicateId(_))
+        ));
+        assert_eq!(engine.session_ids(), vec!["s".to_string()]);
+        engine.delete_session("s").unwrap();
+        assert!(matches!(
+            engine.delete_session("s"),
+            Err(EngineError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_sessions_match_sequential_library_runs_bitwise() {
+        let (pool, truth) = pool_and_truth(2500, 2);
+        let config = OasisConfig::default().with_strata_count(15);
+        let seeds: Vec<u64> = (100..108).collect();
+        let steps = 300;
+
+        // Sequential library reference, one run per seed.
+        let mut expected = Vec::new();
+        for &seed in &seeds {
+            let mut oracle = GroundTruthOracle::new(truth.clone());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sampler = OasisSampler::new(&pool, config.clone()).unwrap();
+            expected.push(sampler.run(&pool, &mut oracle, &mut rng, steps).unwrap());
+        }
+
+        // Engine: 8 sessions over one shared Arc pool, 4 workers.
+        let engine = Engine::new();
+        engine.load_pool("p", pool).unwrap();
+        for &seed in &seeds {
+            engine
+                .create_session(
+                    format!("s{seed}"),
+                    "p",
+                    config.clone(),
+                    seed,
+                    LabelSource::GroundTruth(GroundTruthOracle::new(truth.clone())),
+                )
+                .unwrap();
+        }
+        let jobs: Vec<SessionJob> = seeds
+            .iter()
+            .map(|seed| SessionJob::Steps {
+                session: format!("s{seed}"),
+                steps,
+            })
+            .collect();
+        let estimates = engine.run_parallel(&jobs, 4).unwrap();
+
+        for (estimate, reference) in estimates.iter().zip(expected.iter()) {
+            assert_eq!(estimate.f_measure.to_bits(), reference.f_measure.to_bits());
+            assert_eq!(estimate.precision.to_bits(), reference.precision.to_bits());
+            assert_eq!(estimate.recall.to_bits(), reference.recall.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_budget_jobs_and_error_reporting() {
+        let (pool, truth) = pool_and_truth(800, 3);
+        let engine = Engine::new();
+        engine.load_pool("p", pool).unwrap();
+        engine
+            .create_session(
+                "good",
+                "p",
+                OasisConfig::default().with_strata_count(6),
+                5,
+                LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
+            )
+            .unwrap();
+        let jobs = vec![
+            SessionJob::Budget {
+                session: "good".to_string(),
+                budget: 50,
+                max_steps: 50_000,
+            },
+            SessionJob::Steps {
+                session: "missing".to_string(),
+                steps: 1,
+            },
+        ];
+        let err = engine.run_parallel(&jobs, 2).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownSession(_)));
+
+        // Without the bad job the budget run completes.
+        let estimates = engine.run_parallel(&jobs[..1], 2).unwrap();
+        assert_eq!(estimates.len(), 1);
+        let session = engine.session("good").unwrap();
+        assert!(session.lock().labels_consumed() >= 50);
+    }
+
+    #[test]
+    fn restore_session_under_new_name() {
+        let (pool, truth) = pool_and_truth(500, 4);
+        let engine = Engine::new();
+        engine.load_pool("p", pool).unwrap();
+        engine
+            .create_session(
+                "orig",
+                "p",
+                OasisConfig::default().with_strata_count(6),
+                9,
+                LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
+            )
+            .unwrap();
+        let handle = engine.session("orig").unwrap();
+        handle.lock().step(50).unwrap();
+        let checkpoint = handle.lock().checkpoint();
+
+        engine.restore_session("copy", checkpoint).unwrap();
+        let copy = engine.session("copy").unwrap();
+        let a = handle.lock().step(50).unwrap();
+        let b = copy.lock().step(50).unwrap();
+        assert_eq!(a.f_measure.to_bits(), b.f_measure.to_bits());
+    }
+}

@@ -1,0 +1,70 @@
+//! Engine-level errors.
+
+use serde::json::JsonError;
+use std::fmt;
+
+/// Anything that can go wrong inside the engine: sampler failures, checkpoint
+/// (de)serialisation problems, or session/pool bookkeeping errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// An error bubbled up from the `oasis` sampling library.
+    Sampler(oasis::Error),
+    /// A JSON parse or conversion failure.
+    Json(JsonError),
+    /// The named pool is not loaded.
+    UnknownPool(String),
+    /// The named session does not exist.
+    UnknownSession(String),
+    /// An id (pool or session) is already taken.
+    DuplicateId(String),
+    /// A label referenced a ticket that is not pending.
+    UnknownTicket(u64),
+    /// A label batch named the same ticket more than once.
+    DuplicateTicket(u64),
+    /// The operation needs an attached oracle (e.g. `step`) but the session
+    /// labels externally, or vice versa.
+    WrongLabelSource(&'static str),
+    /// A label source whose coverage does not match the pool at creation.
+    InvalidLabelSource(String),
+    /// A checkpoint does not match the pool it is being restored against.
+    CheckpointMismatch(String),
+    /// A malformed protocol request.
+    Protocol(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Sampler(e) => write!(f, "sampler error: {e}"),
+            EngineError::Json(e) => write!(f, "{e}"),
+            EngineError::UnknownPool(id) => write!(f, "unknown pool {id:?}"),
+            EngineError::UnknownSession(id) => write!(f, "unknown session {id:?}"),
+            EngineError::DuplicateId(id) => write!(f, "id {id:?} already exists"),
+            EngineError::UnknownTicket(t) => write!(f, "ticket {t} is not pending"),
+            EngineError::DuplicateTicket(t) => {
+                write!(f, "ticket {t} appears more than once in the batch")
+            }
+            EngineError::WrongLabelSource(what) => write!(f, "{what}"),
+            EngineError::InvalidLabelSource(why) => write!(f, "invalid label source: {why}"),
+            EngineError::CheckpointMismatch(why) => write!(f, "checkpoint mismatch: {why}"),
+            EngineError::Protocol(why) => write!(f, "bad request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<oasis::Error> for EngineError {
+    fn from(e: oasis::Error) -> Self {
+        EngineError::Sampler(e)
+    }
+}
+
+impl From<JsonError> for EngineError {
+    fn from(e: JsonError) -> Self {
+        EngineError::Json(e)
+    }
+}
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;

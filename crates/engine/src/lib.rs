@@ -1,0 +1,115 @@
+//! # oasis-engine — a concurrent, checkpointable multi-session evaluation engine
+//!
+//! The `oasis` crate implements the OASIS sampler as a library: one sampler,
+//! one in-process oracle callback, run to completion.  This crate turns it
+//! into a *serving subsystem* for interactive, production-style evaluation:
+//!
+//! * **Sessions** ([`Session`]) — many concurrent, independently seeded OASIS
+//!   runs over shared [`Arc<ScoredPool>`](oasis::ScoredPool)s, managed by an
+//!   [`Engine`] and driven by a worker pool on vendored-crossbeam scoped
+//!   threads ([`Engine::run_parallel`]).  Sessions are independent, so
+//!   concurrency never changes results: estimates are bit-identical to
+//!   sequential library runs with the same seeds.
+//! * **Suspend/resume oracle boundary** — a session proposes pairs to label
+//!   ([`Session::propose`] → [`Ticket`]s) and suspends; labels arrive later,
+//!   possibly batched and out of order ([`Session::apply_labels`]).  Human
+//!   and remote oracles are first-class instead of in-process callbacks; an
+//!   in-process ground-truth oracle remains available for simulation
+//!   ([`LabelSource::GroundTruth`], [`Session::step`]).
+//! * **Checkpoints** ([`SessionCheckpoint`]) — full sampler state (strata,
+//!   Beta–Bernoulli posteriors, AIS weight sums), RNG state words, pending
+//!   tickets and oracle/budget state snapshot to JSON with *exact-resume*
+//!   semantics: an interrupted-and-restored run is bit-identical to an
+//!   uninterrupted one.
+//! * **`oasis-serve`** — a binary speaking a line-delimited JSON protocol
+//!   ([`protocol`]) over stdin/stdout or TCP ([`server`]): `load_pool`,
+//!   `create_session`, `propose`, `label`, `step`, `run_budget`, `estimate`,
+//!   `checkpoint`, `restore`, `sessions`, `delete_session`, `shutdown`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use oasis::{OasisConfig, ScoredPool};
+//! use oasis_engine::{Engine, LabelSource};
+//!
+//! let engine = Engine::new();
+//! engine
+//!     .load_pool(
+//!         "demo",
+//!         ScoredPool::new(vec![0.9, 0.8, 0.2, 0.1], vec![true, true, false, false]).unwrap(),
+//!     )
+//!     .unwrap();
+//! engine
+//!     .create_session(
+//!         "s1",
+//!         "demo",
+//!         OasisConfig::default().with_strata_count(2),
+//!         42,
+//!         LabelSource::external(4),
+//!     )
+//!     .unwrap();
+//!
+//! // Suspend at a label request…
+//! let session = engine.session("s1").unwrap();
+//! let tickets = session.lock().propose(1).unwrap();
+//! // …a human labels the pair out of band…
+//! let answers: Vec<(u64, bool)> = tickets.iter().map(|t| (t.id, true)).collect();
+//! // …and the session resumes.
+//! session.lock().apply_labels(&answers).unwrap();
+//! assert_eq!(session.lock().estimate().iterations, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod checkpoint;
+mod engine;
+pub mod error;
+pub mod protocol;
+pub mod server;
+mod session;
+
+pub use checkpoint::{pool_fingerprint, OracleCheckpoint, SessionCheckpoint, CHECKPOINT_FORMAT};
+pub use engine::{Engine, SessionJob};
+pub use error::{EngineError, EngineResult};
+pub use session::{LabelSource, Session, Ticket};
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared fixtures for the crate's unit tests.
+
+    use oasis::ScoredPool;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng};
+    use std::sync::Arc;
+
+    /// A deterministic imbalanced pool plus its hidden truth: scores
+    /// correlate with (but don't perfectly predict) the labels, the regime
+    /// OASIS targets.
+    pub(crate) fn pool_and_truth(
+        n: usize,
+        seed: u64,
+        match_rate: f64,
+    ) -> (Arc<ScoredPool>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scores = Vec::with_capacity(n);
+        let mut predictions = Vec::with_capacity(n);
+        let mut truth = Vec::with_capacity(n);
+        for _ in 0..n {
+            let is_match = rng.gen_bool(match_rate);
+            let p: f64 = if is_match {
+                0.5 + 0.5 * rng.gen::<f64>()
+            } else {
+                0.5 * rng.gen::<f64>()
+            };
+            scores.push(p);
+            predictions.push(p > 0.5);
+            truth.push(is_match);
+        }
+        (
+            Arc::new(ScoredPool::new(scores, predictions).unwrap()),
+            truth,
+        )
+    }
+}

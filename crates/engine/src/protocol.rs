@@ -1,0 +1,474 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Every request is one JSON object on one line with a `"cmd"` field; every
+//! response is one JSON object on one line with `"ok": true|false`.  The
+//! protocol is transport-agnostic — `oasis-serve` speaks it over
+//! stdin/stdout or TCP — and deliberately stateless at the line level: all
+//! state lives in the engine's named pools and sessions.
+//!
+//! | `cmd` | fields | effect |
+//! |---|---|---|
+//! | `load_pool` | `pool`, `scores[]`, `predictions[]` | register a shared pool |
+//! | `create_session` | `session`, `pool`, `seed`, `config{}`?, `truth[]`? | new session; `truth` attaches an in-process oracle |
+//! | `propose` | `session`, `count`? | draw items to label; returns tickets |
+//! | `label` | `session`, `labels[{ticket,label}]` | resume with a label batch |
+//! | `step` | `session`, `steps` | run full iterations (needs `truth`) |
+//! | `run_budget` | `session`, `budget`, `max_steps`? | run until the label budget is spent |
+//! | `estimate` | `session` | current F/P/R estimate + budget state |
+//! | `checkpoint` | `session` | inline JSON checkpoint document |
+//! | `restore` | `session`, `checkpoint{}` | rebuild a session from a checkpoint |
+//! | `sessions` | — | list sessions |
+//! | `delete_session` | `session` | drop a session |
+//! | `shutdown` | — | acknowledge and stop serving |
+
+use crate::checkpoint::SessionCheckpoint;
+use crate::engine::Engine;
+use crate::error::{EngineError, EngineResult};
+use crate::session::{LabelSource, Session, Ticket};
+use oasis::{GroundTruthOracle, OasisConfig, ScoredPool};
+use serde::json::{FromJson, Json, ToJson};
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register a pool of scored record pairs.
+    LoadPool {
+        /// Pool id.
+        pool: String,
+        /// Similarity scores.
+        scores: Vec<f64>,
+        /// Predicted labels.
+        predictions: Vec<bool>,
+    },
+    /// Create a session.
+    CreateSession {
+        /// Session id.
+        session: String,
+        /// Pool id to evaluate.
+        pool: String,
+        /// RNG seed.
+        seed: u64,
+        /// Sampler configuration (defaults for missing keys).
+        config: OasisConfig,
+        /// Optional hidden ground truth, enabling `step`/`run_budget`.
+        truth: Option<Vec<bool>>,
+    },
+    /// Draw `count` items to label.
+    Propose {
+        /// Session id.
+        session: String,
+        /// Batch size (default 1).
+        count: usize,
+    },
+    /// Apply a batch of labels.
+    Label {
+        /// Session id.
+        session: String,
+        /// `(ticket, label)` pairs.
+        labels: Vec<(u64, bool)>,
+    },
+    /// Run complete iterations against the attached oracle.
+    Step {
+        /// Session id.
+        session: String,
+        /// Number of iterations.
+        steps: usize,
+    },
+    /// Run until the distinct-label budget is consumed.
+    RunBudget {
+        /// Session id.
+        session: String,
+        /// Label budget.
+        budget: usize,
+        /// Iteration cap (default 1,000,000).
+        max_steps: usize,
+    },
+    /// Report the current estimate.
+    Estimate {
+        /// Session id.
+        session: String,
+    },
+    /// Produce an inline checkpoint document.
+    Checkpoint {
+        /// Session id.
+        session: String,
+    },
+    /// Restore a session from an inline checkpoint document.
+    Restore {
+        /// New session id.
+        session: String,
+        /// The checkpoint document (boxed — it dwarfs every other variant).
+        checkpoint: Box<SessionCheckpoint>,
+    },
+    /// List live sessions.
+    Sessions,
+    /// Delete a session.
+    DeleteSession {
+        /// Session id.
+        session: String,
+    },
+    /// Stop serving.
+    Shutdown,
+}
+
+fn string_field(value: &Json, key: &str) -> EngineResult<String> {
+    Ok(String::from_json(value.require(key)?)?)
+}
+
+/// Largest propose batch a single request may ask for.
+pub const MAX_PROPOSE_COUNT: usize = 100_000;
+/// Largest number of iterations a single `step`/`run_budget` request may run.
+pub const MAX_STEPS_PER_REQUEST: usize = 100_000_000;
+
+fn bounded(value: usize, limit: usize, what: &str) -> EngineResult<usize> {
+    if value > limit {
+        return Err(EngineError::Protocol(format!(
+            "{what} {value} exceeds the per-request limit {limit}"
+        )));
+    }
+    Ok(value)
+}
+
+impl Request {
+    /// Parse one protocol line.
+    ///
+    /// # Errors
+    /// [`EngineError::Protocol`] / [`EngineError::Json`] on malformed input.
+    pub fn parse(line: &str) -> EngineResult<Request> {
+        let value = Json::parse(line)?;
+        let cmd = value.require("cmd")?.as_str()?.to_string();
+        match cmd.as_str() {
+            "load_pool" => Ok(Request::LoadPool {
+                pool: string_field(&value, "pool")?,
+                scores: Vec::<f64>::from_json(value.require("scores")?)?,
+                predictions: Vec::<bool>::from_json(value.require("predictions")?)?,
+            }),
+            "create_session" => Ok(Request::CreateSession {
+                session: string_field(&value, "session")?,
+                pool: string_field(&value, "pool")?,
+                seed: value.require("seed")?.as_u64()?,
+                config: match value.get("config") {
+                    Some(config) => OasisConfig::from_json(config)?,
+                    None => OasisConfig::default(),
+                },
+                truth: match value.get("truth") {
+                    Some(truth) => Some(Vec::<bool>::from_json(truth)?),
+                    None => None,
+                },
+            }),
+            "propose" => Ok(Request::Propose {
+                session: string_field(&value, "session")?,
+                count: match value.get("count") {
+                    Some(count) => bounded(count.as_usize()?, MAX_PROPOSE_COUNT, "count")?,
+                    None => 1,
+                },
+            }),
+            "label" => {
+                let labels = value
+                    .require("labels")?
+                    .as_array()?
+                    .iter()
+                    .map(|entry| {
+                        Ok::<_, EngineError>((
+                            entry.require("ticket")?.as_u64()?,
+                            entry.require("label")?.as_bool()?,
+                        ))
+                    })
+                    .collect::<EngineResult<Vec<_>>>()?;
+                Ok(Request::Label {
+                    session: string_field(&value, "session")?,
+                    labels,
+                })
+            }
+            "step" => Ok(Request::Step {
+                session: string_field(&value, "session")?,
+                steps: bounded(
+                    value.require("steps")?.as_usize()?,
+                    MAX_STEPS_PER_REQUEST,
+                    "steps",
+                )?,
+            }),
+            "run_budget" => Ok(Request::RunBudget {
+                session: string_field(&value, "session")?,
+                budget: value.require("budget")?.as_usize()?,
+                max_steps: match value.get("max_steps") {
+                    Some(max_steps) => {
+                        bounded(max_steps.as_usize()?, MAX_STEPS_PER_REQUEST, "max_steps")?
+                    }
+                    None => 1_000_000,
+                },
+            }),
+            "estimate" => Ok(Request::Estimate {
+                session: string_field(&value, "session")?,
+            }),
+            "checkpoint" => Ok(Request::Checkpoint {
+                session: string_field(&value, "session")?,
+            }),
+            "restore" => Ok(Request::Restore {
+                session: string_field(&value, "session")?,
+                checkpoint: Box::new(SessionCheckpoint::from_json(value.require("checkpoint")?)?),
+            }),
+            "sessions" => Ok(Request::Sessions),
+            "delete_session" => Ok(Request::DeleteSession {
+                session: string_field(&value, "session")?,
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(EngineError::Protocol(format!("unknown cmd {other:?}"))),
+        }
+    }
+}
+
+/// The outcome of dispatching one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dispatch {
+    /// The response object to write back (always has an `"ok"` field).
+    pub response: Json,
+    /// Whether the server should stop after responding (`shutdown`).
+    pub shutdown: bool,
+}
+
+fn ok_response() -> Json {
+    let mut obj = Json::object();
+    obj.set("ok", Json::Bool(true));
+    obj
+}
+
+/// Render an error as a protocol response line.
+pub fn error_response(error: &EngineError) -> Json {
+    let mut obj = Json::object();
+    obj.set("ok", Json::Bool(false));
+    obj.set("error", Json::String(error.to_string()));
+    obj
+}
+
+fn estimate_response(session: &Session) -> Json {
+    let mut obj = ok_response();
+    obj.set("session", Json::String(session.id().to_string()));
+    obj.set("estimate", session.estimate().to_json());
+    obj.set("labels_consumed", session.labels_consumed().to_json());
+    obj.set("pending", session.pending_count().to_json());
+    obj
+}
+
+fn tickets_response(session: &Session, tickets: &[Ticket]) -> Json {
+    let mut obj = ok_response();
+    obj.set("session", Json::String(session.id().to_string()));
+    obj.set("proposals", tickets.to_vec().to_json());
+    obj.set("pending", session.pending_count().to_json());
+    obj
+}
+
+/// Execute one parsed request against the engine.
+pub fn dispatch(engine: &Engine, request: Request) -> Dispatch {
+    let outcome = apply(engine, request);
+    match outcome {
+        Ok(dispatch) => dispatch,
+        Err(error) => Dispatch {
+            response: error_response(&error),
+            shutdown: false,
+        },
+    }
+}
+
+fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
+    let response = match request {
+        Request::LoadPool {
+            pool,
+            scores,
+            predictions,
+        } => {
+            let len = scores.len();
+            engine.load_pool(&pool, ScoredPool::new(scores, predictions)?)?;
+            let mut obj = ok_response();
+            obj.set("pool", Json::String(pool));
+            obj.set("len", len.to_json());
+            obj
+        }
+        Request::CreateSession {
+            session,
+            pool,
+            seed,
+            config,
+            truth,
+        } => {
+            let source = match truth {
+                Some(truth) => LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
+                None => {
+                    let pool_len = engine.pool(&pool)?.len();
+                    LabelSource::external(pool_len)
+                }
+            };
+            engine.create_session(&session, &pool, config, seed, source)?;
+            let mut obj = ok_response();
+            obj.set("session", Json::String(session));
+            obj.set("seed", seed.to_json());
+            obj
+        }
+        Request::Propose { session, count } => {
+            let handle = engine.session(&session)?;
+            let mut guard = handle.lock();
+            let tickets = guard.propose(count)?;
+            tickets_response(&guard, &tickets)
+        }
+        Request::Label { session, labels } => {
+            let handle = engine.session(&session)?;
+            let mut guard = handle.lock();
+            let applied = guard.apply_labels(&labels)?;
+            let mut obj = estimate_response(&guard);
+            obj.set("applied", applied.to_json());
+            obj
+        }
+        Request::Step { session, steps } => {
+            let handle = engine.session(&session)?;
+            let mut guard = handle.lock();
+            guard.step(steps)?;
+            estimate_response(&guard)
+        }
+        Request::RunBudget {
+            session,
+            budget,
+            max_steps,
+        } => {
+            let handle = engine.session(&session)?;
+            let mut guard = handle.lock();
+            guard.run_until_budget(budget, max_steps)?;
+            estimate_response(&guard)
+        }
+        Request::Estimate { session } => {
+            let handle = engine.session(&session)?;
+            let guard = handle.lock();
+            estimate_response(&guard)
+        }
+        Request::Checkpoint { session } => {
+            let handle = engine.session(&session)?;
+            let guard = handle.lock();
+            let mut obj = ok_response();
+            obj.set("session", Json::String(session));
+            obj.set("checkpoint", guard.checkpoint().to_json());
+            obj
+        }
+        Request::Restore {
+            session,
+            checkpoint,
+        } => {
+            engine.restore_session(&session, *checkpoint)?;
+            let mut obj = ok_response();
+            obj.set("session", Json::String(session));
+            obj.set("restored", Json::Bool(true));
+            obj
+        }
+        Request::Sessions => {
+            let mut obj = ok_response();
+            obj.set(
+                "sessions",
+                Json::Array(engine.session_ids().into_iter().map(Json::String).collect()),
+            );
+            obj.set(
+                "pools",
+                Json::Array(engine.pool_ids().into_iter().map(Json::String).collect()),
+            );
+            obj
+        }
+        Request::DeleteSession { session } => {
+            engine.delete_session(&session)?;
+            let mut obj = ok_response();
+            obj.set("session", Json::String(session));
+            obj.set("deleted", Json::Bool(true));
+            obj
+        }
+        Request::Shutdown => {
+            let mut obj = ok_response();
+            obj.set("shutdown", Json::Bool(true));
+            return Ok(Dispatch {
+                response: obj,
+                shutdown: true,
+            });
+        }
+    };
+    Ok(Dispatch {
+        response,
+        shutdown: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_covers_every_command() {
+        let lines = [
+            r#"{"cmd":"load_pool","pool":"p","scores":[0.9,0.1],"predictions":[true,false]}"#,
+            r#"{"cmd":"create_session","session":"s","pool":"p","seed":42}"#,
+            r#"{"cmd":"create_session","session":"s","pool":"p","seed":1,"config":{"alpha":0.7},"truth":[true,false]}"#,
+            r#"{"cmd":"propose","session":"s","count":3}"#,
+            r#"{"cmd":"propose","session":"s"}"#,
+            r#"{"cmd":"label","session":"s","labels":[{"ticket":0,"label":true}]}"#,
+            r#"{"cmd":"step","session":"s","steps":10}"#,
+            r#"{"cmd":"run_budget","session":"s","budget":50}"#,
+            r#"{"cmd":"estimate","session":"s"}"#,
+            r#"{"cmd":"checkpoint","session":"s"}"#,
+            r#"{"cmd":"sessions"}"#,
+            r#"{"cmd":"delete_session","session":"s"}"#,
+            r#"{"cmd":"shutdown"}"#,
+        ];
+        for line in lines {
+            Request::parse(line).unwrap_or_else(|e| panic!("failed to parse {line}: {e}"));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_requests() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"cmd":"no_such"}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"step","session":"s"}"#).is_err());
+        assert!(Request::parse(r#"{"nocmd":1}"#).is_err());
+    }
+
+    #[test]
+    fn dispatch_reports_errors_inline() {
+        let engine = Engine::new();
+        let request = Request::Estimate {
+            session: "ghost".to_string(),
+        };
+        let dispatch = dispatch(&engine, request);
+        assert!(!dispatch.shutdown);
+        assert_eq!(dispatch.response.require("ok").unwrap(), &Json::Bool(false));
+        assert!(dispatch
+            .response
+            .require("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("ghost"));
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_at_parse_time() {
+        // Absurd counts/steps must fail parsing instead of allocating or
+        // spinning inside the engine.
+        let huge = r#"{"cmd":"propose","session":"s","count":9007199254740992}"#;
+        assert!(Request::parse(huge).is_err());
+        let huge = r#"{"cmd":"step","session":"s","steps":9007199254740992}"#;
+        assert!(Request::parse(huge).is_err());
+        let huge = r#"{"cmd":"run_budget","session":"s","budget":1,"max_steps":9007199254740992}"#;
+        assert!(Request::parse(huge).is_err());
+        // The limits themselves are accepted.
+        let ok = format!(r#"{{"cmd":"propose","session":"s","count":{MAX_PROPOSE_COUNT}}}"#);
+        assert!(Request::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn config_defaults_apply_when_omitted() {
+        let request =
+            Request::parse(r#"{"cmd":"create_session","session":"s","pool":"p","seed":7}"#)
+                .unwrap();
+        match request {
+            Request::CreateSession { config, truth, .. } => {
+                assert_eq!(config, OasisConfig::default());
+                assert!(truth.is_none());
+            }
+            other => panic!("unexpected parse {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! Transport layer for the line protocol: stdio and TCP serving loops.
+//!
+//! [`serve_lines`] is the transport-agnostic core — one request line in, one
+//! response line out — used directly for stdin/stdout mode and per-connection
+//! in TCP mode.  TCP connections are handled on vendored-crossbeam scoped
+//! threads sharing one [`Engine`], so concurrent clients can drive disjoint
+//! sessions in parallel (per-session locks serialise conflicting access).
+
+use crate::engine::Engine;
+use crate::error::EngineError;
+use crate::protocol::{dispatch, error_response, Dispatch, Request};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Largest request line either serving loop will buffer.  Checkpoint
+/// documents for large pools are megabytes, so the cap is generous — but it
+/// must exist: without it a client streaming bytes with no newline grows the
+/// line buffer until the process OOMs, bypassing every parse-time limit.
+pub const MAX_LINE_BYTES: usize = 64 * 1024 * 1024;
+
+/// Outcome of one bounded line read.
+enum LineStatus {
+    /// Clean EOF at a line boundary (or empty final read).
+    Eof,
+    /// A full newline-terminated line is in the buffer.
+    Complete,
+    /// EOF arrived mid-line; the partial line is in the buffer.
+    FinalPartial,
+    /// The line exceeded [`MAX_LINE_BYTES`] before a newline appeared.
+    TooLong,
+}
+
+/// Read up to the rest of one line into `line`, never letting the buffer
+/// exceed [`MAX_LINE_BYTES`] (+1 sentinel byte to detect overflow).
+fn fill_line<R: BufRead>(reader: &mut R, line: &mut Vec<u8>) -> std::io::Result<LineStatus> {
+    use std::io::Read as _;
+    loop {
+        let budget = (MAX_LINE_BYTES + 1).saturating_sub(line.len());
+        if budget == 0 {
+            return Ok(LineStatus::TooLong);
+        }
+        let n = reader
+            .by_ref()
+            .take(budget as u64)
+            .read_until(b'\n', line)?;
+        if line.last() == Some(&b'\n') {
+            return Ok(LineStatus::Complete);
+        }
+        if n == 0 {
+            return Ok(if line.is_empty() {
+                LineStatus::Eof
+            } else {
+                LineStatus::FinalPartial
+            });
+        }
+        // Budget exhausted without a newline: loop once more so the len
+        // check above reports TooLong.
+    }
+}
+
+/// Render the response for one raw request line (`None` for blank lines).
+fn handle_line(engine: &Engine, raw: &[u8]) -> Option<Dispatch> {
+    let text = String::from_utf8_lossy(raw);
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    Some(match Request::parse(trimmed) {
+        Ok(request) => dispatch(engine, request),
+        Err(error) => Dispatch {
+            response: error_response(&error),
+            shutdown: false,
+        },
+    })
+}
+
+fn write_response<W: Write>(writer: &mut W, response: &serde::json::Json) -> std::io::Result<()> {
+    writer.write_all(response.render().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn line_too_long_response() -> serde::json::Json {
+    error_response(&EngineError::Protocol(format!(
+        "request line exceeds {MAX_LINE_BYTES} bytes"
+    )))
+}
+
+/// Serve the line protocol over any reader/writer pair until EOF or a
+/// `shutdown` command.  Returns `true` if the loop ended because of
+/// `shutdown` (as opposed to EOF).
+///
+/// Blank lines are ignored; malformed lines produce an `"ok": false`
+/// response and the loop continues — a broken client cannot wedge the
+/// server.  Lines longer than [`MAX_LINE_BYTES`] are answered with an error
+/// and discarded without being buffered whole.
+///
+/// # Errors
+/// Only I/O failures on the transport itself.
+pub fn serve_lines<R: BufRead, W: Write>(
+    engine: &Engine,
+    mut reader: R,
+    writer: &mut W,
+) -> std::io::Result<bool> {
+    let mut line = Vec::new();
+    let mut discarding = false;
+    loop {
+        match fill_line(&mut reader, &mut line)? {
+            LineStatus::Eof => return Ok(false),
+            LineStatus::Complete | LineStatus::FinalPartial => {
+                let at_eof = line.last() != Some(&b'\n');
+                if discarding {
+                    discarding = false;
+                } else if let Some(outcome) = handle_line(engine, &line) {
+                    write_response(writer, &outcome.response)?;
+                    if outcome.shutdown {
+                        return Ok(true);
+                    }
+                }
+                line.clear();
+                if at_eof {
+                    return Ok(false);
+                }
+            }
+            LineStatus::TooLong => {
+                if !discarding {
+                    write_response(writer, &line_too_long_response())?;
+                    discarding = true;
+                }
+                line.clear();
+            }
+        }
+    }
+}
+
+/// Serve the line protocol over TCP, handling each connection on a scoped
+/// worker thread against the shared engine.  Returns when a client issues
+/// `shutdown`: the accept loop stops and every open connection is closed
+/// (handler threads poll the stop flag on a short read timeout, so even
+/// idle clients cannot hold the process open).
+///
+/// # Errors
+/// Socket bind/accept failures.
+pub fn serve_tcp(engine: &Engine, addr: &str) -> std::io::Result<()> {
+    serve_listener(engine, TcpListener::bind(addr)?)
+}
+
+/// How often an idle TCP connection handler wakes up to check the stop flag.
+const STOP_POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Handle one TCP connection, returning `true` if this client issued
+/// `shutdown`.  Unlike [`serve_lines`], reads are interrupted every
+/// [`STOP_POLL_INTERVAL`] so the handler notices a shutdown initiated on
+/// *another* connection and hangs up instead of blocking forever.
+fn serve_tcp_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) -> bool {
+    if stream.set_read_timeout(Some(STOP_POLL_INTERVAL)).is_err() {
+        return false;
+    }
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return false,
+    });
+    let mut writer = stream;
+    // Partial lines survive timeouts: `fill_line` appends raw bytes, so data
+    // read before a timeout is kept and completed by a later read even when
+    // the timeout splits a multi-byte UTF-8 character (`read_line` would
+    // discard the partial character).  The buffer is bounded by
+    // MAX_LINE_BYTES; overlong lines are answered with an error and drained.
+    let mut line = Vec::new();
+    let mut discarding = false;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        match fill_line(&mut reader, &mut line) {
+            Ok(LineStatus::Eof) => return false, // The client hung up.
+            Ok(LineStatus::FinalPartial) => return false, // EOF mid-line.
+            Ok(LineStatus::Complete) => {
+                if discarding {
+                    discarding = false;
+                    line.clear();
+                    continue;
+                }
+                let outcome = match handle_line(engine, &line) {
+                    Some(outcome) => outcome,
+                    None => {
+                        line.clear();
+                        continue;
+                    }
+                };
+                line.clear();
+                if write_response(&mut writer, &outcome.response).is_err() {
+                    return false;
+                }
+                if outcome.shutdown {
+                    return true;
+                }
+            }
+            Ok(LineStatus::TooLong) => {
+                if !discarding {
+                    if write_response(&mut writer, &line_too_long_response()).is_err() {
+                        return false;
+                    }
+                    discarding = true;
+                }
+                line.clear();
+            }
+            Err(error) if matches!(error.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                continue;
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
+/// [`serve_tcp`] over an already-bound listener (useful for ephemeral-port
+/// setups: bind first, advertise `local_addr`, then serve).
+///
+/// # Errors
+/// Only listener-setup failures; per-connection accept errors (a client
+/// resetting mid-handshake, transient resource exhaustion) are logged and
+/// skipped so one flaky connect cannot tear down every other client's
+/// session.
+pub fn serve_listener(engine: &Engine, listener: TcpListener) -> std::io::Result<()> {
+    let local = listener.local_addr()?;
+    let stop = AtomicBool::new(false);
+    crossbeam::thread::scope(|scope| -> std::io::Result<()> {
+        for stream in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(error) => {
+                    eprintln!("oasis-serve: accept error (connection skipped): {error}");
+                    continue;
+                }
+            };
+            let stop = &stop;
+            scope.spawn(move |_| {
+                if serve_tcp_connection(engine, stream, stop) {
+                    stop.store(true, Ordering::SeqCst);
+                    // Unblock the accept loop so the listener notices the
+                    // shutdown flag.  When bound to an unspecified address
+                    // (0.0.0.0 / ::), self-connect via the loopback of the
+                    // same family — connecting to 0.0.0.0 fails on some
+                    // platforms.
+                    let mut wake = local;
+                    if wake.ip().is_unspecified() {
+                        wake.set_ip(match wake.ip() {
+                            std::net::IpAddr::V4(_) => {
+                                std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
+                            }
+                            std::net::IpAddr::V6(_) => {
+                                std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
+                            }
+                        });
+                    }
+                    if let Err(error) = TcpStream::connect(wake) {
+                        eprintln!(
+                            "oasis-serve: shutdown wake-up connect to {wake} failed ({error}); \
+                             the listener will close on the next incoming connection"
+                        );
+                    }
+                }
+            });
+        }
+        Ok(())
+    })
+    .map_err(|_| std::io::Error::other(EngineError::Protocol("worker panicked".into())))?
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn run_script(engine: &Engine, script: &str) -> Vec<String> {
+        let mut output = Vec::new();
+        serve_lines(engine, Cursor::new(script.to_string()), &mut output).unwrap();
+        String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn scripted_session_end_to_end() {
+        let engine = Engine::new();
+        let script = concat!(
+            r#"{"cmd":"load_pool","pool":"p","scores":[0.95,0.9,0.8,0.2,0.15,0.1,0.05,0.02],"predictions":[true,true,true,false,false,false,false,false]}"#,
+            "\n",
+            r#"{"cmd":"create_session","session":"s","pool":"p","seed":42,"config":{"strata_count":4},"truth":[true,true,false,false,false,false,false,false]}"#,
+            "\n",
+            r#"{"cmd":"step","session":"s","steps":60}"#,
+            "\n",
+            r#"{"cmd":"estimate","session":"s"}"#,
+            "\n",
+            r#"{"cmd":"shutdown"}"#,
+            "\n",
+        );
+        let responses = run_script(&engine, script);
+        assert_eq!(responses.len(), 5);
+        for response in &responses {
+            assert!(response.starts_with(r#"{"#), "line: {response}");
+            assert!(response.contains(r#""ok":true"#), "line: {response}");
+        }
+        assert!(responses[3].contains("f_measure"), "estimate line");
+        assert!(responses[4].contains("shutdown"));
+    }
+
+    #[test]
+    fn suspend_resume_over_the_wire() {
+        let engine = Engine::new();
+        // External session: propose returns tickets; labels come back by id.
+        let setup = concat!(
+            r#"{"cmd":"load_pool","pool":"p","scores":[0.9,0.7,0.3,0.1],"predictions":[true,true,false,false]}"#,
+            "\n",
+            r#"{"cmd":"create_session","session":"ext","pool":"p","seed":1,"config":{"strata_count":2}}"#,
+            "\n",
+            r#"{"cmd":"propose","session":"ext","count":2}"#,
+            "\n",
+        );
+        let responses = run_script(&engine, setup);
+        let proposal_line = &responses[2];
+        assert!(proposal_line.contains(r#""proposals":["#));
+        assert!(proposal_line.contains(r#""ticket":"0""#));
+        assert!(proposal_line.contains(r#""ticket":"1""#));
+
+        // Labels for both tickets resume the session.
+        let resume = concat!(
+            r#"{"cmd":"label","session":"ext","labels":[{"ticket":"0","label":true},{"ticket":"1","label":false}]}"#,
+            "\n",
+            r#"{"cmd":"estimate","session":"ext"}"#,
+            "\n",
+        );
+        let responses = run_script(&engine, resume);
+        assert!(responses[0].contains(r#""applied":2"#), "{}", responses[0]);
+        assert!(responses[1].contains(r#""pending":0"#));
+    }
+
+    #[test]
+    fn checkpoint_restore_over_the_wire_is_exact() {
+        let engine = Engine::new();
+        let setup = concat!(
+            r#"{"cmd":"load_pool","pool":"p","scores":[0.95,0.85,0.75,0.45,0.25,0.15,0.1,0.05],"predictions":[true,true,true,false,false,false,false,false]}"#,
+            "\n",
+            r#"{"cmd":"create_session","session":"a","pool":"p","seed":9,"config":{"strata_count":3},"truth":[true,true,false,true,false,false,false,false]}"#,
+            "\n",
+            r#"{"cmd":"step","session":"a","steps":40}"#,
+            "\n",
+            r#"{"cmd":"checkpoint","session":"a"}"#,
+            "\n",
+        );
+        let responses = run_script(&engine, setup);
+        let checkpoint_line = &responses[3];
+        let parsed = serde::json::Json::parse(checkpoint_line).unwrap();
+        let checkpoint = parsed.require("checkpoint").unwrap().render();
+
+        // Restore under a new name and continue both; estimates must agree.
+        let restore_script = format!(
+            "{}\n{}\n{}\n{}\n",
+            format_args!(r#"{{"cmd":"restore","session":"b","checkpoint":{checkpoint}}}"#),
+            r#"{"cmd":"step","session":"a","steps":40}"#,
+            r#"{"cmd":"step","session":"b","steps":40}"#,
+            r#"{"cmd":"sessions"}"#,
+        );
+        let responses = run_script(&engine, &restore_script);
+        assert!(
+            responses[0].contains(r#""restored":true"#),
+            "{}",
+            responses[0]
+        );
+        let estimate_a = serde::json::Json::parse(&responses[1]).unwrap();
+        let estimate_b = serde::json::Json::parse(&responses[2]).unwrap();
+        assert_eq!(
+            estimate_a.require("estimate").unwrap().render(),
+            estimate_b.require("estimate").unwrap().render(),
+            "restored session must continue bit-identically"
+        );
+        assert!(responses[3].contains(r#""sessions":["a","b"]"#));
+    }
+
+    #[test]
+    fn overlong_lines_are_rejected_without_unbounded_buffering() {
+        // A line longer than MAX_LINE_BYTES gets one error response and is
+        // discarded; the loop then serves the next request normally.
+        let engine = Engine::new();
+        let mut script = Vec::new();
+        script.extend_from_slice(br#"{"cmd":"garbage-pad":""#);
+        script.resize(MAX_LINE_BYTES + 1024, b'x');
+        script.extend_from_slice(b"\"}\n{\"cmd\":\"sessions\"}\n");
+        let mut output = Vec::new();
+        serve_lines(&engine, Cursor::new(script), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one error + one normal response: {text}");
+        assert!(lines[0].contains(r#""ok":false"#));
+        assert!(lines[0].contains("exceeds"));
+        assert!(lines[1].contains(r#""ok":true"#));
+    }
+
+    #[test]
+    fn malformed_lines_do_not_wedge_the_loop() {
+        let engine = Engine::new();
+        let script = "garbage\n{\"cmd\":\"sessions\"}\n";
+        let responses = run_script(&engine, script);
+        assert_eq!(responses.len(), 2);
+        assert!(responses[0].contains(r#""ok":false"#));
+        assert!(responses[1].contains(r#""ok":true"#));
+    }
+
+    #[test]
+    fn shutdown_closes_idle_connections() {
+        use std::io::{BufRead as _, Write as _};
+
+        let engine = Engine::new();
+        crossbeam::thread::scope(|scope| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let engine = &engine;
+            let server = scope.spawn(move |_| serve_listener(engine, listener));
+
+            // An idle client that connects and never sends a byte.
+            let idle = loop {
+                match TcpStream::connect(addr) {
+                    Ok(stream) => break stream,
+                    Err(_) => std::thread::yield_now(),
+                }
+            };
+            // A second client shuts the server down.
+            let mut active = TcpStream::connect(addr).unwrap();
+            active.write_all(b"{\"cmd\":\"shutdown\"}\n").unwrap();
+            let mut reader = BufReader::new(active.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains(r#""shutdown":true"#));
+
+            // The server must return even though the idle client is still
+            // connected — its handler polls the stop flag on a read timeout.
+            server.join().unwrap().unwrap();
+            drop(idle);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        use std::net::TcpStream;
+
+        let engine = Engine::new();
+        crossbeam::thread::scope(|scope| {
+            // Bind on an ephemeral port, then serve from a scoped thread.
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let engine = &engine;
+            let server = scope.spawn(move |_| serve_listener(engine, listener));
+
+            // Client: retry connect until the server is listening.
+            let mut stream = loop {
+                match TcpStream::connect(addr) {
+                    Ok(stream) => break stream,
+                    Err(_) => std::thread::yield_now(),
+                }
+            };
+            stream
+                .write_all(b"{\"cmd\":\"sessions\"}\n{\"cmd\":\"shutdown\"}\n")
+                .unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains(r#""ok":true"#));
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains(r#""shutdown":true"#));
+            server.join().unwrap().unwrap();
+        })
+        .unwrap();
+    }
+}

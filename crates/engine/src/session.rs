@@ -1,0 +1,717 @@
+//! A single OASIS evaluation session.
+//!
+//! A [`Session`] wraps one [`OasisSampler`] run over a shared
+//! [`Arc<ScoredPool>`] with its own independently seeded RNG.  Unlike the
+//! library's [`Sampler::run`] loop, a session is an *interactive* state
+//! machine built on [`OasisSampler::propose`] / [`OasisSampler::apply_label`]:
+//!
+//! * [`Session::propose`] draws one or more items and returns [`Ticket`]s —
+//!   the session then *suspends*, holding the tickets as pending;
+//! * [`Session::apply_labels`] resumes it when labels arrive (possibly out of
+//!   order, possibly in batches);
+//! * with an in-process oracle attached ([`LabelSource::GroundTruth`]),
+//!   [`Session::step`] runs the classic propose→query→apply loop and is
+//!   bit-identical to the library's `Sampler::step` with the same seed.
+//!
+//! Sessions are checkpointable: [`Session::checkpoint`] captures sampler
+//! state, RNG words, pending tickets and oracle state, and
+//! [`Session::restore`] resumes exactly (see `crate::checkpoint`).
+
+use crate::checkpoint::{OracleCheckpoint, SessionCheckpoint};
+use crate::error::{EngineError, EngineResult};
+use oasis::{
+    Estimate, GroundTruthOracle, OasisConfig, OasisSampler, Oracle, Proposal, Sampler as _,
+    ScoredPool,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A pending label request: a proposal plus the ticket id the eventual label
+/// must quote.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ticket {
+    /// Monotonically increasing ticket id, unique within the session.
+    pub id: u64,
+    /// The proposed query (item, stratum, prediction, locked-in weight).
+    pub proposal: Proposal,
+}
+
+/// Where a session's labels come from.
+#[derive(Debug, Clone)]
+pub enum LabelSource {
+    /// Labels arrive from outside (human annotators, a remote client) via
+    /// [`Session::apply_labels`].  The session tracks the footnote-5 budget
+    /// itself: repeated labels for the same item charge once.
+    External {
+        /// Which pool items have been labelled at least once.
+        labelled: Vec<bool>,
+        /// Number of distinct items labelled (the consumed budget).
+        distinct: usize,
+    },
+    /// A deterministic in-process oracle; enables [`Session::step`] and
+    /// simulation-style runs inside the engine.
+    GroundTruth(GroundTruthOracle),
+}
+
+impl LabelSource {
+    /// An external source for a pool of `pool_len` items.
+    pub fn external(pool_len: usize) -> Self {
+        LabelSource::External {
+            labelled: vec![false; pool_len],
+            distinct: 0,
+        }
+    }
+}
+
+/// One concurrent, independently seeded, checkpointable OASIS evaluation run.
+#[derive(Debug, Clone)]
+pub struct Session {
+    id: String,
+    pool_id: String,
+    pool: Arc<ScoredPool>,
+    sampler: OasisSampler,
+    rng: StdRng,
+    seed: u64,
+    pending: VecDeque<Ticket>,
+    next_ticket: u64,
+    source: LabelSource,
+}
+
+impl Session {
+    /// Create a session over `pool` with its own RNG seeded from `seed`.
+    ///
+    /// # Errors
+    /// Propagates sampler construction failures (invalid config, degenerate
+    /// pool) and rejects a label source that does not cover the pool (a
+    /// ground truth or `External` bitmap of the wrong length).
+    pub fn new(
+        id: impl Into<String>,
+        pool_id: impl Into<String>,
+        pool: Arc<ScoredPool>,
+        config: OasisConfig,
+        seed: u64,
+        source: LabelSource,
+    ) -> EngineResult<Self> {
+        validate_source(&source, pool.len())?;
+        let sampler = OasisSampler::new(&pool, config)?;
+        Ok(Session {
+            id: id.into(),
+            pool_id: pool_id.into(),
+            pool,
+            sampler,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            pending: VecDeque::new(),
+            next_ticket: 0,
+            source,
+        })
+    }
+
+    /// The session id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The id of the pool the session evaluates.
+    pub fn pool_id(&self) -> &str {
+        &self.pool_id
+    }
+
+    /// The seed the session RNG was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The shared pool.
+    pub fn pool(&self) -> &Arc<ScoredPool> {
+        &self.pool
+    }
+
+    /// The current estimate.
+    pub fn estimate(&self) -> Estimate {
+        self.sampler.estimate()
+    }
+
+    /// The underlying sampler (posterior means, proposal, config).
+    pub fn sampler(&self) -> &OasisSampler {
+        &self.sampler
+    }
+
+    /// Pending (proposed but unlabelled) tickets, oldest first.
+    pub fn pending(&self) -> impl Iterator<Item = &Ticket> {
+        self.pending.iter()
+    }
+
+    /// Number of pending tickets.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Distinct items labelled so far — the footnote-5 label budget.
+    pub fn labels_consumed(&self) -> usize {
+        match &self.source {
+            LabelSource::External { distinct, .. } => *distinct,
+            LabelSource::GroundTruth(oracle) => oracle.labels_consumed(),
+        }
+    }
+
+    /// Whether the session has an in-process oracle attached.
+    pub fn has_oracle(&self) -> bool {
+        matches!(self.source, LabelSource::GroundTruth(_))
+    }
+
+    /// Propose `count` items to label, suspending the session until the
+    /// labels come back through [`Session::apply_labels`].
+    ///
+    /// All draws in one batch use the same posterior (no labels can intervene
+    /// inside the batch), matching the batched-annotation semantics of
+    /// [`OasisSampler::propose`].
+    pub fn propose(&mut self, count: usize) -> EngineResult<Vec<Ticket>> {
+        let proposals = self.sampler.propose_batch(&self.pool, &mut self.rng, count);
+        let mut tickets = Vec::with_capacity(count);
+        for proposal in proposals {
+            let ticket = Ticket {
+                id: self.next_ticket,
+                proposal,
+            };
+            self.next_ticket += 1;
+            self.pending.push_back(ticket);
+            tickets.push(ticket);
+        }
+        Ok(tickets)
+    }
+
+    /// Resume the session with a batch of labels, each quoting a pending
+    /// ticket id.  Labels are applied in ascending ticket order (so a client
+    /// replying in order reproduces the sequential run bit-for-bit), and any
+    /// subset of pending tickets may be answered — stragglers stay pending.
+    ///
+    /// Every applied label charges the footnote-5 budget (distinct items
+    /// only), whatever the label source: externally labelled sessions update
+    /// their own bitmap, and sessions with an attached oracle mark the item
+    /// as queried there, so `labels_consumed` and later `run_until_budget`
+    /// calls stay consistent with the estimator.
+    ///
+    /// Returns the number of labels applied.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownTicket`] if an id is not pending (already
+    /// answered, or never issued) and [`EngineError::DuplicateTicket`] if the
+    /// batch names one ticket twice; no labels are applied in either case.
+    pub fn apply_labels(&mut self, labels: &[(u64, bool)]) -> EngineResult<usize> {
+        // Validate the whole batch first so errors leave the session intact.
+        // Batches and pending queues are both unbounded over the protocol, so
+        // everything here is O(B + P) — no per-label rescans.
+        let mut by_ticket: std::collections::HashMap<u64, bool> =
+            std::collections::HashMap::with_capacity(labels.len());
+        for &(ticket_id, label) in labels {
+            if by_ticket.insert(ticket_id, label).is_some() {
+                return Err(EngineError::DuplicateTicket(ticket_id));
+            }
+        }
+        let pending_ids: std::collections::HashSet<u64> =
+            self.pending.iter().map(|t| t.id).collect();
+        for &(ticket_id, _) in labels {
+            if !pending_ids.contains(&ticket_id) {
+                return Err(EngineError::UnknownTicket(ticket_id));
+            }
+        }
+        // One pass over the deque: answered tickets come out in queue order,
+        // which is ascending ticket id — the order labels are applied in.
+        let mut answered = Vec::with_capacity(by_ticket.len());
+        self.pending.retain(|ticket| {
+            if by_ticket.contains_key(&ticket.id) {
+                answered.push(*ticket);
+                false
+            } else {
+                true
+            }
+        });
+        for ticket in &answered {
+            let label = by_ticket[&ticket.id];
+            self.sampler.apply_label(&ticket.proposal, label);
+            self.charge_label_budget(ticket.proposal.item);
+        }
+        Ok(answered.len())
+    }
+
+    fn charge_label_budget(&mut self, item: usize) {
+        match &mut self.source {
+            LabelSource::External { labelled, distinct } => {
+                if !labelled[item] {
+                    labelled[item] = true;
+                    *distinct += 1;
+                }
+            }
+            LabelSource::GroundTruth(oracle) => {
+                // Budget accounting only: the client's label was already
+                // applied above.  `mark_queried` charges once per distinct
+                // item without inflating `queries_issued` (the oracle never
+                // answered) or touching the session's RNG stream.
+                let _ = oracle.mark_queried(item);
+            }
+        }
+    }
+
+    /// Run `steps` complete propose→query→apply iterations against the
+    /// attached oracle.  Bit-identical to the library's `Sampler::run` with
+    /// the same seed and pool.
+    ///
+    /// # Errors
+    /// [`EngineError::WrongLabelSource`] if the session labels externally, or
+    /// if proposals are still pending (labels must not leapfrog them).
+    pub fn step(&mut self, steps: usize) -> EngineResult<Estimate> {
+        self.ensure_steppable()?;
+        for _ in 0..steps {
+            self.step_once()?;
+        }
+        Ok(self.estimate())
+    }
+
+    /// Run steps until the oracle has consumed `label_budget` distinct labels
+    /// or `max_steps` iterations have elapsed, mirroring the library's
+    /// `run_until_budget`.
+    pub fn run_until_budget(
+        &mut self,
+        label_budget: usize,
+        max_steps: usize,
+    ) -> EngineResult<Estimate> {
+        self.ensure_steppable()?;
+        let mut steps = 0;
+        while self.labels_consumed() < label_budget && steps < max_steps {
+            self.step_once()?;
+            steps += 1;
+        }
+        Ok(self.estimate())
+    }
+
+    fn ensure_steppable(&self) -> EngineResult<()> {
+        if !self.has_oracle() {
+            return Err(EngineError::WrongLabelSource(
+                "session labels externally; use propose/label instead of step",
+            ));
+        }
+        if !self.pending.is_empty() {
+            return Err(EngineError::WrongLabelSource(
+                "session has pending tickets; label them before stepping",
+            ));
+        }
+        Ok(())
+    }
+
+    fn step_once(&mut self) -> EngineResult<()> {
+        // Identical draw/query/update order to `Sampler::step`, so a session
+        // with seed s reproduces the library run with seed s bit-for-bit.
+        let proposal = self.sampler.propose(&self.pool, &mut self.rng);
+        let label = match &mut self.source {
+            LabelSource::GroundTruth(oracle) => oracle.query(proposal.item, &mut self.rng)?,
+            LabelSource::External { .. } => unreachable!("checked by ensure_steppable"),
+        };
+        self.sampler.apply_label(&proposal, label);
+        Ok(())
+    }
+
+    /// Capture a full checkpoint: sampler state, RNG words, pending tickets
+    /// and oracle state.  Restoring it with [`Session::restore`] resumes the
+    /// run exactly.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            session_id: self.id.clone(),
+            pool_id: self.pool_id.clone(),
+            pool_len: self.pool.len(),
+            pool_fingerprint: crate::checkpoint::pool_fingerprint(&self.pool),
+            seed: self.seed,
+            rng_words: self.rng.state_words(),
+            sampler: self.sampler.state(),
+            pending: self.pending.iter().copied().collect(),
+            next_ticket: self.next_ticket,
+            oracle: match &self.source {
+                LabelSource::External { labelled, distinct } => OracleCheckpoint::External {
+                    labelled: labelled.clone(),
+                    distinct: *distinct,
+                },
+                LabelSource::GroundTruth(oracle) => OracleCheckpoint::GroundTruth {
+                    truth: oracle.ground_truth().to_vec(),
+                    queried: oracle.queried_mask().to_vec(),
+                    queries_issued: oracle.queries_issued(),
+                },
+            },
+        }
+    }
+
+    /// Rebuild a session from a checkpoint against the (already loaded) pool
+    /// it was captured on.
+    ///
+    /// # Errors
+    /// [`EngineError::CheckpointMismatch`] if the pool's length or
+    /// fingerprint differs from the checkpointed one, plus any sampler
+    /// reconstruction failure.
+    pub fn restore(checkpoint: SessionCheckpoint, pool: Arc<ScoredPool>) -> EngineResult<Self> {
+        if pool.len() != checkpoint.pool_len {
+            return Err(EngineError::CheckpointMismatch(format!(
+                "pool has {} items, checkpoint expects {}",
+                pool.len(),
+                checkpoint.pool_len
+            )));
+        }
+        let fingerprint = crate::checkpoint::pool_fingerprint(&pool);
+        if fingerprint != checkpoint.pool_fingerprint {
+            return Err(EngineError::CheckpointMismatch(format!(
+                "pool fingerprint {fingerprint:#x} != checkpointed {:#x}",
+                checkpoint.pool_fingerprint
+            )));
+        }
+        let sampler = OasisSampler::from_state(&pool, checkpoint.sampler)?;
+        let source = match checkpoint.oracle {
+            OracleCheckpoint::External { labelled, .. } => {
+                if labelled.len() != pool.len() {
+                    return Err(EngineError::CheckpointMismatch(
+                        "labelled bitmap does not cover the pool".to_string(),
+                    ));
+                }
+                // Recompute the budget from the bitmap (as the oracle path
+                // does) so a hand-edited `distinct` cannot misreport it.
+                let distinct = labelled.iter().filter(|&&l| l).count();
+                LabelSource::External { labelled, distinct }
+            }
+            OracleCheckpoint::GroundTruth {
+                truth,
+                queried,
+                queries_issued,
+            } => {
+                if truth.len() != pool.len() {
+                    return Err(EngineError::CheckpointMismatch(
+                        "ground truth does not cover the pool".to_string(),
+                    ));
+                }
+                LabelSource::GroundTruth(GroundTruthOracle::from_state(
+                    truth,
+                    queried,
+                    queries_issued,
+                )?)
+            }
+        };
+        // Pending tickets come verbatim from the document; a crafted
+        // checkpoint must not be able to smuggle out-of-range indices past
+        // restore and panic a later apply_labels.
+        let strata_count = sampler.strata().len();
+        let mut seen_tickets = std::collections::HashSet::new();
+        for ticket in &checkpoint.pending {
+            if ticket.id >= checkpoint.next_ticket || !seen_tickets.insert(ticket.id) {
+                return Err(EngineError::CheckpointMismatch(format!(
+                    "pending ticket id {} is duplicated or not below next_ticket {}",
+                    ticket.id, checkpoint.next_ticket
+                )));
+            }
+            if !(ticket.proposal.weight.is_finite() && ticket.proposal.weight >= 0.0) {
+                return Err(EngineError::CheckpointMismatch(format!(
+                    "pending ticket {} has invalid weight {}",
+                    ticket.id, ticket.proposal.weight
+                )));
+            }
+            if ticket.proposal.item >= pool.len() || ticket.proposal.stratum >= strata_count {
+                return Err(EngineError::CheckpointMismatch(format!(
+                    "pending ticket {} references item {} / stratum {} outside the pool \
+                     ({} items, {} strata)",
+                    ticket.id,
+                    ticket.proposal.item,
+                    ticket.proposal.stratum,
+                    pool.len(),
+                    strata_count
+                )));
+            }
+        }
+        Ok(Session {
+            id: checkpoint.session_id,
+            pool_id: checkpoint.pool_id,
+            pool,
+            sampler,
+            rng: StdRng::from_state_words(checkpoint.rng_words),
+            seed: checkpoint.seed,
+            pending: checkpoint.pending.into(),
+            next_ticket: checkpoint.next_ticket,
+            source,
+        })
+    }
+}
+
+/// Reject label sources whose coverage does not match the pool, so indexing
+/// by pool item can never panic later.
+fn validate_source(source: &LabelSource, pool_len: usize) -> EngineResult<()> {
+    let covered = match source {
+        LabelSource::External { labelled, .. } => labelled.len(),
+        LabelSource::GroundTruth(oracle) => oracle.len(),
+    };
+    if covered != pool_len {
+        return Err(EngineError::InvalidLabelSource(format!(
+            "label source covers {covered} items but the pool has {pool_len}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_and_truth(n: usize, seed: u64) -> (Arc<ScoredPool>, Vec<bool>) {
+        crate::test_support::pool_and_truth(n, seed, 0.06)
+    }
+
+    fn library_run(pool: &ScoredPool, truth: &[bool], seed: u64, steps: usize) -> Estimate {
+        let mut oracle = GroundTruthOracle::new(truth.to_vec());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sampler =
+            OasisSampler::new(pool, OasisConfig::default().with_strata_count(12)).unwrap();
+        sampler.run(pool, &mut oracle, &mut rng, steps).unwrap()
+    }
+
+    fn assert_bit_identical(a: &Estimate, b: &Estimate) {
+        assert_eq!(a.f_measure.to_bits(), b.f_measure.to_bits());
+        assert_eq!(a.precision.to_bits(), b.precision.to_bits());
+        assert_eq!(a.recall.to_bits(), b.recall.to_bits());
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn oracle_session_is_bit_identical_to_library_run() {
+        let (pool, truth) = pool_and_truth(2000, 1);
+        let expected = library_run(&pool, &truth, 7, 400);
+        let mut session = Session::new(
+            "s",
+            "p",
+            Arc::clone(&pool),
+            OasisConfig::default().with_strata_count(12),
+            7,
+            LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
+        )
+        .unwrap();
+        let estimate = session.step(400).unwrap();
+        assert_bit_identical(&estimate, &expected);
+    }
+
+    #[test]
+    fn external_session_fed_true_labels_matches_library_run() {
+        let (pool, truth) = pool_and_truth(1200, 2);
+        let expected = library_run(&pool, &truth, 11, 300);
+        let mut session = Session::new(
+            "s",
+            "p",
+            Arc::clone(&pool),
+            OasisConfig::default().with_strata_count(12),
+            11,
+            LabelSource::external(pool.len()),
+        )
+        .unwrap();
+        // Suspend/resume one ticket at a time, the client answering from the
+        // hidden truth — exactly what a human-annotator driver would do.
+        for _ in 0..300 {
+            let tickets = session.propose(1).unwrap();
+            let answers: Vec<(u64, bool)> = tickets
+                .iter()
+                .map(|t| (t.id, truth[t.proposal.item]))
+                .collect();
+            session.apply_labels(&answers).unwrap();
+        }
+        assert_bit_identical(&session.estimate(), &expected);
+        assert!(session.labels_consumed() > 0);
+        assert!(session.labels_consumed() <= 300);
+    }
+
+    #[test]
+    fn batch_proposals_share_a_posterior_and_resume_in_any_order() {
+        let (pool, truth) = pool_and_truth(800, 3);
+        let mut session = Session::new(
+            "s",
+            "p",
+            Arc::clone(&pool),
+            OasisConfig::default().with_strata_count(8),
+            13,
+            LabelSource::external(pool.len()),
+        )
+        .unwrap();
+        let tickets = session.propose(5).unwrap();
+        assert_eq!(session.pending_count(), 5);
+        // Answer out of order and in two batches; stragglers stay pending.
+        session
+            .apply_labels(&[
+                (tickets[3].id, truth[tickets[3].proposal.item]),
+                (tickets[0].id, truth[tickets[0].proposal.item]),
+            ])
+            .unwrap();
+        assert_eq!(session.pending_count(), 3);
+        session
+            .apply_labels(&[
+                (tickets[1].id, truth[tickets[1].proposal.item]),
+                (tickets[4].id, truth[tickets[4].proposal.item]),
+                (tickets[2].id, truth[tickets[2].proposal.item]),
+            ])
+            .unwrap();
+        assert_eq!(session.pending_count(), 0);
+        assert_eq!(session.estimate().iterations, 5);
+    }
+
+    #[test]
+    fn unknown_or_replayed_tickets_are_rejected_atomically() {
+        let (pool, truth) = pool_and_truth(500, 4);
+        let mut session = Session::new(
+            "s",
+            "p",
+            Arc::clone(&pool),
+            OasisConfig::default().with_strata_count(6),
+            17,
+            LabelSource::external(pool.len()),
+        )
+        .unwrap();
+        let tickets = session.propose(2).unwrap();
+        // One good id + one bogus id → nothing applied.
+        let err = session
+            .apply_labels(&[(tickets[0].id, true), (999, false)])
+            .unwrap_err();
+        assert_eq!(err, EngineError::UnknownTicket(999));
+        assert_eq!(session.pending_count(), 2);
+        // Answer then replay the same ticket → rejected.
+        session
+            .apply_labels(&[(tickets[0].id, truth[tickets[0].proposal.item])])
+            .unwrap();
+        let err = session.apply_labels(&[(tickets[0].id, true)]).unwrap_err();
+        assert_eq!(err, EngineError::UnknownTicket(tickets[0].id));
+    }
+
+    #[test]
+    fn duplicate_tickets_in_one_batch_are_rejected_atomically() {
+        let (pool, _) = pool_and_truth(400, 9);
+        let mut session = Session::new(
+            "s",
+            "p",
+            Arc::clone(&pool),
+            OasisConfig::default().with_strata_count(4),
+            37,
+            LabelSource::external(pool.len()),
+        )
+        .unwrap();
+        let tickets = session.propose(2).unwrap();
+        let err = session
+            .apply_labels(&[(tickets[0].id, true), (tickets[0].id, false)])
+            .unwrap_err();
+        assert_eq!(err, EngineError::DuplicateTicket(tickets[0].id));
+        // Nothing was applied: both tickets still pending, estimator untouched.
+        assert_eq!(session.pending_count(), 2);
+        assert_eq!(session.estimate().iterations, 0);
+    }
+
+    #[test]
+    fn external_labels_on_an_oracle_session_charge_the_oracle_budget() {
+        let (pool, truth) = pool_and_truth(400, 10);
+        let mut session = Session::new(
+            "s",
+            "p",
+            Arc::clone(&pool),
+            OasisConfig::default().with_strata_count(4),
+            41,
+            LabelSource::GroundTruth(GroundTruthOracle::new(truth.clone())),
+        )
+        .unwrap();
+        // Drive an oracle-attached session through the suspend/resume path
+        // (allowed, e.g. when a client overrides labels): the footnote-5
+        // budget must advance exactly as if the oracle had been queried.
+        let mut items = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let tickets = session.propose(1).unwrap();
+            items.insert(tickets[0].proposal.item);
+            session
+                .apply_labels(&[(tickets[0].id, truth[tickets[0].proposal.item])])
+                .unwrap();
+        }
+        assert_eq!(session.labels_consumed(), items.len());
+        // Mixing with step() afterwards keeps the accounting consistent.
+        session.step(10).unwrap();
+        assert!(session.labels_consumed() >= items.len());
+    }
+
+    #[test]
+    fn external_budget_charges_distinct_items_once() {
+        let (pool, _) = pool_and_truth(300, 5);
+        let mut session = Session::new(
+            "s",
+            "p",
+            Arc::clone(&pool),
+            OasisConfig::default().with_strata_count(4),
+            19,
+            LabelSource::external(pool.len()),
+        )
+        .unwrap();
+        // Draws are with replacement, so after many proposals the distinct
+        // count must be ≤ the number of labels applied.
+        for _ in 0..120 {
+            let tickets = session.propose(1).unwrap();
+            session.apply_labels(&[(tickets[0].id, false)]).unwrap();
+        }
+        assert!(session.labels_consumed() <= 120);
+        assert_eq!(session.estimate().iterations, 120);
+    }
+
+    #[test]
+    fn stepping_an_external_session_is_an_error() {
+        let (pool, _) = pool_and_truth(200, 6);
+        let mut session = Session::new(
+            "s",
+            "p",
+            pool,
+            OasisConfig::default().with_strata_count(4),
+            23,
+            LabelSource::external(200),
+        )
+        .unwrap();
+        assert!(matches!(
+            session.step(1),
+            Err(EngineError::WrongLabelSource(_))
+        ));
+    }
+
+    #[test]
+    fn stepping_with_pending_tickets_is_an_error() {
+        let (pool, truth) = pool_and_truth(200, 7);
+        let mut session = Session::new(
+            "s",
+            "p",
+            Arc::clone(&pool),
+            OasisConfig::default().with_strata_count(4),
+            29,
+            LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
+        )
+        .unwrap();
+        session.propose(1).unwrap();
+        assert!(matches!(
+            session.step(1),
+            Err(EngineError::WrongLabelSource(_))
+        ));
+    }
+
+    #[test]
+    fn run_until_budget_matches_library_run_until_budget() {
+        let (pool, truth) = pool_and_truth(3000, 8);
+        let mut oracle = GroundTruthOracle::new(truth.clone());
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut sampler =
+            OasisSampler::new(&pool, OasisConfig::default().with_strata_count(12)).unwrap();
+        let expected = sampler
+            .run_until_budget(&pool, &mut oracle, &mut rng, 150, 100_000)
+            .unwrap();
+
+        let mut session = Session::new(
+            "s",
+            "p",
+            Arc::clone(&pool),
+            OasisConfig::default().with_strata_count(12),
+            31,
+            LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
+        )
+        .unwrap();
+        let estimate = session.run_until_budget(150, 100_000).unwrap();
+        assert_bit_identical(&estimate, &expected);
+        assert_eq!(session.labels_consumed(), oracle.labels_consumed());
+    }
+}

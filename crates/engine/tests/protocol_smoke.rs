@@ -1,0 +1,36 @@
+//! The scripted protocol session CI pipes into the `oasis-serve` binary,
+//! run here through `serve_lines` so `cargo test` enforces the same pinned
+//! output locally.  If this test needs a new golden value, update the
+//! matching `grep` in `.github/workflows/ci.yml` too.
+
+use oasis_engine::server::serve_lines;
+use oasis_engine::Engine;
+use std::io::Cursor;
+
+const SMOKE_SCRIPT: &str = include_str!("smoke/session.jsonl");
+
+/// Golden F-measure for the smoke session (pool + seed are fixed, all
+/// arithmetic is deterministic IEEE-754 — no libm in the calibrated-score
+/// path — so this is stable across platforms).
+const GOLDEN_ESTIMATE_FRAGMENT: &str = r#""f_measure":0.8605922932779813"#;
+
+#[test]
+fn scripted_smoke_session_reproduces_the_golden_estimate_line() {
+    let engine = Engine::new();
+    let mut output = Vec::new();
+    let shutdown = serve_lines(&engine, Cursor::new(SMOKE_SCRIPT), &mut output).unwrap();
+    assert!(shutdown, "the script ends with a shutdown command");
+
+    let text = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 5, "one response per request:\n{text}");
+    for line in &lines {
+        assert!(line.contains(r#""ok":true"#), "failed response: {line}");
+    }
+    let estimate_line = lines[3];
+    assert!(
+        estimate_line.contains(GOLDEN_ESTIMATE_FRAGMENT),
+        "estimate drifted from golden: {estimate_line}"
+    );
+    assert!(estimate_line.contains(r#""labels_consumed":10"#));
+}

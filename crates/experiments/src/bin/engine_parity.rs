@@ -1,0 +1,21 @@
+//! Engine-vs-library parity driver for `oasis-engine`.
+//!
+//! Usage: `cargo run --release -p experiments --bin engine_parity -- --scale=0.1 --sessions=8 --steps=2000 --workers=4`
+
+use experiments::engine_parity::{run, EngineParityConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let config = EngineParityConfig {
+        scale: experiments::parse_arg(&args, "scale", 0.1f64),
+        sessions: experiments::parse_arg(&args, "sessions", 8usize),
+        steps: experiments::parse_arg(&args, "steps", 2000usize),
+        workers: experiments::parse_arg(&args, "workers", 4usize),
+        seed: experiments::parse_arg(&args, "seed", 2017u64),
+    };
+    let parity = run(&config);
+    println!("{}", parity.render());
+    if !parity.all_identical() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,280 @@
+//! Engine-vs-library parity: the acceptance experiment for `oasis-engine`.
+//!
+//! The engine's whole value proposition is that moving OASIS behind a
+//! session/worker-pool/checkpoint boundary changes *nothing* statistically:
+//! N concurrent engine sessions with fixed seeds must produce estimates
+//! bit-identical to N sequential library runs with the same seeds, and an
+//! interrupt→checkpoint→restore→resume session must land on the same bits as
+//! one that never stopped.  This driver checks both on a cora-profile pool
+//! and reports engine throughput (steps/second across the worker pool) as a
+//! bonus.
+
+use crate::pools::{direct_pool, ExperimentPool};
+use crate::report::{fmt_float, TextTable};
+use er_core::datasets::DatasetProfile;
+use oasis::oracle::GroundTruthOracle;
+use oasis::samplers::{OasisConfig, OasisSampler, Sampler};
+use oasis_engine::{Engine, LabelSource, SessionCheckpoint, SessionJob};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Configuration of the parity experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineParityConfig {
+    /// Pool scale relative to the full cora pool.
+    pub scale: f64,
+    /// Number of concurrent sessions (and sequential reference runs).
+    pub sessions: usize,
+    /// Sampling steps per session.
+    pub steps: usize,
+    /// Worker threads driving the sessions.
+    pub workers: usize,
+    /// Base RNG seed; session `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for EngineParityConfig {
+    fn default() -> Self {
+        EngineParityConfig {
+            scale: 0.1,
+            sessions: 8,
+            steps: 2000,
+            workers: 4,
+            seed: 2017,
+        }
+    }
+}
+
+/// Per-session parity outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParityRow {
+    /// The session's seed.
+    pub seed: u64,
+    /// F-measure from the sequential library run.
+    pub library_f: f64,
+    /// F-measure from the concurrent engine session.
+    pub engine_f: f64,
+    /// Whether library and engine estimates agree bit-for-bit (F, P and R).
+    pub bit_identical: bool,
+    /// Whether an interrupt→checkpoint→restore→resume run of the same
+    /// session agrees bit-for-bit with the uninterrupted one.
+    pub checkpoint_identical: bool,
+}
+
+/// The full parity report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineParity {
+    /// One row per session.
+    pub rows: Vec<ParityRow>,
+    /// Pool size used.
+    pub pool_size: usize,
+    /// Steps per session.
+    pub steps: usize,
+    /// Worker threads used for the concurrent pass.
+    pub workers: usize,
+    /// Wall-clock seconds for the concurrent engine pass.
+    pub parallel_seconds: f64,
+    /// Aggregate engine throughput: total steps / parallel wall-clock.
+    pub steps_per_second: f64,
+}
+
+impl EngineParity {
+    /// Whether every session passed both parity checks.
+    pub fn all_identical(&self) -> bool {
+        self.rows
+            .iter()
+            .all(|r| r.bit_identical && r.checkpoint_identical)
+    }
+
+    /// Render as a plain-text table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec![
+            "Seed",
+            "Library F",
+            "Engine F",
+            "Bit-identical",
+            "Checkpoint-identical",
+        ]);
+        for row in &self.rows {
+            table.add_row(vec![
+                row.seed.to_string(),
+                fmt_float(row.library_f, 12),
+                fmt_float(row.engine_f, 12),
+                row.bit_identical.to_string(),
+                row.checkpoint_identical.to_string(),
+            ]);
+        }
+        format!(
+            "Engine parity on a cora-profile pool ({} pairs, {} sessions x {} steps, {} workers)\n{}\nEngine throughput: {:.0} steps/s ({} total steps in {:.3}s)\nAll identical: {}",
+            self.pool_size,
+            self.rows.len(),
+            self.steps,
+            self.workers,
+            table.render(),
+            self.steps_per_second,
+            self.rows.len() * self.steps,
+            self.parallel_seconds,
+            self.all_identical()
+        )
+    }
+}
+
+fn library_reference(
+    pool: &ExperimentPool,
+    config: &OasisConfig,
+    seed: u64,
+    steps: usize,
+) -> oasis::Estimate {
+    let mut oracle = GroundTruthOracle::new(pool.truth.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sampler = OasisSampler::new(&pool.pool, config.clone()).expect("valid config");
+    sampler
+        .run(&pool.pool, &mut oracle, &mut rng, steps)
+        .expect("library run cannot fail")
+}
+
+/// Interrupt the same configuration at `steps / 3`, round-trip the checkpoint
+/// through its JSON text, and finish on the restored session.
+fn checkpointed_run(
+    engine: &Engine,
+    pool: &ExperimentPool,
+    config: &OasisConfig,
+    seed: u64,
+    steps: usize,
+) -> oasis::Estimate {
+    let session_id = format!("ckpt-{seed}");
+    engine
+        .create_session(
+            &session_id,
+            "cora",
+            config.clone(),
+            seed,
+            LabelSource::GroundTruth(GroundTruthOracle::new(pool.truth.clone())),
+        )
+        .expect("session");
+    let handle = engine.session(&session_id).expect("exists");
+    let cut = steps / 3;
+    handle.lock().step(cut).expect("first leg");
+    let text = handle.lock().checkpoint().to_json_string();
+    engine.delete_session(&session_id).expect("delete");
+    let checkpoint = SessionCheckpoint::from_json_string(&text).expect("parse checkpoint");
+    engine
+        .restore_session(&session_id, checkpoint)
+        .expect("restore");
+    let handle = engine.session(&session_id).expect("restored");
+    let estimate = handle.lock().step(steps - cut).expect("second leg");
+    engine.delete_session(&session_id).expect("cleanup");
+    estimate
+}
+
+/// Run the parity experiment.
+pub fn run(config: &EngineParityConfig) -> EngineParity {
+    let pool = direct_pool(&DatasetProfile::cora(), config.scale, true, config.seed);
+    let sampler_config = OasisConfig::default().with_strata_count(30);
+    let seeds: Vec<u64> = (0..config.sessions as u64)
+        .map(|i| config.seed + i)
+        .collect();
+
+    // Sequential library references.
+    let references: Vec<oasis::Estimate> = seeds
+        .iter()
+        .map(|&seed| library_reference(&pool, &sampler_config, seed, config.steps))
+        .collect();
+
+    // Concurrent engine sessions over one shared pool.
+    let engine = Engine::new();
+    engine
+        .load_pool("cora", pool.pool.clone())
+        .expect("load pool");
+    for &seed in &seeds {
+        engine
+            .create_session(
+                format!("s{seed}"),
+                "cora",
+                sampler_config.clone(),
+                seed,
+                LabelSource::GroundTruth(GroundTruthOracle::new(pool.truth.clone())),
+            )
+            .expect("session");
+    }
+    let jobs: Vec<SessionJob> = seeds
+        .iter()
+        .map(|&seed| SessionJob::Steps {
+            session: format!("s{seed}"),
+            steps: config.steps,
+        })
+        .collect();
+    let start = Instant::now();
+    let estimates = engine
+        .run_parallel(&jobs, config.workers)
+        .expect("parallel run");
+    let parallel_seconds = start.elapsed().as_secs_f64();
+
+    let rows: Vec<ParityRow> = seeds
+        .iter()
+        .zip(references.iter().zip(estimates.iter()))
+        .map(|(&seed, (reference, estimate))| {
+            let bit_identical = reference.f_measure.to_bits() == estimate.f_measure.to_bits()
+                && reference.precision.to_bits() == estimate.precision.to_bits()
+                && reference.recall.to_bits() == estimate.recall.to_bits();
+            let resumed = checkpointed_run(&engine, &pool, &sampler_config, seed, config.steps);
+            let checkpoint_identical = resumed.f_measure.to_bits() == reference.f_measure.to_bits()
+                && resumed.precision.to_bits() == reference.precision.to_bits()
+                && resumed.recall.to_bits() == reference.recall.to_bits();
+            ParityRow {
+                seed,
+                library_f: reference.f_measure,
+                engine_f: estimate.f_measure,
+                bit_identical,
+                checkpoint_identical,
+            }
+        })
+        .collect();
+
+    let total_steps = (config.sessions * config.steps) as f64;
+    EngineParity {
+        rows,
+        pool_size: pool.len(),
+        steps: config.steps,
+        workers: config.workers,
+        parallel_seconds,
+        steps_per_second: total_steps / parallel_seconds.max(1e-12),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> EngineParityConfig {
+        EngineParityConfig {
+            scale: 0.02,
+            sessions: 4,
+            steps: 150,
+            workers: 2,
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn engine_matches_library_bit_for_bit() {
+        let parity = run(&tiny_config());
+        assert_eq!(parity.rows.len(), 4);
+        assert!(
+            parity.all_identical(),
+            "parity failed:\n{}",
+            parity.render()
+        );
+    }
+
+    #[test]
+    fn render_reports_throughput_and_rows() {
+        let parity = run(&tiny_config());
+        let text = parity.render();
+        assert!(text.contains("Engine parity"));
+        assert!(text.contains("steps/s"));
+        assert!(text.contains("All identical: true"));
+        assert!(parity.steps_per_second > 0.0);
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`figure3`] | Calibrated vs uncalibrated scores (IS & OASIS) |
 //! | [`figure4`] | Convergence of F̂, π̂, v̂ and KL divergence |
 //! | [`figure5`] | Error after a fixed budget for five classifiers |
+//! | [`engine_parity`] | `oasis-engine` sessions vs library runs (bitwise) |
 //!
 //! Shared infrastructure: [`methods`] (the sampling methods under
 //! comparison), [`pools`] (pool construction from dataset profiles),
@@ -26,6 +27,7 @@
 #![deny(unsafe_code)]
 
 pub mod curves;
+pub mod engine_parity;
 pub mod figure1;
 pub mod figure2;
 pub mod figure3;

@@ -1,10 +1,18 @@
 //! Table 3: CPU time per run and per iteration on the cora pool.
 //!
-//! The point of the paper's Table 3 is the *scaling* contrast: static IS
-//! samples from a non-uniform distribution over the whole pool (cost linear in
-//! the pool size N per draw), while OASIS samples over K strata (cost linear
-//! in K), so OASIS is an order of magnitude faster per iteration and its cost
-//! is essentially independent of N.
+//! The point of the paper's Table 3 is the *scaling* contrast: the reference
+//! implementation's static IS samples from a non-uniform distribution over
+//! the whole pool (`numpy.random.choice`, cost linear in the pool size N per
+//! draw), while OASIS samples over K strata, so in the paper OASIS is an
+//! order of magnitude faster per iteration and its cost is essentially
+//! independent of N.
+//!
+//! This implementation deliberately does **not** reproduce the paper's IS
+//! slowness: `ImportanceSampler` precomputes its cumulative weights once and
+//! draws in O(log N), so its per-iteration cost collapses.  What the table
+//! still demonstrates — and what the tests pin — is the half of the claim
+//! that survives the optimisation: OASIS's per-iteration cost does not grow
+//! with the pool.
 
 use crate::methods::Method;
 use crate::pools::{direct_pool, ExperimentPool};
@@ -184,20 +192,31 @@ mod tests {
     }
 
     #[test]
-    fn is_is_slower_per_iteration_than_oasis() {
-        // The paper's key scaling claim: static IS pays O(N) per draw, OASIS
-        // O(K).  Even at reduced scale the ordering must hold.
-        let table = run(&Table3Config {
-            scale: 0.1,
-            iterations: 500,
+    fn oasis_per_iteration_cost_is_independent_of_pool_size() {
+        // The half of the paper's Table-3 scaling claim that this
+        // implementation preserves: OASIS iterates over K strata, so tripling
+        // the pool must not triple the per-iteration cost.  (The other half —
+        // IS paying O(N) per draw — is deliberately optimised away: the
+        // static samplers precompute their cumulative weights and draw in
+        // O(log N).)
+        let small = run(&Table3Config {
+            scale: 0.05,
+            iterations: 2000,
             runs: 1,
             seed: 32,
         });
-        let is_time = table.row("IS").unwrap().seconds_per_iteration;
-        let oasis_time = table.row("OASIS 30").unwrap().seconds_per_iteration;
+        let large = run(&Table3Config {
+            scale: 0.15,
+            iterations: 2000,
+            runs: 1,
+            seed: 32,
+        });
+        assert!(large.pool_size > 2 * small.pool_size);
+        let small_time = small.row("OASIS 30").unwrap().seconds_per_iteration;
+        let large_time = large.row("OASIS 30").unwrap().seconds_per_iteration;
         assert!(
-            is_time > 2.0 * oasis_time,
-            "IS per-iteration time {is_time:.2e} should clearly exceed OASIS {oasis_time:.2e}"
+            large_time < 3.0 * small_time,
+            "OASIS per-iteration cost grew with the pool: {small_time:.2e} -> {large_time:.2e}"
         );
     }
 

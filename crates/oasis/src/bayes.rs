@@ -114,6 +114,70 @@ impl BetaBernoulliModel {
         })
     }
 
+    /// Rebuild a model from a previously captured snapshot (see
+    /// [`BetaBernoulliModel::snapshot`]): prior pseudo-counts *and* observed
+    /// counts.  The restored model continues bit-for-bit where the snapshot
+    /// was taken.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] on empty, mismatched or non-finite vectors.
+    pub fn from_state(
+        prior_gamma0: Vec<f64>,
+        prior_gamma1: Vec<f64>,
+        observed_matches: Vec<f64>,
+        observed_non_matches: Vec<f64>,
+        decay_prior: bool,
+    ) -> Result<Self> {
+        let k = prior_gamma0.len();
+        if k == 0
+            || prior_gamma1.len() != k
+            || observed_matches.len() != k
+            || observed_non_matches.len() != k
+        {
+            return Err(Error::InvalidParameter {
+                name: "state",
+                message: format!(
+                    "state rows must be non-empty and equal length (got {}, {}, {}, {})",
+                    k,
+                    prior_gamma1.len(),
+                    observed_matches.len(),
+                    observed_non_matches.len()
+                ),
+            });
+        }
+        if prior_gamma0
+            .iter()
+            .chain(prior_gamma1.iter())
+            .chain(observed_matches.iter())
+            .chain(observed_non_matches.iter())
+            .any(|&g| g < 0.0 || !g.is_finite())
+        {
+            return Err(Error::InvalidParameter {
+                name: "state",
+                message: "state counts must be finite and non-negative".to_string(),
+            });
+        }
+        Ok(BetaBernoulliModel {
+            prior_gamma0,
+            prior_gamma1,
+            observed_matches,
+            observed_non_matches,
+            decay_prior,
+        })
+    }
+
+    /// The full internal state as `(prior γ₀, prior γ₁, observed matches,
+    /// observed non-matches)`, for checkpointing.  Feed the rows back through
+    /// [`BetaBernoulliModel::from_state`] to restore.
+    pub fn snapshot(&self) -> (&[f64], &[f64], &[f64], &[f64]) {
+        (
+            &self.prior_gamma0,
+            &self.prior_gamma1,
+            &self.observed_matches,
+            &self.observed_non_matches,
+        )
+    }
+
     /// Number of strata `K`.
     pub fn strata_count(&self) -> usize {
         self.prior_gamma0.len()

@@ -12,6 +12,7 @@
 //! which also yields the weighted precision (`α = 1`) and recall (`α = 0`).
 //! Passive sampling is the special case of unit weights.
 
+use crate::error::{Error, Result};
 use crate::measures::Measures;
 use serde::{Deserialize, Serialize};
 
@@ -91,6 +92,56 @@ impl AisEstimator {
     /// The α this estimator targets.
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+
+    /// Rebuild an estimator from a previously captured snapshot: the four
+    /// weighted sums returned by [`AisEstimator::sums`] plus the iteration
+    /// count.  The restored accumulator continues bit-for-bit.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] if `alpha` lies outside `[0, 1]` or any
+    /// sum is non-finite or negative — snapshots come from untrusted
+    /// checkpoint documents, and corrupt sums would silently poison every
+    /// later estimate.
+    pub fn from_parts(
+        alpha: f64,
+        weighted_tp: f64,
+        weighted_predicted: f64,
+        weighted_actual: f64,
+        total_weight: f64,
+        iterations: usize,
+    ) -> Result<Self> {
+        if !(0.0..=1.0).contains(&alpha) || alpha.is_nan() {
+            return Err(Error::InvalidParameter {
+                name: "alpha",
+                message: format!("must be in [0, 1], got {alpha}"),
+            });
+        }
+        if [
+            weighted_tp,
+            weighted_predicted,
+            weighted_actual,
+            total_weight,
+        ]
+        .iter()
+        .any(|x| !x.is_finite() || *x < 0.0)
+        {
+            return Err(Error::InvalidParameter {
+                name: "sums",
+                message: format!(
+                    "estimator sums must be finite and non-negative, got \
+                     ({weighted_tp}, {weighted_predicted}, {weighted_actual}, {total_weight})"
+                ),
+            });
+        }
+        Ok(AisEstimator {
+            alpha,
+            weighted_tp,
+            weighted_predicted,
+            weighted_actual,
+            total_weight,
+            iterations,
+        })
     }
 
     /// Record one sampled item with importance weight `weight`, predicted

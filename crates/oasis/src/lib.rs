@@ -75,6 +75,7 @@ pub mod measures;
 pub mod oracle;
 pub mod pool;
 pub mod samplers;
+pub mod serial;
 pub mod strata;
 
 pub use confidence::{ConfidenceInterval, VarianceTracker};
@@ -84,7 +85,37 @@ pub use measures::{ConfusionCounts, Measures};
 pub use oracle::{GroundTruthOracle, NoisyOracle, Oracle};
 pub use pool::ScoredPool;
 pub use samplers::{
-    ImportanceSampler, OasisConfig, OasisSampler, PassiveSampler, Sampler, StratifiedSampler,
-    TrackedSampler,
+    CategoricalCdf, EstimatorState, ImportanceSampler, OasisConfig, OasisSampler, PassiveSampler,
+    Proposal, Sampler, SamplerState, StratifiedSampler, TrackedSampler,
 };
 pub use strata::{CsfStratifier, EqualSizeStratifier, Strata, Stratifier};
+
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    //! Shared fixtures for the crate's unit tests.
+
+    use crate::pool::ScoredPool;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng};
+
+    /// A deterministic imbalanced pool plus its hidden truth: calibrated
+    /// scores that correlate with (but don't perfectly predict) the labels.
+    pub(crate) fn pool_and_truth(n: usize, seed: u64, match_rate: f64) -> (ScoredPool, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scores = Vec::with_capacity(n);
+        let mut predictions = Vec::with_capacity(n);
+        let mut truth = Vec::with_capacity(n);
+        for _ in 0..n {
+            let is_match = rng.gen_bool(match_rate);
+            let p: f64 = if is_match {
+                0.5 + 0.5 * rng.gen::<f64>()
+            } else {
+                0.5 * rng.gen::<f64>()
+            };
+            scores.push(p);
+            predictions.push(p > 0.5);
+            truth.push(is_match);
+        }
+        (ScoredPool::new(scores, predictions).unwrap(), truth)
+    }
+}

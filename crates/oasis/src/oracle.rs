@@ -24,6 +24,21 @@ pub trait Oracle {
     /// same item do not consume additional label budget.
     fn query<R: Rng + ?Sized>(&mut self, index: usize, rng: &mut R) -> Result<bool>;
 
+    /// Query a batch of items in order, returning one label per index.
+    ///
+    /// This is the batch path used behind the engine boundary, where label
+    /// requests are shipped to remote/human annotators in groups.  The
+    /// default implementation loops over [`query`](Oracle::query), so the
+    /// footnote-5 budget accounting is preserved automatically: an index
+    /// repeated within the batch (or already labelled earlier) is served
+    /// from the cache and charges no additional budget.
+    fn query_many<R: Rng + ?Sized>(&mut self, indices: &[usize], rng: &mut R) -> Result<Vec<bool>> {
+        indices
+            .iter()
+            .map(|&index| self.query(index, rng))
+            .collect()
+    }
+
     /// Number of *distinct* items labelled so far (the consumed label budget).
     fn labels_consumed(&self) -> usize;
 
@@ -78,6 +93,61 @@ impl GroundTruthOracle {
     /// Number of true matches in the ground truth.
     pub fn match_count(&self) -> usize {
         self.truth.iter().filter(|&&t| t).count()
+    }
+
+    /// Which items have been labelled so far (the budget bitmap), for
+    /// checkpointing.  Restore with [`GroundTruthOracle::from_state`].
+    pub fn queried_mask(&self) -> &[bool] {
+        &self.queried
+    }
+
+    /// Charge the footnote-5 budget for `index` without issuing a query —
+    /// used when a label for the item was obtained out of band (e.g. a
+    /// client-supplied label behind the engine boundary) so budget
+    /// accounting stays consistent while `queries_issued` keeps meaning
+    /// "queries actually answered by this oracle".
+    ///
+    /// # Errors
+    /// [`Error::OracleOutOfBounds`] if `index` is outside the truth.
+    pub fn mark_queried(&mut self, index: usize) -> Result<()> {
+        if index >= self.truth.len() {
+            return Err(Error::OracleOutOfBounds {
+                index,
+                len: self.truth.len(),
+            });
+        }
+        if !self.queried[index] {
+            self.queried[index] = true;
+            self.labels_consumed += 1;
+        }
+        Ok(())
+    }
+
+    /// Rebuild an oracle mid-run from checkpointed state: the ground truth,
+    /// the already-labelled bitmap and the total query count.
+    /// `labels_consumed` is recomputed from the bitmap, so the footnote-5
+    /// budget accounting cannot be corrupted by a hand-edited checkpoint.
+    ///
+    /// # Errors
+    /// [`Error::LengthMismatch`] if the bitmap does not cover the truth.
+    pub fn from_state(truth: Vec<bool>, queried: Vec<bool>, queries_issued: usize) -> Result<Self> {
+        if truth.len() != queried.len() {
+            return Err(Error::InvalidParameter {
+                name: "queried",
+                message: format!(
+                    "queried bitmap covers {} items but the truth has {}",
+                    queried.len(),
+                    truth.len()
+                ),
+            });
+        }
+        let labels_consumed = queried.iter().filter(|&&q| q).count();
+        Ok(GroundTruthOracle {
+            truth,
+            queried,
+            labels_consumed,
+            queries_issued,
+        })
     }
 }
 
@@ -245,6 +315,71 @@ mod tests {
         assert_eq!(oracle.queries_issued(), 0);
         oracle.query(0, &mut rng).unwrap();
         assert_eq!(oracle.labels_consumed(), 1);
+    }
+
+    #[test]
+    fn query_many_returns_labels_in_order() {
+        let mut oracle = GroundTruthOracle::new(vec![true, false, true, false]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let labels = oracle.query_many(&[3, 0, 2], &mut rng).unwrap();
+        assert_eq!(labels, vec![false, true, true]);
+        assert_eq!(oracle.labels_consumed(), 3);
+        assert_eq!(oracle.queries_issued(), 3);
+    }
+
+    #[test]
+    fn batched_queries_never_double_charge_the_budget() {
+        // Footnote 5: an item charges budget only on its first query, whether
+        // the repeat happens within one batch, across batches, or mixed with
+        // single queries.
+        let mut oracle = GroundTruthOracle::new(vec![true, false, true, false, true]);
+        let mut rng = StdRng::seed_from_u64(2);
+        oracle.query_many(&[1, 1, 1, 4], &mut rng).unwrap();
+        assert_eq!(oracle.labels_consumed(), 2, "repeats inside one batch");
+        oracle.query_many(&[4, 1, 0], &mut rng).unwrap();
+        assert_eq!(oracle.labels_consumed(), 3, "repeats across batches");
+        oracle.query(0, &mut rng).unwrap();
+        oracle.query_many(&[0, 2], &mut rng).unwrap();
+        assert_eq!(oracle.labels_consumed(), 4, "mixed single/batch repeats");
+        assert_eq!(oracle.queries_issued(), 10);
+    }
+
+    #[test]
+    fn noisy_batched_queries_cache_and_charge_once() {
+        let mut oracle = NoisyOracle::new(vec![0.5; 6]).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let first = oracle.query_many(&[2, 2, 5, 2], &mut rng).unwrap();
+        assert_eq!(first[0], first[1]);
+        assert_eq!(first[1], first[3]);
+        assert_eq!(oracle.labels_consumed(), 2);
+        let again = oracle.query_many(&[2, 5], &mut rng).unwrap();
+        assert_eq!(again, vec![first[0], first[2]]);
+        assert_eq!(oracle.labels_consumed(), 2);
+    }
+
+    #[test]
+    fn query_many_propagates_out_of_bounds() {
+        let mut oracle = GroundTruthOracle::new(vec![true]);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(oracle.query_many(&[0, 9], &mut rng).is_err());
+    }
+
+    #[test]
+    fn ground_truth_state_round_trip() {
+        let mut oracle = GroundTruthOracle::new(vec![true, false, true]);
+        let mut rng = StdRng::seed_from_u64(3);
+        oracle.query(2, &mut rng).unwrap();
+        oracle.query(2, &mut rng).unwrap();
+        let restored = GroundTruthOracle::from_state(
+            oracle.ground_truth().to_vec(),
+            oracle.queried_mask().to_vec(),
+            oracle.queries_issued(),
+        )
+        .unwrap();
+        assert_eq!(restored.labels_consumed(), 1);
+        assert_eq!(restored.queries_issued(), 2);
+        assert_eq!(restored.queried_mask(), oracle.queried_mask());
+        assert!(GroundTruthOracle::from_state(vec![true], vec![], 0).is_err());
     }
 
     #[test]

@@ -8,12 +8,14 @@
 //! never adapts, so its efficiency hinges entirely on how well calibrated the
 //! scores are (paper Section 6.3.2).
 //!
-//! The distribution lives over the *entire pool* of `N` items and — as in the
-//! reference implementation, which uses `numpy.random.choice` — each draw
-//! costs `O(N)`, which is what makes IS an order of magnitude slower than
-//! OASIS in the paper's Table 3.
+//! The distribution lives over the *entire pool* of `N` items.  The paper's
+//! reference implementation (`numpy.random.choice`) pays `O(N)` per draw,
+//! which is what makes IS an order of magnitude slower than OASIS in the
+//! paper's Table 3; because the distribution is static, this implementation
+//! precomputes its cumulative weights once and draws in `O(log N)` via
+//! binary search ([`CategoricalCdf`]).
 
-use super::{sample_categorical, Sampler, StepOutcome};
+use super::{CategoricalCdf, Sampler, StepOutcome};
 use crate::error::{Error, Result};
 use crate::estimator::{AisEstimator, Estimate};
 use crate::instrumental::pointwise_optimal;
@@ -32,6 +34,8 @@ pub(crate) fn logistic(score: f64, tau: f64) -> f64 {
 pub struct ImportanceSampler {
     /// Normalised instrumental probabilities over the pool items.
     proposal: Vec<f64>,
+    /// Cumulative weights of `proposal`, precomputed for O(log N) draws.
+    cdf: CategoricalCdf,
     /// Importance weights `p(z)/q(z) = (1/N)/q_i`, pre-computed.
     weights: Vec<f64>,
     estimator: AisEstimator,
@@ -71,8 +75,10 @@ impl ImportanceSampler {
             .iter()
             .map(|&q| if q > 0.0 { uniform / q } else { 0.0 })
             .collect();
+        let cdf = CategoricalCdf::new(&proposal);
         Ok(ImportanceSampler {
             proposal,
+            cdf,
             weights,
             estimator: AisEstimator::new(alpha),
         })
@@ -111,7 +117,7 @@ impl Sampler for ImportanceSampler {
         oracle: &mut O,
         rng: &mut R,
     ) -> Result<StepOutcome> {
-        let item = sample_categorical(rng, &self.proposal);
+        let item = self.cdf.sample(rng);
         let prediction = pool.prediction(item);
         let label = oracle.query(item, rng)?;
         let weight = self.weights[item];

@@ -1,6 +1,7 @@
 //! The OASIS sampler — the paper's contribution (Algorithms 2 and 3).
 
-use super::{sample_categorical, Sampler, StepOutcome};
+use super::state::{EstimatorState, SamplerState};
+use super::{Sampler, StepOutcome};
 use crate::bayes::BetaBernoulliModel;
 use crate::error::{Error, Result};
 use crate::estimator::{AisEstimator, Estimate};
@@ -178,6 +179,28 @@ pub fn initialise(pool: &ScoredPool, strata: &Strata, alpha: f64, tau: f64) -> I
     Initialisation { pi_guess, f_guess }
 }
 
+/// A proposed oracle query: the output of [`OasisSampler::propose`], waiting
+/// for a label.
+///
+/// This is the suspension point of the sampler's explicit state machine: a
+/// driver (in-process loop, human annotation queue, remote evaluation
+/// session) holds the proposal while the label is produced, then feeds it
+/// back through [`OasisSampler::apply_label`].  The importance weight is
+/// fixed at proposal time — it depends only on the instrumental distribution
+/// used for the draw — so labels may arrive late or in batches without
+/// changing the estimator's maths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Proposal {
+    /// Index of the proposed pool item.
+    pub item: usize,
+    /// The stratum the item was drawn from.
+    pub stratum: usize,
+    /// The ER system's predicted label for the item.
+    pub prediction: bool,
+    /// Importance weight `w_t = ω_k / v⁽ᵗ⁾_k` locked in at proposal time.
+    pub weight: f64,
+}
+
 /// The OASIS adaptive importance sampler (paper Algorithm 3).
 ///
 /// Each [`step`](Sampler::step):
@@ -187,6 +210,14 @@ pub fn initialise(pool: &ScoredPool, strata: &Strata, alpha: f64, tau: f64) -> I
 /// 3. queries the oracle,
 /// 4. updates the Beta–Bernoulli posterior (Eqn. 10) and the AIS estimator
 ///    (Eqn. 3) with importance weight `w_t = ω_k / v⁽ᵗ⁾_k`.
+///
+/// The loop is also exposed as an explicit state machine —
+/// [`propose`](OasisSampler::propose) / [`apply_label`](OasisSampler::apply_label)
+/// — so the oracle does not have to be an in-process callback: a driver can
+/// suspend at the label request and resume when labels arrive, possibly in
+/// batches ([`apply_labels`](OasisSampler::apply_labels)).  [`Sampler::step`]
+/// is implemented on top of that state machine, so the two code paths cannot
+/// drift apart.
 #[derive(Debug, Clone)]
 pub struct OasisSampler {
     config: OasisConfig,
@@ -196,6 +227,10 @@ pub struct OasisSampler {
     initial_f_guess: f64,
     /// The instrumental distribution used at the most recent step.
     current_proposal: Vec<f64>,
+    /// Reusable scratch for the cumulative proposal weights, so the per-step
+    /// binary-search draw allocates nothing after the first step.  Transient:
+    /// not part of [`SamplerState`].
+    cdf_scratch: Vec<f64>,
 }
 
 impl OasisSampler {
@@ -228,6 +263,7 @@ impl OasisSampler {
             estimator,
             initial_f_guess: init.f_guess,
             current_proposal: vec![1.0 / k as f64; k],
+            cdf_scratch: Vec::new(),
         })
     }
 
@@ -284,6 +320,155 @@ impl OasisSampler {
         );
         epsilon_greedy(self.strata.weights(), &optimal, self.config.epsilon)
     }
+
+    /// Algorithm 3, lines 3–6 — the first half of a step: refresh the
+    /// instrumental distribution, draw a stratum and an item, and lock in the
+    /// importance weight.  The sampler then waits for
+    /// [`apply_label`](Self::apply_label); the oracle is *not* consulted.
+    ///
+    /// Consecutive proposals without intervening labels draw from the same
+    /// posterior (the distribution cannot change without new labels), which
+    /// is what makes batched annotation sound.
+    pub fn propose<R: Rng + ?Sized>(&mut self, pool: &ScoredPool, rng: &mut R) -> Proposal {
+        // Line 3: v⁽ᵗ⁾ from Eqn. 12.
+        let proposal = self.compute_proposal();
+        // Line 4: draw a stratum — binary search over cumulative weights held
+        // in a reusable scratch buffer (no allocation on the hot path).
+        super::fill_cumulative(&proposal, &mut self.cdf_scratch);
+        let stratum = super::sample_from_cumulative(rng, &self.cdf_scratch);
+        // Line 5: draw an item uniformly within the stratum.
+        let members = self.strata.members(stratum);
+        let item = members[rng.gen_range(0..members.len())];
+        // Line 6: importance weight w_t = ω_k / v_k.
+        let weight = self.strata.weights()[stratum] / proposal[stratum];
+        self.current_proposal = proposal;
+        Proposal {
+            item,
+            stratum,
+            prediction: pool.prediction(item),
+            weight,
+        }
+    }
+
+    /// Batch form of [`propose`](Self::propose): draw `count` proposals from
+    /// one refresh of the instrumental distribution.  Because no labels can
+    /// intervene inside the batch, the posterior — and therefore the
+    /// distribution — is identical for every draw, so this produces the same
+    /// proposals (bit-for-bit, same RNG stream) as calling `propose` `count`
+    /// times while paying the O(K) distribution/CDF construction once.
+    pub fn propose_batch<R: Rng + ?Sized>(
+        &mut self,
+        pool: &ScoredPool,
+        rng: &mut R,
+        count: usize,
+    ) -> Vec<Proposal> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let proposal = self.compute_proposal();
+        super::fill_cumulative(&proposal, &mut self.cdf_scratch);
+        let mut batch = Vec::with_capacity(count);
+        for _ in 0..count {
+            let stratum = super::sample_from_cumulative(rng, &self.cdf_scratch);
+            let members = self.strata.members(stratum);
+            let item = members[rng.gen_range(0..members.len())];
+            let weight = self.strata.weights()[stratum] / proposal[stratum];
+            batch.push(Proposal {
+                item,
+                stratum,
+                prediction: pool.prediction(item),
+                weight,
+            });
+        }
+        self.current_proposal = proposal;
+        batch
+    }
+
+    /// Algorithm 3, lines 9–11 — the second half of a step: fold an oracle
+    /// label for a pending [`Proposal`] into the Beta–Bernoulli posterior
+    /// (Eqn. 10) and the AIS estimator (Eqn. 3).
+    pub fn apply_label(&mut self, proposal: &Proposal, label: bool) {
+        self.model.observe(proposal.stratum, label);
+        self.estimator
+            .observe(proposal.weight, proposal.prediction, label);
+    }
+
+    /// Apply a batch of labels in order.  Equivalent to calling
+    /// [`apply_label`](Self::apply_label) once per pair; provided so batch
+    /// oracle responses (crowd pushes, engine `label` commands) have a single
+    /// entry point.
+    pub fn apply_labels<'a, I>(&mut self, labelled: I)
+    where
+        I: IntoIterator<Item = (&'a Proposal, bool)>,
+    {
+        for (proposal, label) in labelled {
+            self.apply_label(proposal, label);
+        }
+    }
+
+    /// Capture the full serializable state of the sampler (strata, posterior,
+    /// estimator sums, initialisation products) for checkpointing.  See
+    /// [`SamplerState`].
+    pub fn state(&self) -> SamplerState {
+        let (prior_gamma0, prior_gamma1, observed_matches, observed_non_matches) =
+            self.model.snapshot();
+        SamplerState {
+            config: self.config.clone(),
+            allocations: self.strata.allocations().to_vec(),
+            prior_gamma0: prior_gamma0.to_vec(),
+            prior_gamma1: prior_gamma1.to_vec(),
+            observed_matches: observed_matches.to_vec(),
+            observed_non_matches: observed_non_matches.to_vec(),
+            decay_prior: self.model.decays_prior(),
+            estimator: EstimatorState::capture(&self.estimator),
+            initial_f_guess: self.initial_f_guess,
+            current_proposal: self.current_proposal.clone(),
+        }
+    }
+
+    /// Rebuild a sampler from a captured [`SamplerState`] against the pool it
+    /// was captured on.  Exact-resume: the restored sampler continues
+    /// bit-for-bit.
+    ///
+    /// # Errors
+    /// Propagates validation failures (bad config, allocations outside the
+    /// pool, corrupt model rows).
+    pub fn from_state(pool: &ScoredPool, state: SamplerState) -> Result<Self> {
+        state.rebuild(pool)
+    }
+
+    /// Assemble a sampler from restored components; shared by
+    /// [`SamplerState::rebuild`].
+    pub(super) fn from_parts(
+        config: OasisConfig,
+        strata: Strata,
+        model: BetaBernoulliModel,
+        estimator: AisEstimator,
+        initial_f_guess: f64,
+        current_proposal: Vec<f64>,
+    ) -> Result<Self> {
+        config.validate()?;
+        let k = strata.len();
+        if model.strata_count() != k || current_proposal.len() != k {
+            return Err(Error::InvalidParameter {
+                name: "state",
+                message: format!(
+                    "inconsistent strata counts: strata {k}, model {}, proposal {}",
+                    model.strata_count(),
+                    current_proposal.len()
+                ),
+            });
+        }
+        Ok(OasisSampler {
+            config,
+            strata,
+            model,
+            estimator,
+            initial_f_guess,
+            current_proposal,
+            cdf_scratch: Vec::new(),
+        })
+    }
 }
 
 impl Sampler for OasisSampler {
@@ -293,28 +478,16 @@ impl Sampler for OasisSampler {
         oracle: &mut O,
         rng: &mut R,
     ) -> Result<StepOutcome> {
-        // Line 3: v⁽ᵗ⁾ from Eqn. 12.
-        let proposal = self.compute_proposal();
-        // Line 4: draw a stratum.
-        let stratum = sample_categorical(rng, &proposal);
-        // Line 5: draw an item uniformly within the stratum.
-        let members = self.strata.members(stratum);
-        let item = members[rng.gen_range(0..members.len())];
-        // Line 6: importance weight w_t = ω_k / v_k.
-        let weight = self.strata.weights()[stratum] / proposal[stratum];
-        // Lines 7–8: oracle label and system prediction.
-        let prediction = pool.prediction(item);
-        let label = oracle.query(item, rng)?;
-        // Lines 9–10: posterior update.
-        self.model.observe(stratum, label);
-        // Line 11: estimator update.
-        self.estimator.observe(weight, prediction, label);
-        self.current_proposal = proposal;
+        // The in-process loop is the state machine run without suspension:
+        // propose (lines 3–6), query the oracle (lines 7–8), apply (9–11).
+        let proposal = self.propose(pool, rng);
+        let label = oracle.query(proposal.item, rng)?;
+        self.apply_label(&proposal, label);
         Ok(StepOutcome {
-            item,
-            prediction,
+            item: proposal.item,
+            prediction: proposal.prediction,
             label,
-            weight,
+            weight: proposal.weight,
         })
     }
 

@@ -1,0 +1,257 @@
+//! Serializable sampler state for checkpoint/resume.
+//!
+//! [`SamplerState`] captures everything an [`OasisSampler`] needs to continue
+//! a run bit-for-bit: the configuration, the exact stratification (as raw
+//! allocations, since re-stratifying a different pool could tie-break
+//! differently), the Beta–Bernoulli posterior counts, the AIS estimator's
+//! weighted sums, and the initialisation products.  The caller's RNG is *not*
+//! part of this state — samplers borrow their generator — so resumable
+//! drivers (the `oasis-engine` crate) persist the RNG words alongside.
+//!
+//! The state is a plain data type; JSON conversion lives in
+//! [`crate::serial`].
+
+use super::oasis_sampler::{OasisConfig, OasisSampler};
+use crate::bayes::BetaBernoulliModel;
+use crate::error::Result;
+use crate::estimator::AisEstimator;
+use crate::pool::ScoredPool;
+use crate::strata::Strata;
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of an [`AisEstimator`]: the four weighted sums of Eqn. 3 plus the
+/// iteration count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorState {
+    /// F-measure weight α.
+    pub alpha: f64,
+    /// Σ w·ℓ·ℓ̂ — weighted true positives.
+    pub weighted_tp: f64,
+    /// Σ w·ℓ̂ — weighted predicted positives.
+    pub weighted_predicted: f64,
+    /// Σ w·ℓ — weighted actual positives.
+    pub weighted_actual: f64,
+    /// Σ w — total weight.
+    pub total_weight: f64,
+    /// Number of observations folded in.
+    pub iterations: usize,
+}
+
+impl EstimatorState {
+    /// Capture an estimator's accumulated sums.
+    pub fn capture(estimator: &AisEstimator) -> Self {
+        let (weighted_tp, weighted_predicted, weighted_actual, total_weight) = estimator.sums();
+        EstimatorState {
+            alpha: estimator.alpha(),
+            weighted_tp,
+            weighted_predicted,
+            weighted_actual,
+            total_weight,
+            iterations: estimator.iterations(),
+        }
+    }
+
+    /// Rebuild the estimator; the restored accumulator continues bit-for-bit.
+    ///
+    /// # Errors
+    /// Propagates [`AisEstimator::from_parts`] validation (corrupt sums).
+    pub fn rebuild(&self) -> Result<AisEstimator> {
+        AisEstimator::from_parts(
+            self.alpha,
+            self.weighted_tp,
+            self.weighted_predicted,
+            self.weighted_actual,
+            self.total_weight,
+            self.iterations,
+        )
+    }
+}
+
+/// Full serializable state of an [`OasisSampler`].
+///
+/// Produced by [`OasisSampler::state`], consumed by
+/// [`OasisSampler::from_state`].  A round trip through this type (and through
+/// its JSON form, [`crate::serial`]) is exact: resuming a restored sampler
+/// with a restored RNG produces the same estimates, bit-for-bit, as never
+/// having stopped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplerState {
+    /// The sampler configuration.
+    pub config: OasisConfig,
+    /// The exact stratification: pool indices per stratum.
+    pub allocations: Vec<Vec<usize>>,
+    /// Prior pseudo-counts for label 1, per stratum.
+    pub prior_gamma0: Vec<f64>,
+    /// Prior pseudo-counts for label 0, per stratum.
+    pub prior_gamma1: Vec<f64>,
+    /// Observed label-1 counts per stratum.
+    pub observed_matches: Vec<f64>,
+    /// Observed label-0 counts per stratum.
+    pub observed_non_matches: Vec<f64>,
+    /// Whether prior decay (Remark 4) is enabled.
+    pub decay_prior: bool,
+    /// The AIS estimator accumulator.
+    pub estimator: EstimatorState,
+    /// The Algorithm 2 initial F-measure guess.
+    pub initial_f_guess: f64,
+    /// The instrumental distribution used at the most recent step.
+    pub current_proposal: Vec<f64>,
+}
+
+impl SamplerState {
+    /// Rebuild a sampler against `pool`.
+    ///
+    /// The pool must be the one the state was captured against (the engine
+    /// layer verifies this with a fingerprint); `Strata::from_allocations`
+    /// recomputes the per-stratum summary statistics from the pool, which
+    /// reproduces the original values exactly because the summation order is
+    /// identical.
+    ///
+    /// # Errors
+    /// Propagates validation failures from the config, strata and model
+    /// constructors (e.g. allocations referencing items outside the pool).
+    pub fn rebuild(self, pool: &ScoredPool) -> Result<OasisSampler> {
+        // States may come from untrusted checkpoint documents: an item
+        // allocated twice (within or across strata) would silently skew the
+        // stratum weights and every later estimate, so reject it here
+        // (out-of-range indices are rejected by `from_allocations` below).
+        let mut seen = vec![false; pool.len()];
+        for stratum in &self.allocations {
+            for &item in stratum {
+                if let Some(flag) = seen.get_mut(item) {
+                    if *flag {
+                        return Err(crate::error::Error::InvalidParameter {
+                            name: "allocations",
+                            message: format!("pool item {item} allocated to more than one slot"),
+                        });
+                    }
+                    *flag = true;
+                }
+            }
+        }
+        let strata = Strata::from_allocations(pool, self.allocations)?;
+        let model = BetaBernoulliModel::from_state(
+            self.prior_gamma0,
+            self.prior_gamma1,
+            self.observed_matches,
+            self.observed_non_matches,
+            self.decay_prior,
+        )?;
+        OasisSampler::from_parts(
+            self.config,
+            strata,
+            model,
+            self.estimator.rebuild()?,
+            self.initial_f_guess,
+            self.current_proposal,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GroundTruthOracle;
+    use crate::samplers::Sampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool_and_truth(n: usize, seed: u64) -> (ScoredPool, Vec<bool>) {
+        crate::test_fixtures::pool_and_truth(n, seed, 0.08)
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_identical() {
+        let (pool, truth) = pool_and_truth(1500, 4);
+        let mut oracle = GroundTruthOracle::new(truth);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sampler =
+            OasisSampler::new(&pool, OasisConfig::default().with_strata_count(12)).unwrap();
+        for _ in 0..200 {
+            sampler.step(&pool, &mut oracle, &mut rng).unwrap();
+        }
+        let state = sampler.state();
+        let restored = state.clone().rebuild(&pool).unwrap();
+
+        // The restored sampler is indistinguishable: same estimate bits, same
+        // posterior, same proposal.
+        let a = sampler.estimate();
+        let b = restored.estimate();
+        assert_eq!(a.f_measure.to_bits(), b.f_measure.to_bits());
+        assert_eq!(a.precision.to_bits(), b.precision.to_bits());
+        assert_eq!(a.recall.to_bits(), b.recall.to_bits());
+        assert_eq!(sampler.pi_estimates(), restored.pi_estimates());
+        assert_eq!(sampler.current_proposal(), restored.current_proposal());
+        assert_eq!(sampler.compute_proposal(), restored.compute_proposal());
+
+        // Continuing both sides with the same RNG stays identical.
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let mut oracle_a = GroundTruthOracle::new(vec![true; pool.len()]);
+        let mut oracle_b = GroundTruthOracle::new(vec![true; pool.len()]);
+        let mut sampler_b = restored;
+        let mut sampler_a = sampler;
+        for _ in 0..100 {
+            let oa = sampler_a.step(&pool, &mut oracle_a, &mut rng_a).unwrap();
+            let ob = sampler_b.step(&pool, &mut oracle_b, &mut rng_b).unwrap();
+            assert_eq!(oa.item, ob.item);
+            assert_eq!(oa.weight.to_bits(), ob.weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn propose_batch_matches_repeated_propose_bitwise() {
+        let (pool, _) = pool_and_truth(600, 8);
+        let mut a = OasisSampler::new(&pool, OasisConfig::default().with_strata_count(8)).unwrap();
+        let mut b = a.clone();
+        let mut rng_a = StdRng::seed_from_u64(55);
+        let mut rng_b = StdRng::seed_from_u64(55);
+        let batch = a.propose_batch(&pool, &mut rng_a, 20);
+        let singles: Vec<_> = (0..20).map(|_| b.propose(&pool, &mut rng_b)).collect();
+        assert_eq!(batch.len(), 20);
+        for (x, y) in batch.iter().zip(singles.iter()) {
+            assert_eq!(x.item, y.item);
+            assert_eq!(x.stratum, y.stratum);
+            assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+        }
+        assert_eq!(a.current_proposal(), b.current_proposal());
+        assert!(a.propose_batch(&pool, &mut rng_a, 0).is_empty());
+    }
+
+    #[test]
+    fn rebuild_rejects_overlapping_allocations() {
+        let (pool, _) = pool_and_truth(50, 9);
+        let sampler =
+            OasisSampler::new(&pool, OasisConfig::default().with_strata_count(4)).unwrap();
+        // Duplicate within one stratum.
+        let mut state = sampler.state();
+        let item = state.allocations[0][0];
+        state.allocations[0].push(item);
+        assert!(state.rebuild(&pool).is_err());
+        // Duplicate across strata.
+        let mut state = sampler.state();
+        let item = state.allocations[0][0];
+        state.allocations[1].push(item);
+        assert!(state.rebuild(&pool).is_err());
+    }
+
+    #[test]
+    fn rebuild_rejects_allocations_outside_the_pool() {
+        let (pool, _) = pool_and_truth(50, 6);
+        let sampler =
+            OasisSampler::new(&pool, OasisConfig::default().with_strata_count(4)).unwrap();
+        let mut state = sampler.state();
+        state.allocations[0].push(10_000);
+        assert!(state.rebuild(&pool).is_err());
+    }
+
+    #[test]
+    fn rebuild_rejects_corrupt_model_rows() {
+        let (pool, _) = pool_and_truth(50, 7);
+        let sampler =
+            OasisSampler::new(&pool, OasisConfig::default().with_strata_count(4)).unwrap();
+        let mut state = sampler.state();
+        state.observed_matches.pop();
+        assert!(state.rebuild(&pool).is_err());
+    }
+}

@@ -1,7 +1,7 @@
 //! Proportional stratified sampling (Druck & McCallum style) — the
 //! "Stratified" baseline of Section 6.2.
 
-use super::{sample_categorical, Sampler, StepOutcome};
+use super::{CategoricalCdf, Sampler, StepOutcome};
 use crate::error::Result;
 use crate::estimator::Estimate;
 use crate::oracle::Oracle;
@@ -43,6 +43,9 @@ pub struct StratifiedSampler {
     iterations: usize,
     /// Per-stratum item counts as f64, cached for the estimator.
     stratum_sizes: Vec<f64>,
+    /// Cumulative stratum weights, precomputed for O(log K) draws (the
+    /// proportional proposal never changes).
+    weight_cdf: CategoricalCdf,
 }
 
 impl StratifiedSampler {
@@ -57,12 +60,14 @@ impl StratifiedSampler {
     pub fn with_strata(strata: Strata, alpha: f64) -> Self {
         let k = strata.len();
         let stratum_sizes = (0..k).map(|i| strata.size(i) as f64).collect();
+        let weight_cdf = CategoricalCdf::new(strata.weights());
         StratifiedSampler {
             strata,
             alpha,
             tallies: vec![StratumTally::default(); k],
             iterations: 0,
             stratum_sizes,
+            weight_cdf,
         }
     }
 
@@ -119,7 +124,7 @@ impl Sampler for StratifiedSampler {
         oracle: &mut O,
         rng: &mut R,
     ) -> Result<StepOutcome> {
-        let stratum = sample_categorical(rng, self.strata.weights());
+        let stratum = self.weight_cdf.sample(rng);
         let members = self.strata.members(stratum);
         let item = members[rng.gen_range(0..members.len())];
         let prediction = pool.prediction(item);

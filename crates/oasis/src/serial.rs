@@ -1,0 +1,422 @@
+//! JSON serialization of the crate's state and report types.
+//!
+//! The vendored `serde` stub provides the derive *markers*; actual
+//! persistence goes through the concrete [`serde::json`] layer
+//! ([`ToJson`] / [`FromJson`]), which guarantees exact `f64` round-trips —
+//! the property the checkpoint subsystem's bit-identical-resume contract
+//! rests on.  This module implements those traits for:
+//!
+//! * the report types — [`Estimate`], [`Measures`], [`ConfusionCounts`],
+//!   [`ConfidenceInterval`], [`OracleReference`] — so experiment results can
+//!   be persisted and compared across runs;
+//! * the configuration — [`OasisConfig`] / [`StratifierChoice`];
+//! * the resumable sampler state — [`SamplerState`] / [`EstimatorState`].
+
+use crate::confidence::ConfidenceInterval;
+use crate::diagnostics::OracleReference;
+use crate::estimator::Estimate;
+use crate::measures::{ConfusionCounts, Measures};
+use crate::samplers::{EstimatorState, OasisConfig, SamplerState, StratifierChoice};
+use serde::json::{FromJson, Json, JsonError, JsonResult, ToJson};
+
+fn field_f64(value: &Json, key: &str) -> JsonResult<f64> {
+    value.require(key)?.as_f64()
+}
+
+impl ToJson for Estimate {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("f_measure", self.f_measure.to_json());
+        obj.set("precision", self.precision.to_json());
+        obj.set("recall", self.recall.to_json());
+        obj.set("alpha", self.alpha.to_json());
+        obj.set("iterations", self.iterations.to_json());
+        obj
+    }
+}
+
+impl FromJson for Estimate {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        Ok(Estimate {
+            f_measure: field_f64(value, "f_measure")?,
+            precision: field_f64(value, "precision")?,
+            recall: field_f64(value, "recall")?,
+            alpha: field_f64(value, "alpha")?,
+            iterations: value.require("iterations")?.as_usize()?,
+        })
+    }
+}
+
+impl ToJson for Measures {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("precision", self.precision.to_json());
+        obj.set("recall", self.recall.to_json());
+        obj.set("f_measure", self.f_measure.to_json());
+        obj.set("alpha", self.alpha.to_json());
+        obj
+    }
+}
+
+impl FromJson for Measures {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        Ok(Measures {
+            precision: field_f64(value, "precision")?,
+            recall: field_f64(value, "recall")?,
+            f_measure: field_f64(value, "f_measure")?,
+            alpha: field_f64(value, "alpha")?,
+        })
+    }
+}
+
+impl ToJson for ConfusionCounts {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("tp", self.tp.to_json());
+        obj.set("fp", self.fp.to_json());
+        obj.set("fn", self.fn_.to_json());
+        obj.set("tn", self.tn.to_json());
+        obj
+    }
+}
+
+impl FromJson for ConfusionCounts {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        Ok(ConfusionCounts {
+            tp: field_f64(value, "tp")?,
+            fp: field_f64(value, "fp")?,
+            fn_: field_f64(value, "fn")?,
+            tn: field_f64(value, "tn")?,
+        })
+    }
+}
+
+impl ToJson for ConfidenceInterval {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("estimate", self.estimate.to_json());
+        obj.set("lower", self.lower.to_json());
+        obj.set("upper", self.upper.to_json());
+        obj.set("standard_error", self.standard_error.to_json());
+        obj.set("level", self.level.to_json());
+        obj
+    }
+}
+
+impl FromJson for ConfidenceInterval {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        Ok(ConfidenceInterval {
+            estimate: field_f64(value, "estimate")?,
+            lower: field_f64(value, "lower")?,
+            upper: field_f64(value, "upper")?,
+            standard_error: field_f64(value, "standard_error")?,
+            level: field_f64(value, "level")?,
+        })
+    }
+}
+
+impl ToJson for OracleReference {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("true_pi", self.true_pi.to_json());
+        obj.set("true_f_measure", self.true_f_measure.to_json());
+        obj.set("optimal_v", self.optimal_v.to_json());
+        obj.set("alpha", self.alpha.to_json());
+        obj
+    }
+}
+
+impl FromJson for OracleReference {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        Ok(OracleReference {
+            true_pi: Vec::<f64>::from_json(value.require("true_pi")?)?,
+            true_f_measure: field_f64(value, "true_f_measure")?,
+            optimal_v: Vec::<f64>::from_json(value.require("optimal_v")?)?,
+            alpha: field_f64(value, "alpha")?,
+        })
+    }
+}
+
+impl ToJson for StratifierChoice {
+    fn to_json(&self) -> Json {
+        Json::String(
+            match self {
+                StratifierChoice::Csf => "csf",
+                StratifierChoice::EqualSize => "equal_size",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for StratifierChoice {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        match value.as_str()? {
+            "csf" => Ok(StratifierChoice::Csf),
+            "equal_size" => Ok(StratifierChoice::EqualSize),
+            other => Err(JsonError::new(format!("unknown stratifier {other:?}"))),
+        }
+    }
+}
+
+impl ToJson for OasisConfig {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("alpha", self.alpha.to_json());
+        obj.set("epsilon", self.epsilon.to_json());
+        obj.set("strata_count", self.strata_count.to_json());
+        obj.set("prior_strength", self.prior_strength.to_json());
+        obj.set("decay_prior", self.decay_prior.to_json());
+        obj.set("score_threshold", self.score_threshold.to_json());
+        obj.set("stratifier", self.stratifier.to_json());
+        obj
+    }
+}
+
+impl FromJson for OasisConfig {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        // Missing keys fall back to the paper defaults, so hand-written
+        // protocol configs only need to name what they override — but
+        // unrecognised keys are rejected, otherwise a typo ("strata" for
+        // "strata_count") would silently run with defaults.
+        const KNOWN_KEYS: [&str; 7] = [
+            "alpha",
+            "epsilon",
+            "strata_count",
+            "prior_strength",
+            "decay_prior",
+            "score_threshold",
+            "stratifier",
+        ];
+        match value {
+            Json::Object(map) => {
+                for key in map.keys() {
+                    if !KNOWN_KEYS.contains(&key.as_str()) {
+                        return Err(JsonError::new(format!(
+                            "unknown config key {key:?} (expected one of {KNOWN_KEYS:?})"
+                        )));
+                    }
+                }
+            }
+            other => {
+                return Err(JsonError::new(format!(
+                    "config must be an object, got {other:?}"
+                )));
+            }
+        }
+        let defaults = OasisConfig::default();
+        let get_or = |key: &str, fallback: f64| -> JsonResult<f64> {
+            match value.get(key) {
+                Some(v) => v.as_f64(),
+                None => Ok(fallback),
+            }
+        };
+        Ok(OasisConfig {
+            alpha: get_or("alpha", defaults.alpha)?,
+            epsilon: get_or("epsilon", defaults.epsilon)?,
+            strata_count: match value.get("strata_count") {
+                Some(v) => v.as_usize()?,
+                None => defaults.strata_count,
+            },
+            prior_strength: match value.get("prior_strength") {
+                Some(v) => Option::<f64>::from_json(v)?,
+                None => defaults.prior_strength,
+            },
+            decay_prior: match value.get("decay_prior") {
+                Some(v) => v.as_bool()?,
+                None => defaults.decay_prior,
+            },
+            score_threshold: get_or("score_threshold", defaults.score_threshold)?,
+            stratifier: match value.get("stratifier") {
+                Some(v) => StratifierChoice::from_json(v)?,
+                None => defaults.stratifier,
+            },
+        })
+    }
+}
+
+impl ToJson for EstimatorState {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("alpha", self.alpha.to_json());
+        obj.set("weighted_tp", self.weighted_tp.to_json());
+        obj.set("weighted_predicted", self.weighted_predicted.to_json());
+        obj.set("weighted_actual", self.weighted_actual.to_json());
+        obj.set("total_weight", self.total_weight.to_json());
+        obj.set("iterations", self.iterations.to_json());
+        obj
+    }
+}
+
+impl FromJson for EstimatorState {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        Ok(EstimatorState {
+            alpha: field_f64(value, "alpha")?,
+            weighted_tp: field_f64(value, "weighted_tp")?,
+            weighted_predicted: field_f64(value, "weighted_predicted")?,
+            weighted_actual: field_f64(value, "weighted_actual")?,
+            total_weight: field_f64(value, "total_weight")?,
+            iterations: value.require("iterations")?.as_usize()?,
+        })
+    }
+}
+
+impl ToJson for SamplerState {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("config", self.config.to_json());
+        obj.set(
+            "allocations",
+            Json::Array(self.allocations.iter().map(ToJson::to_json).collect()),
+        );
+        obj.set("prior_gamma0", self.prior_gamma0.to_json());
+        obj.set("prior_gamma1", self.prior_gamma1.to_json());
+        obj.set("observed_matches", self.observed_matches.to_json());
+        obj.set("observed_non_matches", self.observed_non_matches.to_json());
+        obj.set("decay_prior", self.decay_prior.to_json());
+        obj.set("estimator", self.estimator.to_json());
+        obj.set("initial_f_guess", self.initial_f_guess.to_json());
+        obj.set("current_proposal", self.current_proposal.to_json());
+        obj
+    }
+}
+
+impl FromJson for SamplerState {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        Ok(SamplerState {
+            config: OasisConfig::from_json(value.require("config")?)?,
+            allocations: value
+                .require("allocations")?
+                .as_array()?
+                .iter()
+                .map(Vec::<usize>::from_json)
+                .collect::<JsonResult<_>>()?,
+            prior_gamma0: Vec::<f64>::from_json(value.require("prior_gamma0")?)?,
+            prior_gamma1: Vec::<f64>::from_json(value.require("prior_gamma1")?)?,
+            observed_matches: Vec::<f64>::from_json(value.require("observed_matches")?)?,
+            observed_non_matches: Vec::<f64>::from_json(value.require("observed_non_matches")?)?,
+            decay_prior: value.require("decay_prior")?.as_bool()?,
+            estimator: EstimatorState::from_json(value.require("estimator")?)?,
+            initial_f_guess: field_f64(value, "initial_f_guess")?,
+            current_proposal: Vec::<f64>::from_json(value.require("current_proposal")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GroundTruthOracle;
+    use crate::samplers::{OasisSampler, Sampler};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimate_round_trips_including_nan() {
+        let est = Estimate {
+            f_measure: f64::NAN,
+            precision: 0.25,
+            recall: 1.0 / 3.0,
+            alpha: 0.5,
+            iterations: 17,
+        };
+        let text = est.to_json().render();
+        let back = Estimate::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert!(back.f_measure.is_nan());
+        assert_eq!(back.precision.to_bits(), est.precision.to_bits());
+        assert_eq!(back.recall.to_bits(), est.recall.to_bits());
+        assert_eq!(back.iterations, 17);
+    }
+
+    #[test]
+    fn measures_and_confusion_round_trip() {
+        let m = Measures {
+            precision: 0.75,
+            recall: 6.0 / 7.0,
+            f_measure: 0.8,
+            alpha: 0.5,
+        };
+        let back = Measures::from_json(&Json::parse(&m.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, m);
+        let c = ConfusionCounts {
+            tp: 1.5,
+            fp: 0.25,
+            fn_: 3.0,
+            tn: 1e6,
+        };
+        let back =
+            ConfusionCounts::from_json(&Json::parse(&c.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn confidence_interval_round_trips() {
+        let ci = ConfidenceInterval {
+            estimate: 0.5,
+            lower: 0.4,
+            upper: 0.6,
+            standard_error: 0.051,
+            level: 0.95,
+        };
+        let back =
+            ConfidenceInterval::from_json(&Json::parse(&ci.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, ci);
+    }
+
+    #[test]
+    fn config_round_trips_and_accepts_partial_objects() {
+        let config = OasisConfig::default()
+            .with_alpha(0.7)
+            .with_prior_strength(12.0)
+            .with_stratifier(StratifierChoice::EqualSize);
+        let back =
+            OasisConfig::from_json(&Json::parse(&config.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, config);
+
+        // Partial configs fall back to paper defaults.
+        let partial = OasisConfig::from_json(&Json::parse(r#"{"alpha":0.9}"#).unwrap()).unwrap();
+        assert_eq!(partial.alpha, 0.9);
+        assert_eq!(partial.strata_count, OasisConfig::default().strata_count);
+        assert_eq!(partial.stratifier, StratifierChoice::Csf);
+        assert!(
+            OasisConfig::from_json(&Json::parse(r#"{"stratifier":"bogus"}"#).unwrap()).is_err()
+        );
+        // Typo'd keys must not silently fall back to defaults.
+        assert!(OasisConfig::from_json(&Json::parse(r#"{"strata":40}"#).unwrap()).is_err());
+        assert!(OasisConfig::from_json(&Json::parse("[]").unwrap()).is_err());
+    }
+
+    #[test]
+    fn diagnostics_reference_round_trips() {
+        let reference = OracleReference {
+            true_pi: vec![0.9, 0.1, 0.0],
+            true_f_measure: 6.0 / 7.0,
+            optimal_v: vec![0.5, 0.3, 0.2],
+            alpha: 0.5,
+        };
+        let back = OracleReference::from_json(&Json::parse(&reference.to_json().render()).unwrap())
+            .unwrap();
+        assert_eq!(back, reference);
+    }
+
+    #[test]
+    fn sampler_state_json_round_trip_is_bit_identical() {
+        let (pool, truth) = crate::test_fixtures::pool_and_truth(800, 10, 0.1);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut oracle = GroundTruthOracle::new(truth);
+        let mut sampler =
+            OasisSampler::new(&pool, OasisConfig::default().with_strata_count(10)).unwrap();
+        for _ in 0..150 {
+            sampler.step(&pool, &mut oracle, &mut rng).unwrap();
+        }
+        let state = sampler.state();
+        let text = state.to_json().render();
+        let parsed = SamplerState::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, state, "JSON round trip must be exact");
+        let restored = OasisSampler::from_state(&pool, parsed).unwrap();
+        assert_eq!(
+            restored.estimate().f_measure.to_bits(),
+            sampler.estimate().f_measure.to_bits()
+        );
+    }
+}

@@ -97,6 +97,13 @@ impl Strata {
         &self.allocations[k]
     }
 
+    /// All allocations, one `Vec<usize>` of pool indices per stratum.  Used by
+    /// checkpointing to persist the exact partition; feed them back through
+    /// [`Strata::from_allocations`] to rebuild identical summary statistics.
+    pub fn allocations(&self) -> &[Vec<usize>] {
+        &self.allocations
+    }
+
     /// Number of items in stratum `k`.
     pub fn size(&self, k: usize) -> usize {
         self.allocations[k].len()

@@ -7,8 +7,10 @@ use er_core::datasets::score_model::{DirectPoolConfig, DirectPoolModel};
 use oasis::oracle::GroundTruthOracle;
 use oasis::samplers::{OasisConfig, OasisSampler, Sampler};
 use oasis::Estimate;
+use oasis_engine::{LabelSource, Session, SessionCheckpoint};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// The fixed synthetic pool every run of these tests evaluates against.
 fn fixed_pool() -> (oasis::ScoredPool, Vec<bool>) {
@@ -62,6 +64,90 @@ fn different_seeds_explore_different_streams() {
     assert!(
         (a.f_measure - b.f_measure).abs() > 0.0,
         "two seeds produced bit-identical estimates; is the RNG being used?"
+    );
+}
+
+/// An engine session on the fixed pool with the given seed.
+fn engine_session(seed: u64) -> Session {
+    let (pool, truth) = fixed_pool();
+    Session::new(
+        "determinism",
+        "fixed",
+        Arc::new(pool),
+        OasisConfig::default().with_strata_count(25),
+        seed,
+        LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
+    )
+    .unwrap()
+}
+
+#[test]
+fn engine_session_reproduces_the_library_run_exactly() {
+    // The engine's session layer must not perturb the RNG stream: a session
+    // with seed s lands on the very same bits as the library loop with seed s.
+    let library = run_oasis(42);
+    let mut session = engine_session(42);
+    let estimate = session
+        .run_until_budget(700, 1_000_000)
+        .expect("session run");
+    assert_eq!(estimate.f_measure.to_bits(), library.f_measure.to_bits());
+    assert_eq!(estimate.precision.to_bits(), library.precision.to_bits());
+    assert_eq!(estimate.recall.to_bits(), library.recall.to_bits());
+    assert_eq!(estimate.iterations, library.iterations);
+}
+
+#[test]
+fn interrupted_checkpoint_resume_is_bit_identical_to_uninterrupted() {
+    // Uninterrupted reference: 600 steps straight through.
+    let mut straight = engine_session(2017);
+    let expected = straight.step(600).expect("straight run");
+
+    // Interrupted at step 217 (deliberately not a round number): snapshot to
+    // JSON text, drop everything, restore, continue.
+    let mut interrupted = engine_session(2017);
+    interrupted.step(217).expect("first leg");
+    let checkpoint_text = interrupted.checkpoint().to_json_string();
+    drop(interrupted);
+
+    let (pool, _) = fixed_pool();
+    let checkpoint = SessionCheckpoint::from_json_string(&checkpoint_text).expect("parse");
+    let mut resumed = Session::restore(checkpoint, Arc::new(pool)).expect("restore");
+    let estimate = resumed.step(600 - 217).expect("second leg");
+
+    assert_eq!(
+        estimate.f_measure.to_bits(),
+        expected.f_measure.to_bits(),
+        "resumed F-measure drifted: {} vs {}",
+        estimate.f_measure,
+        expected.f_measure
+    );
+    assert_eq!(estimate.precision.to_bits(), expected.precision.to_bits());
+    assert_eq!(estimate.recall.to_bits(), expected.recall.to_bits());
+    assert_eq!(estimate.iterations, expected.iterations);
+    assert_eq!(resumed.labels_consumed(), straight.labels_consumed());
+}
+
+#[test]
+fn double_checkpointing_changes_nothing() {
+    // Checkpointing is read-only: snapshot twice, interleaved with a resumed
+    // copy, and all three runs land on the same bits.
+    let mut session = engine_session(9);
+    session.step(100).unwrap();
+    let first = session.checkpoint().to_json_string();
+    let second = session.checkpoint().to_json_string();
+    assert_eq!(first, second, "checkpoint must not mutate the session");
+    let continued = session.step(100).unwrap();
+
+    let (pool, _) = fixed_pool();
+    let mut resumed = Session::restore(
+        SessionCheckpoint::from_json_string(&first).unwrap(),
+        Arc::new(pool),
+    )
+    .unwrap();
+    let resumed_estimate = resumed.step(100).unwrap();
+    assert_eq!(
+        continued.f_measure.to_bits(),
+        resumed_estimate.f_measure.to_bits()
     );
 }
 

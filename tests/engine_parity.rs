@@ -1,0 +1,131 @@
+//! Workspace-level acceptance tests for `oasis-engine`: N concurrent engine
+//! sessions with fixed seeds must be bit-identical to N sequential library
+//! runs with the same seeds, through both the Rust API and the line
+//! protocol.
+
+use er_core::datasets::score_model::{DirectPoolConfig, DirectPoolModel};
+use oasis::oracle::GroundTruthOracle;
+use oasis::samplers::{OasisConfig, OasisSampler, Sampler};
+use oasis::Estimate;
+use oasis_engine::server::serve_lines;
+use oasis_engine::{Engine, LabelSource, SessionJob};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Cursor;
+
+fn fixed_pool() -> (oasis::ScoredPool, Vec<bool>) {
+    let config = DirectPoolConfig {
+        pool_size: 3000,
+        match_count: 80,
+        match_logit_mean: 1.1,
+        non_match_logit_mean: -2.8,
+        logit_noise: 1.3,
+        decision_threshold: 0.5,
+        uncalibrated_scores: false,
+    };
+    let mut rng = StdRng::seed_from_u64(555);
+    DirectPoolModel::new(config).generate(&mut rng)
+}
+
+fn library_run(pool: &oasis::ScoredPool, truth: &[bool], seed: u64, steps: usize) -> Estimate {
+    let mut oracle = GroundTruthOracle::new(truth.to_vec());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sampler =
+        OasisSampler::new(pool, OasisConfig::default().with_strata_count(20)).unwrap();
+    sampler.run(pool, &mut oracle, &mut rng, steps).unwrap()
+}
+
+#[test]
+fn eight_concurrent_sessions_match_eight_sequential_library_runs() {
+    let (pool, truth) = fixed_pool();
+    let seeds: Vec<u64> = (300..308).collect();
+    let steps = 250;
+
+    let references: Vec<Estimate> = seeds
+        .iter()
+        .map(|&seed| library_run(&pool, &truth, seed, steps))
+        .collect();
+
+    let engine = Engine::new();
+    engine.load_pool("pool", pool).unwrap();
+    for &seed in &seeds {
+        engine
+            .create_session(
+                format!("s{seed}"),
+                "pool",
+                OasisConfig::default().with_strata_count(20),
+                seed,
+                LabelSource::GroundTruth(GroundTruthOracle::new(truth.clone())),
+            )
+            .unwrap();
+    }
+    let jobs: Vec<SessionJob> = seeds
+        .iter()
+        .map(|&seed| SessionJob::Steps {
+            session: format!("s{seed}"),
+            steps,
+        })
+        .collect();
+    // 8 workers: every session gets its own thread; interleaving must not
+    // matter because sessions share nothing mutable.
+    let estimates = engine.run_parallel(&jobs, 8).unwrap();
+
+    for ((reference, estimate), seed) in references.iter().zip(&estimates).zip(&seeds) {
+        assert_eq!(
+            reference.f_measure.to_bits(),
+            estimate.f_measure.to_bits(),
+            "seed {seed}: engine F {} != library F {}",
+            estimate.f_measure,
+            reference.f_measure
+        );
+        assert_eq!(reference.precision.to_bits(), estimate.precision.to_bits());
+        assert_eq!(reference.recall.to_bits(), estimate.recall.to_bits());
+    }
+}
+
+#[test]
+fn the_line_protocol_reproduces_a_library_run() {
+    // Drive a full session through the wire protocol (the same path the
+    // `oasis-serve` binary and the CI smoke test use) and compare the final
+    // estimate line to the in-process library run, digit for digit.
+    let (pool, truth) = fixed_pool();
+    let expected = library_run(&pool, &truth, 777, 200);
+
+    let render_bools = |bits: &[bool]| -> String {
+        let items: Vec<&str> = bits
+            .iter()
+            .map(|&b| if b { "true" } else { "false" })
+            .collect();
+        format!("[{}]", items.join(","))
+    };
+    let scores: Vec<String> = pool.scores().iter().map(|s| format!("{s:?}")).collect();
+    let script = format!(
+        concat!(
+            r#"{{"cmd":"load_pool","pool":"p","scores":[{scores}],"predictions":{predictions}}}"#,
+            "\n",
+            r#"{{"cmd":"create_session","session":"s","pool":"p","seed":777,"config":{{"strata_count":20}},"truth":{truth}}}"#,
+            "\n",
+            r#"{{"cmd":"step","session":"s","steps":200}}"#,
+            "\n",
+        ),
+        scores = scores.join(","),
+        predictions = render_bools(pool.predictions()),
+        truth = render_bools(&truth),
+    );
+
+    let engine = Engine::new();
+    let mut output = Vec::new();
+    serve_lines(&engine, Cursor::new(script), &mut output).unwrap();
+    let text = String::from_utf8(output).unwrap();
+    let last_line = text.lines().last().unwrap();
+    assert!(last_line.contains(r#""ok":true"#), "line: {last_line}");
+
+    let response = serde::json::Json::parse(last_line).unwrap();
+    let estimate = response.require("estimate").unwrap();
+    let f = estimate.require("f_measure").unwrap().as_f64().unwrap();
+    let p = estimate.require("precision").unwrap().as_f64().unwrap();
+    let r = estimate.require("recall").unwrap().as_f64().unwrap();
+    assert_eq!(f.to_bits(), expected.f_measure.to_bits());
+    assert_eq!(p.to_bits(), expected.precision.to_bits());
+    assert_eq!(r.to_bits(), expected.recall.to_bits());
+}

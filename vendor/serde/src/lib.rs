@@ -6,8 +6,17 @@
 //! which types are serialization-ready) without pulling the real crate into
 //! an offline build. Swap in real serde by pointing the workspace dependency
 //! back at crates.io.
+//!
+//! Because the checkpoint subsystem needs *actual* serialization, the stub
+//! also ships a concrete JSON layer in [`json`]: a value model, parser,
+//! writer and the [`json::ToJson`] / [`json::FromJson`] conversion traits
+//! that state types implement by hand.  The derive markers and the JSON
+//! layer are independent; types annotated with the markers document intent,
+//! types implementing the JSON traits are actually persistable offline.
 
 #![warn(missing_docs)]
+
+pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};
 
