@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use er_core::datasets::DatasetProfile;
 use experiments::pools::direct_pool;
 use oasis::oracle::GroundTruthOracle;
-use oasis::samplers::{OasisConfig, OasisSampler, Sampler, StratifierChoice};
+use oasis::samplers::{InteractiveSampler, OasisConfig, OasisSampler, Sampler, StratifierChoice};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -1,12 +1,17 @@
 //! Bench: `oasis-engine` session throughput (steps/sec) for concurrent
-//! sessions driven by the scoped-thread worker pool.
+//! sessions driven by the scoped-thread worker pool, plus the OASIS
+//! proposal-CDF cache: batched proposals pay the O(K) instrumental-
+//! distribution refit once per batch instead of once per draw, so the win
+//! grows with the stratum count K.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use er_core::datasets::DatasetProfile;
 use experiments::pools::direct_pool;
 use oasis::oracle::GroundTruthOracle;
-use oasis::samplers::OasisConfig;
+use oasis::samplers::{InteractiveSampler, OasisConfig, OasisSampler, SamplerMethod};
 use oasis_engine::{Engine, LabelSource, SessionJob};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 const SESSIONS: usize = 8;
 const STEPS: usize = 500;
@@ -23,6 +28,7 @@ fn build_engine(pool: &experiments::pools::ExperimentPool) -> (Engine, Vec<Sessi
             .create_session(
                 &id,
                 "cora",
+                SamplerMethod::Oasis,
                 config.clone(),
                 2017 + i,
                 LabelSource::GroundTruth(GroundTruthOracle::new(pool.truth.clone())),
@@ -34,6 +40,58 @@ fn build_engine(pool: &experiments::pools::ExperimentPool) -> (Engine, Vec<Sessi
         });
     }
     (engine, jobs)
+}
+
+/// The proposal-CDF cache win: draw `batch` proposals per posterior refresh
+/// (one label applied between batches) either one `propose` at a time —
+/// every draw after a label pays the O(K) refit — or through
+/// `propose_batch`, which refits once.  At large K the difference is the
+/// refit cost itself.
+fn bench_propose_cdf_cache(c: &mut Criterion) {
+    let pool = direct_pool(&DatasetProfile::cora(), 0.05, true, 2017);
+    let batch = 64usize;
+    let rounds = 16usize;
+
+    let mut group = c.benchmark_group("oasis_propose_cdf_cache");
+    group.sample_size(10);
+    for strata in [30usize, 240, 480] {
+        let config = OasisConfig::default().with_strata_count(strata);
+        let base = OasisSampler::new(&pool.pool, config).unwrap();
+        // Per-draw refit: alternate propose and apply_label, so every
+        // proposal pays the O(K) distribution + CDF rebuild.
+        group.bench_function(
+            BenchmarkId::new("per_draw_refit", format!("K{strata}")),
+            |b| {
+                b.iter(|| {
+                    let mut sampler = base.clone();
+                    let mut rng = StdRng::seed_from_u64(7);
+                    for _ in 0..rounds * batch {
+                        let proposal = sampler.propose(&pool.pool, &mut rng);
+                        sampler.apply_label(&proposal, pool.truth[proposal.item]);
+                    }
+                    sampler.estimate()
+                })
+            },
+        );
+        // Batched: one refit per `batch` draws, labels applied in bulk.
+        group.bench_function(
+            BenchmarkId::new("batched_refit", format!("K{strata}")),
+            |b| {
+                b.iter(|| {
+                    let mut sampler = base.clone();
+                    let mut rng = StdRng::seed_from_u64(7);
+                    for _ in 0..rounds {
+                        let proposals = sampler.propose_batch(&pool.pool, &mut rng, batch);
+                        let labelled: Vec<(&oasis::Proposal, bool)> =
+                            proposals.iter().map(|p| (p, pool.truth[p.item])).collect();
+                        sampler.apply_labels(labelled);
+                    }
+                    sampler.estimate()
+                })
+            },
+        );
+    }
+    group.finish();
 }
 
 fn bench_engine_throughput(c: &mut Criterion) {
@@ -70,5 +128,5 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_throughput);
+criterion_group!(benches, bench_engine_throughput, bench_propose_cdf_cache);
 criterion_main!(benches);

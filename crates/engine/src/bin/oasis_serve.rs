@@ -18,12 +18,14 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "oasis-serve — OASIS evaluation engine speaking line-delimited JSON\n\n\
+            "oasis-serve — evaluation engine speaking line-delimited JSON\n\n\
              USAGE:\n  oasis-serve                serve stdin/stdout\n  \
              oasis-serve --tcp ADDR     serve TCP on ADDR (e.g. 127.0.0.1:7171)\n\n\
              Commands: load_pool, create_session, propose, label, step,\n\
              run_budget, estimate, checkpoint, restore, sessions,\n\
-             delete_session, shutdown."
+             delete_session, shutdown.\n\n\
+             create_session's optional \"method\" field selects the sampler:\n\
+             \"oasis\" (default), \"passive\", \"importance\", \"stratified\"."
         );
         return;
     }

@@ -219,7 +219,7 @@ impl FromJson for SessionCheckpoint {
 mod tests {
     use super::*;
     use crate::session::{LabelSource, Session};
-    use oasis::{GroundTruthOracle, OasisConfig};
+    use oasis::{GroundTruthOracle, OasisConfig, SamplerMethod};
     use std::sync::Arc;
 
     fn pool_and_truth(n: usize, seed: u64) -> (Arc<ScoredPool>, Vec<bool>) {
@@ -241,6 +241,7 @@ mod tests {
             "s1",
             "p1",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(8),
             42,
             LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
@@ -252,6 +253,7 @@ mod tests {
             "s2",
             "p1",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(8),
             43,
             LabelSource::external(pool.len()),
@@ -276,6 +278,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             config.clone(),
             2017,
             LabelSource::GroundTruth(GroundTruthOracle::new(truth.clone())),
@@ -288,6 +291,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             config,
             2017,
             LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
@@ -314,6 +318,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(6),
             1,
             LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
@@ -337,6 +342,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(5),
             3,
             LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
@@ -369,6 +375,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(4),
             1,
             short_bitmap
@@ -379,6 +386,7 @@ mod tests {
             "s",
             "p",
             pool,
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(4),
             1,
             short_truth
@@ -393,6 +401,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(4),
             5,
             LabelSource::external(pool.len()),
@@ -427,6 +436,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(4),
             6,
             LabelSource::external(pool.len()),
@@ -455,6 +465,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(4),
             7,
             LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
@@ -464,7 +475,10 @@ mod tests {
         let good = session.checkpoint();
         for corrupt in [f64::NAN, f64::INFINITY, -1.0] {
             let mut bad = good.clone();
-            bad.sampler.estimator.total_weight = corrupt;
+            match &mut bad.sampler {
+                oasis::SamplerState::Oasis(state) => state.estimator.total_weight = corrupt,
+                other => panic!("expected an OASIS state, got {:?}", other.method()),
+            }
             assert!(
                 Session::restore(bad, Arc::clone(&pool)).is_err(),
                 "total_weight {corrupt} must be rejected"

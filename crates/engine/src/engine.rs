@@ -10,7 +10,7 @@
 use crate::checkpoint::SessionCheckpoint;
 use crate::error::{EngineError, EngineResult};
 use crate::session::{LabelSource, Session};
-use oasis::{Estimate, OasisConfig, ScoredPool};
+use oasis::{Estimate, OasisConfig, SamplerMethod, ScoredPool};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -94,7 +94,9 @@ impl Engine {
         ids
     }
 
-    /// Create a session over a loaded pool.
+    /// Create a session over a loaded pool, running the given sampling
+    /// method (see [`oasis::AnySampler::build`] for how the shared config
+    /// maps onto each method).
     ///
     /// # Errors
     /// Unknown pool, duplicate session id, or sampler construction failure.
@@ -102,6 +104,7 @@ impl Engine {
         &self,
         session_id: impl Into<String>,
         pool_id: &str,
+        method: SamplerMethod,
         config: OasisConfig,
         seed: u64,
         source: LabelSource,
@@ -114,7 +117,15 @@ impl Engine {
         if self.sessions.read().contains_key(&session_id) {
             return Err(EngineError::DuplicateId(session_id));
         }
-        let session = Session::new(session_id.clone(), pool_id, pool, config, seed, source)?;
+        let session = Session::new(
+            session_id.clone(),
+            pool_id,
+            pool,
+            method,
+            config,
+            seed,
+            source,
+        )?;
         let mut sessions = self.sessions.write();
         if sessions.contains_key(&session_id) {
             return Err(EngineError::DuplicateId(session_id));
@@ -264,6 +275,7 @@ mod tests {
             .create_session(
                 "s",
                 "p",
+                SamplerMethod::Oasis,
                 OasisConfig::default().with_strata_count(4),
                 1,
                 LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
@@ -273,6 +285,7 @@ mod tests {
             engine.create_session(
                 "s",
                 "p",
+                SamplerMethod::Oasis,
                 OasisConfig::default(),
                 1,
                 LabelSource::external(300)
@@ -311,6 +324,7 @@ mod tests {
                 .create_session(
                     format!("s{seed}"),
                     "p",
+                    SamplerMethod::Oasis,
                     config.clone(),
                     seed,
                     LabelSource::GroundTruth(GroundTruthOracle::new(truth.clone())),
@@ -342,6 +356,7 @@ mod tests {
             .create_session(
                 "good",
                 "p",
+                SamplerMethod::Oasis,
                 OasisConfig::default().with_strata_count(6),
                 5,
                 LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
@@ -377,6 +392,7 @@ mod tests {
             .create_session(
                 "orig",
                 "p",
+                SamplerMethod::Oasis,
                 OasisConfig::default().with_strata_count(6),
                 9,
                 LabelSource::GroundTruth(GroundTruthOracle::new(truth)),

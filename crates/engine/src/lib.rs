@@ -1,35 +1,41 @@
 //! # oasis-engine — a concurrent, checkpointable multi-session evaluation engine
 //!
-//! The `oasis` crate implements the OASIS sampler as a library: one sampler,
-//! one in-process oracle callback, run to completion.  This crate turns it
-//! into a *serving subsystem* for interactive, production-style evaluation:
+//! The `oasis` crate implements the paper's samplers as a library: one
+//! sampler, one in-process oracle callback, run to completion.  This crate
+//! turns them into a *serving subsystem* for interactive, production-style
+//! evaluation — method-agnostic, because everything is built on the
+//! [`InteractiveSampler`](oasis::InteractiveSampler) contract rather than a
+//! concrete sampler type:
 //!
-//! * **Sessions** ([`Session`]) — many concurrent, independently seeded OASIS
-//!   runs over shared [`Arc<ScoredPool>`](oasis::ScoredPool)s, managed by an
-//!   [`Engine`] and driven by a worker pool on vendored-crossbeam scoped
-//!   threads ([`Engine::run_parallel`]).  Sessions are independent, so
-//!   concurrency never changes results: estimates are bit-identical to
-//!   sequential library runs with the same seeds.
+//! * **Sessions** ([`Session`]) — many concurrent, independently seeded
+//!   sampler runs (any [`SamplerMethod`](oasis::SamplerMethod): OASIS,
+//!   passive, importance, stratified) over shared
+//!   [`Arc<ScoredPool>`](oasis::ScoredPool)s, managed by an [`Engine`] and
+//!   driven by a worker pool on vendored-crossbeam scoped threads
+//!   ([`Engine::run_parallel`]).  Sessions are independent, so concurrency
+//!   never changes results: estimates are bit-identical to sequential
+//!   library runs with the same seeds, whatever the method.
 //! * **Suspend/resume oracle boundary** — a session proposes pairs to label
 //!   ([`Session::propose`] → [`Ticket`]s) and suspends; labels arrive later,
 //!   possibly batched and out of order ([`Session::apply_labels`]).  Human
 //!   and remote oracles are first-class instead of in-process callbacks; an
 //!   in-process ground-truth oracle remains available for simulation
 //!   ([`LabelSource::GroundTruth`], [`Session::step`]).
-//! * **Checkpoints** ([`SessionCheckpoint`]) — full sampler state (strata,
-//!   Beta–Bernoulli posteriors, AIS weight sums), RNG state words, pending
-//!   tickets and oracle/budget state snapshot to JSON with *exact-resume*
-//!   semantics: an interrupted-and-restored run is bit-identical to an
-//!   uninterrupted one.
+//! * **Checkpoints** ([`SessionCheckpoint`]) — the method-tagged sampler
+//!   state ([`oasis::SamplerState`]), RNG state words, pending tickets and
+//!   oracle/budget state snapshot to JSON with *exact-resume* semantics: an
+//!   interrupted-and-restored run is bit-identical to an uninterrupted one,
+//!   for every method.
 //! * **`oasis-serve`** — a binary speaking a line-delimited JSON protocol
 //!   ([`protocol`]) over stdin/stdout or TCP ([`server`]): `load_pool`,
-//!   `create_session`, `propose`, `label`, `step`, `run_budget`, `estimate`,
-//!   `checkpoint`, `restore`, `sessions`, `delete_session`, `shutdown`.
+//!   `create_session` (with a `method` field), `propose`, `label`, `step`,
+//!   `run_budget`, `estimate`, `checkpoint`, `restore`, `sessions`,
+//!   `delete_session`, `shutdown`.
 //!
 //! ## Quick example
 //!
 //! ```
-//! use oasis::{OasisConfig, ScoredPool};
+//! use oasis::{OasisConfig, SamplerMethod, ScoredPool};
 //! use oasis_engine::{Engine, LabelSource};
 //!
 //! let engine = Engine::new();
@@ -43,6 +49,7 @@
 //!     .create_session(
 //!         "s1",
 //!         "demo",
+//!         SamplerMethod::Oasis,
 //!         OasisConfig::default().with_strata_count(2),
 //!         42,
 //!         LabelSource::external(4),
@@ -77,39 +84,23 @@ pub use session::{LabelSource, Session, Ticket};
 
 #[cfg(test)]
 pub(crate) mod test_support {
-    //! Shared fixtures for the crate's unit tests.
+    //! Shared fixtures for the crate's unit tests — a thin Arc-wrapping shim
+    //! over `oasis::test_fixtures` (pulled in through the `test-util`
+    //! dev-dependency feature), so the synthetic pool generator lives in
+    //! exactly one place.
 
     use oasis::ScoredPool;
-    use rand::rngs::StdRng;
-    use rand::{Rng as _, SeedableRng};
     use std::sync::Arc;
 
     /// A deterministic imbalanced pool plus its hidden truth: scores
     /// correlate with (but don't perfectly predict) the labels, the regime
-    /// OASIS targets.
+    /// OASIS targets.  Same stream as `oasis::test_fixtures::pool_and_truth`.
     pub(crate) fn pool_and_truth(
         n: usize,
         seed: u64,
         match_rate: f64,
     ) -> (Arc<ScoredPool>, Vec<bool>) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut scores = Vec::with_capacity(n);
-        let mut predictions = Vec::with_capacity(n);
-        let mut truth = Vec::with_capacity(n);
-        for _ in 0..n {
-            let is_match = rng.gen_bool(match_rate);
-            let p: f64 = if is_match {
-                0.5 + 0.5 * rng.gen::<f64>()
-            } else {
-                0.5 * rng.gen::<f64>()
-            };
-            scores.push(p);
-            predictions.push(p > 0.5);
-            truth.push(is_match);
-        }
-        (
-            Arc::new(ScoredPool::new(scores, predictions).unwrap()),
-            truth,
-        )
+        let (pool, truth) = oasis::test_fixtures::pool_and_truth(n, seed, match_rate);
+        (Arc::new(pool), truth)
     }
 }

@@ -9,7 +9,7 @@
 //! | `cmd` | fields | effect |
 //! |---|---|---|
 //! | `load_pool` | `pool`, `scores[]`, `predictions[]` | register a shared pool |
-//! | `create_session` | `session`, `pool`, `seed`, `config{}`?, `truth[]`? | new session; `truth` attaches an in-process oracle |
+//! | `create_session` | `session`, `pool`, `seed`, `method`?, `config{}`?, `truth[]`? | new session; `truth` attaches an in-process oracle |
 //! | `propose` | `session`, `count`? | draw items to label; returns tickets |
 //! | `label` | `session`, `labels[{ticket,label}]` | resume with a label batch |
 //! | `step` | `session`, `steps` | run full iterations (needs `truth`) |
@@ -20,12 +20,18 @@
 //! | `sessions` | — | list sessions |
 //! | `delete_session` | `session` | drop a session |
 //! | `shutdown` | — | acknowledge and stop serving |
+//!
+//! `create_session`'s `method` selects the sampling method — `"oasis"`
+//! (the default, for back-compatibility with pre-redesign clients),
+//! `"passive"`, `"importance"` or `"stratified"` — so all of the paper's
+//! comparison methods run behind the same wire commands.  An unknown method
+//! is a structured `"ok": false` protocol error, never a dropped connection.
 
 use crate::checkpoint::SessionCheckpoint;
 use crate::engine::Engine;
 use crate::error::{EngineError, EngineResult};
 use crate::session::{LabelSource, Session, Ticket};
-use oasis::{GroundTruthOracle, OasisConfig, ScoredPool};
+use oasis::{GroundTruthOracle, OasisConfig, SamplerMethod, ScoredPool};
 use serde::json::{FromJson, Json, ToJson};
 
 /// A parsed protocol request.
@@ -48,6 +54,8 @@ pub enum Request {
         pool: String,
         /// RNG seed.
         seed: u64,
+        /// Sampling method (`"oasis"` when omitted).
+        method: SamplerMethod,
         /// Sampler configuration (defaults for missing keys).
         config: OasisConfig,
         /// Optional hidden ground truth, enabling `step`/`run_budget`.
@@ -147,6 +155,13 @@ impl Request {
                 session: string_field(&value, "session")?,
                 pool: string_field(&value, "pool")?,
                 seed: value.require("seed")?.as_u64()?,
+                method: match value.get("method") {
+                    // Surface the unknown-method message as a structured
+                    // protocol error rather than a generic JSON one.
+                    Some(method) => SamplerMethod::parse(method.as_str()?)
+                        .map_err(|e| EngineError::Protocol(e.to_string()))?,
+                    None => SamplerMethod::Oasis,
+                },
                 config: match value.get("config") {
                     Some(config) => OasisConfig::from_json(config)?,
                     None => OasisConfig::default(),
@@ -244,6 +259,7 @@ pub fn error_response(error: &EngineError) -> Json {
 fn estimate_response(session: &Session) -> Json {
     let mut obj = ok_response();
     obj.set("session", Json::String(session.id().to_string()));
+    obj.set("method", session.method().to_json());
     obj.set("estimate", session.estimate().to_json());
     obj.set("labels_consumed", session.labels_consumed().to_json());
     obj.set("pending", session.pending_count().to_json());
@@ -288,6 +304,7 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
             session,
             pool,
             seed,
+            method,
             config,
             truth,
         } => {
@@ -298,9 +315,10 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
                     LabelSource::external(pool_len)
                 }
             };
-            engine.create_session(&session, &pool, config, seed, source)?;
+            engine.create_session(&session, &pool, method, config, seed, source)?;
             let mut obj = ok_response();
             obj.set("session", Json::String(session));
+            obj.set("method", method.to_json());
             obj.set("seed", seed.to_json());
             obj
         }
@@ -423,6 +441,95 @@ mod tests {
         assert!(Request::parse(r#"{"cmd":"no_such"}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"step","session":"s"}"#).is_err());
         assert!(Request::parse(r#"{"nocmd":1}"#).is_err());
+    }
+
+    #[test]
+    fn create_session_parses_every_method_and_defaults_to_oasis() {
+        for method in SamplerMethod::ALL {
+            let line = format!(
+                r#"{{"cmd":"create_session","session":"s","pool":"p","seed":1,"method":"{}"}}"#,
+                method.as_str()
+            );
+            match Request::parse(&line).unwrap() {
+                Request::CreateSession { method: parsed, .. } => assert_eq!(parsed, method),
+                other => panic!("unexpected parse {other:?}"),
+            }
+        }
+        let line = r#"{"cmd":"create_session","session":"s","pool":"p","seed":1}"#;
+        match Request::parse(line).unwrap() {
+            Request::CreateSession { method, .. } => assert_eq!(method, SamplerMethod::Oasis),
+            other => panic!("unexpected parse {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_method_is_a_structured_protocol_error() {
+        let line = r#"{"cmd":"create_session","session":"s","pool":"p","seed":1,"method":"bogus"}"#;
+        let err = Request::parse(line).unwrap_err();
+        assert!(matches!(err, EngineError::Protocol(_)), "{err:?}");
+        assert!(err.to_string().contains("bogus"), "{err}");
+        // And over dispatch it renders as an ok:false response, so a client
+        // typo never tears the connection down.
+        let rendered = error_response(&err).render();
+        assert!(rendered.contains(r#""ok":false"#));
+        assert!(rendered.contains("bogus"));
+    }
+
+    #[test]
+    fn duplicate_session_ids_return_a_structured_error() {
+        let engine = Engine::new();
+        let pool = Request::parse(
+            r#"{"cmd":"load_pool","pool":"p","scores":[0.9,0.7,0.3,0.1],"predictions":[true,true,false,false]}"#,
+        )
+        .unwrap();
+        assert!(dispatch(&engine, pool)
+            .response
+            .render()
+            .contains(r#""ok":true"#));
+        let create = r#"{"cmd":"create_session","session":"dup","pool":"p","seed":1,"config":{"strata_count":2}}"#;
+        let first = dispatch(&engine, Request::parse(create).unwrap());
+        assert!(first.response.render().contains(r#""ok":true"#));
+        let second = dispatch(&engine, Request::parse(create).unwrap());
+        assert!(!second.shutdown);
+        let rendered = second.response.render();
+        assert!(rendered.contains(r#""ok":false"#), "{rendered}");
+        assert!(rendered.contains("already exists"), "{rendered}");
+    }
+
+    #[test]
+    fn every_method_creates_steps_and_reports_over_dispatch() {
+        let engine = Engine::new();
+        let pool = Request::parse(
+            r#"{"cmd":"load_pool","pool":"p","scores":[0.95,0.9,0.8,0.6,0.4,0.2,0.15,0.1],"predictions":[true,true,true,true,false,false,false,false]}"#,
+        )
+        .unwrap();
+        dispatch(&engine, pool);
+        for method in SamplerMethod::ALL {
+            let create = format!(
+                r#"{{"cmd":"create_session","session":"{m}","pool":"p","seed":3,"method":"{m}","config":{{"strata_count":3}},"truth":[true,true,false,true,false,false,false,false]}}"#,
+                m = method.as_str()
+            );
+            let response = dispatch(&engine, Request::parse(&create).unwrap()).response;
+            let rendered = response.render();
+            assert!(rendered.contains(r#""ok":true"#), "{rendered}");
+            assert!(
+                rendered.contains(&format!(r#""method":"{}""#, method.as_str())),
+                "{rendered}"
+            );
+            let step = format!(
+                r#"{{"cmd":"step","session":"{}","steps":30}}"#,
+                method.as_str()
+            );
+            let rendered = dispatch(&engine, Request::parse(&step).unwrap())
+                .response
+                .render();
+            assert!(rendered.contains(r#""ok":true"#), "{method}: {rendered}");
+            assert!(rendered.contains(r#""f_measure""#), "{method}: {rendered}");
+            assert!(
+                rendered.contains(&format!(r#""method":"{}""#, method.as_str())),
+                "{method}: {rendered}"
+            );
+        }
     }
 
     #[test]

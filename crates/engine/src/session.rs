@@ -1,9 +1,11 @@
-//! A single OASIS evaluation session.
+//! A single interactive evaluation session, whatever the sampling method.
 //!
-//! A [`Session`] wraps one [`OasisSampler`] run over a shared
-//! [`Arc<ScoredPool>`] with its own independently seeded RNG.  Unlike the
-//! library's [`Sampler::run`] loop, a session is an *interactive* state
-//! machine built on [`OasisSampler::propose`] / [`OasisSampler::apply_label`]:
+//! A [`Session`] wraps one sampler run — any [`SamplerMethod`], dispatched
+//! through [`AnySampler`] — over a shared [`Arc<ScoredPool>`] with its own
+//! independently seeded RNG.  Unlike the library's
+//! [`Sampler::run`](oasis::Sampler::run) loop, a session is an *interactive*
+//! state machine built on the
+//! [`InteractiveSampler`] propose/apply-label contract:
 //!
 //! * [`Session::propose`] draws one or more items and returns [`Ticket`]s —
 //!   the session then *suspends*, holding the tickets as pending;
@@ -11,17 +13,18 @@
 //!   order, possibly in batches);
 //! * with an in-process oracle attached ([`LabelSource::GroundTruth`]),
 //!   [`Session::step`] runs the classic propose→query→apply loop and is
-//!   bit-identical to the library's `Sampler::step` with the same seed.
+//!   bit-identical to the library's `Sampler::step` with the same seed —
+//!   for every method, not just OASIS.
 //!
-//! Sessions are checkpointable: [`Session::checkpoint`] captures sampler
-//! state, RNG words, pending tickets and oracle state, and
-//! [`Session::restore`] resumes exactly (see `crate::checkpoint`).
+//! Sessions are checkpointable: [`Session::checkpoint`] captures the
+//! method-tagged sampler state, RNG words, pending tickets and oracle state,
+//! and [`Session::restore`] resumes exactly (see `crate::checkpoint`).
 
 use crate::checkpoint::{OracleCheckpoint, SessionCheckpoint};
 use crate::error::{EngineError, EngineResult};
 use oasis::{
-    Estimate, GroundTruthOracle, OasisConfig, OasisSampler, Oracle, Proposal, Sampler as _,
-    ScoredPool,
+    AnySampler, Estimate, GroundTruthOracle, InteractiveSampler, OasisConfig, Oracle, Proposal,
+    SamplerMethod, ScoredPool,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -65,13 +68,14 @@ impl LabelSource {
     }
 }
 
-/// One concurrent, independently seeded, checkpointable OASIS evaluation run.
+/// One concurrent, independently seeded, checkpointable evaluation run of
+/// any sampling method.
 #[derive(Debug, Clone)]
 pub struct Session {
     id: String,
     pool_id: String,
     pool: Arc<ScoredPool>,
-    sampler: OasisSampler,
+    sampler: AnySampler,
     rng: StdRng,
     seed: u64,
     pending: VecDeque<Ticket>,
@@ -80,7 +84,9 @@ pub struct Session {
 }
 
 impl Session {
-    /// Create a session over `pool` with its own RNG seeded from `seed`.
+    /// Create a session over `pool` running the given sampling method, with
+    /// its own RNG seeded from `seed`.  All methods draw their
+    /// hyperparameters from the one `config` (see [`AnySampler::build`]).
     ///
     /// # Errors
     /// Propagates sampler construction failures (invalid config, degenerate
@@ -90,12 +96,13 @@ impl Session {
         id: impl Into<String>,
         pool_id: impl Into<String>,
         pool: Arc<ScoredPool>,
+        method: SamplerMethod,
         config: OasisConfig,
         seed: u64,
         source: LabelSource,
     ) -> EngineResult<Self> {
         validate_source(&source, pool.len())?;
-        let sampler = OasisSampler::new(&pool, config)?;
+        let sampler = AnySampler::build(method, &pool, &config)?;
         Ok(Session {
             id: id.into(),
             pool_id: pool_id.into(),
@@ -112,6 +119,11 @@ impl Session {
     /// The session id.
     pub fn id(&self) -> &str {
         &self.id
+    }
+
+    /// The sampling method the session runs.
+    pub fn method(&self) -> SamplerMethod {
+        self.sampler.method()
     }
 
     /// The id of the pool the session evaluates.
@@ -134,8 +146,9 @@ impl Session {
         self.sampler.estimate()
     }
 
-    /// The underlying sampler (posterior means, proposal, config).
-    pub fn sampler(&self) -> &OasisSampler {
+    /// The underlying sampler (method-specific diagnostics live behind the
+    /// [`AnySampler`] dispatcher, e.g. [`AnySampler::as_oasis`]).
+    pub fn sampler(&self) -> &AnySampler {
         &self.sampler
     }
 
@@ -165,9 +178,10 @@ impl Session {
     /// Propose `count` items to label, suspending the session until the
     /// labels come back through [`Session::apply_labels`].
     ///
-    /// All draws in one batch use the same posterior (no labels can intervene
-    /// inside the batch), matching the batched-annotation semantics of
-    /// [`OasisSampler::propose`].
+    /// All draws in one batch use the same instrumental distribution (no
+    /// labels can intervene inside the batch), matching the
+    /// batched-annotation semantics of
+    /// [`InteractiveSampler::propose_batch`].
     pub fn propose(&mut self, count: usize) -> EngineResult<Vec<Ticket>> {
         let proposals = self.sampler.propose_batch(&self.pool, &mut self.rng, count);
         let mut tickets = Vec::with_capacity(count);
@@ -363,7 +377,7 @@ impl Session {
                 checkpoint.pool_fingerprint
             )));
         }
-        let sampler = OasisSampler::from_state(&pool, checkpoint.sampler)?;
+        let sampler = AnySampler::from_state(&pool, checkpoint.sampler)?;
         let source = match checkpoint.oracle {
             OracleCheckpoint::External { labelled, .. } => {
                 if labelled.len() != pool.len() {
@@ -396,7 +410,7 @@ impl Session {
         // Pending tickets come verbatim from the document; a crafted
         // checkpoint must not be able to smuggle out-of-range indices past
         // restore and panic a later apply_labels.
-        let strata_count = sampler.strata().len();
+        let strata_count = sampler.strata_len();
         let mut seen_tickets = std::collections::HashSet::new();
         for ticket in &checkpoint.pending {
             if ticket.id >= checkpoint.next_ticket || !seen_tickets.insert(ticket.id) {
@@ -455,6 +469,7 @@ fn validate_source(source: &LabelSource, pool_len: usize) -> EngineResult<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oasis::{OasisSampler, Sampler};
 
     fn pool_and_truth(n: usize, seed: u64) -> (Arc<ScoredPool>, Vec<bool>) {
         crate::test_support::pool_and_truth(n, seed, 0.06)
@@ -483,6 +498,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(12),
             7,
             LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
@@ -500,6 +516,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(12),
             11,
             LabelSource::external(pool.len()),
@@ -527,6 +544,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(8),
             13,
             LabelSource::external(pool.len()),
@@ -560,6 +578,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(6),
             17,
             LabelSource::external(pool.len()),
@@ -587,6 +606,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(4),
             37,
             LabelSource::external(pool.len()),
@@ -609,6 +629,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(4),
             41,
             LabelSource::GroundTruth(GroundTruthOracle::new(truth.clone())),
@@ -638,6 +659,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(4),
             19,
             LabelSource::external(pool.len()),
@@ -660,6 +682,7 @@ mod tests {
             "s",
             "p",
             pool,
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(4),
             23,
             LabelSource::external(200),
@@ -678,6 +701,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(4),
             29,
             LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
@@ -688,6 +712,95 @@ mod tests {
             session.step(1),
             Err(EngineError::WrongLabelSource(_))
         ));
+    }
+
+    #[test]
+    fn every_method_session_is_bit_identical_to_its_library_run() {
+        let (pool, truth) = pool_and_truth(1500, 21);
+        let config = OasisConfig::default().with_strata_count(10);
+        for method in oasis::SamplerMethod::ALL {
+            // Library reference through AnySampler's Sampler impl.
+            let mut sampler = oasis::AnySampler::build(method, &pool, &config).unwrap();
+            let mut oracle = GroundTruthOracle::new(truth.clone());
+            let mut rng = StdRng::seed_from_u64(19);
+            let expected = sampler.run(&pool, &mut oracle, &mut rng, 250).unwrap();
+
+            let mut session = Session::new(
+                "s",
+                "p",
+                Arc::clone(&pool),
+                method,
+                config.clone(),
+                19,
+                LabelSource::GroundTruth(GroundTruthOracle::new(truth.clone())),
+            )
+            .unwrap();
+            assert_eq!(session.method(), method);
+            let estimate = session.step(250).unwrap();
+            assert_bit_identical(&estimate, &expected);
+        }
+    }
+
+    #[test]
+    fn every_method_checkpoint_restores_and_continues_bitwise() {
+        let (pool, truth) = pool_and_truth(1000, 22);
+        let config = OasisConfig::default().with_strata_count(8);
+        for method in oasis::SamplerMethod::ALL {
+            let make = |id: &str| {
+                Session::new(
+                    id,
+                    "p",
+                    Arc::clone(&pool),
+                    method,
+                    config.clone(),
+                    23,
+                    LabelSource::GroundTruth(GroundTruthOracle::new(truth.clone())),
+                )
+                .unwrap()
+            };
+            let mut straight = make("straight");
+            let expected = straight.step(400).unwrap();
+
+            let mut interrupted = make("interrupted");
+            interrupted.step(163).unwrap();
+            let text = interrupted.checkpoint().to_json_string();
+            drop(interrupted);
+            let checkpoint = SessionCheckpoint::from_json_string(&text).unwrap();
+            let mut resumed = Session::restore(checkpoint, Arc::clone(&pool)).unwrap();
+            assert_eq!(resumed.method(), method);
+            let estimate = resumed.step(400 - 163).unwrap();
+            assert_bit_identical(&estimate, &expected);
+            assert_eq!(resumed.labels_consumed(), straight.labels_consumed());
+        }
+    }
+
+    #[test]
+    fn every_method_supports_the_external_propose_label_path() {
+        let (pool, truth) = pool_and_truth(600, 23);
+        let config = OasisConfig::default().with_strata_count(6);
+        for method in oasis::SamplerMethod::ALL {
+            let mut session = Session::new(
+                "s",
+                "p",
+                Arc::clone(&pool),
+                method,
+                config.clone(),
+                29,
+                LabelSource::external(pool.len()),
+            )
+            .unwrap();
+            for _ in 0..30 {
+                let tickets = session.propose(3).unwrap();
+                let answers: Vec<(u64, bool)> = tickets
+                    .iter()
+                    .map(|t| (t.id, truth[t.proposal.item]))
+                    .collect();
+                session.apply_labels(&answers).unwrap();
+            }
+            assert_eq!(session.estimate().iterations, 90, "{method}");
+            assert!(session.labels_consumed() > 0, "{method}");
+            assert_eq!(session.pending_count(), 0, "{method}");
+        }
     }
 
     #[test]
@@ -705,6 +818,7 @@ mod tests {
             "s",
             "p",
             Arc::clone(&pool),
+            SamplerMethod::Oasis,
             OasisConfig::default().with_strata_count(12),
             31,
             LabelSource::GroundTruth(GroundTruthOracle::new(truth)),

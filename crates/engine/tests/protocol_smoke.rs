@@ -9,13 +9,18 @@ use std::io::Cursor;
 
 const SMOKE_SCRIPT: &str = include_str!("smoke/session.jsonl");
 
-/// Golden F-measure for the smoke session (pool + seed are fixed, all
-/// arithmetic is deterministic IEEE-754 — no libm in the calibrated-score
-/// path — so this is stable across platforms).
-const GOLDEN_ESTIMATE_FRAGMENT: &str = r#""f_measure":0.8605922932779813"#;
+/// Golden estimates for the smoke sessions — one OASIS, one passive, one
+/// stratified session over the same pool, seed and step count (the pool +
+/// seed are fixed, all arithmetic is deterministic IEEE-754 — no libm in the
+/// calibrated-score path — so these are stable across platforms).  One
+/// golden per method pins the whole method-dispatch path: sampler
+/// construction, the propose/apply state machine, and the estimator.
+const GOLDEN_OASIS_FRAGMENT: &str = r#""f_measure":0.8605922932779813"#;
+const GOLDEN_PASSIVE_FRAGMENT: &str = r#""f_measure":0.8524590163934426"#;
+const GOLDEN_STRATIFIED_FRAGMENT: &str = r#""f_measure":0.8864468864468864"#;
 
 #[test]
-fn scripted_smoke_session_reproduces_the_golden_estimate_line() {
+fn scripted_smoke_session_reproduces_the_golden_estimate_lines() {
     let engine = Engine::new();
     let mut output = Vec::new();
     let shutdown = serve_lines(&engine, Cursor::new(SMOKE_SCRIPT), &mut output).unwrap();
@@ -23,14 +28,47 @@ fn scripted_smoke_session_reproduces_the_golden_estimate_line() {
 
     let text = String::from_utf8(output).unwrap();
     let lines: Vec<&str> = text.lines().collect();
-    assert_eq!(lines.len(), 5, "one response per request:\n{text}");
+    assert_eq!(lines.len(), 11, "one response per request:\n{text}");
     for line in &lines {
         assert!(line.contains(r#""ok":true"#), "failed response: {line}");
     }
-    let estimate_line = lines[3];
-    assert!(
-        estimate_line.contains(GOLDEN_ESTIMATE_FRAGMENT),
-        "estimate drifted from golden: {estimate_line}"
+    for (estimate_line, method, golden) in [
+        (lines[3], "oasis", GOLDEN_OASIS_FRAGMENT),
+        (lines[6], "passive", GOLDEN_PASSIVE_FRAGMENT),
+        (lines[9], "stratified", GOLDEN_STRATIFIED_FRAGMENT),
+    ] {
+        assert!(
+            estimate_line.contains(golden),
+            "{method} estimate drifted from golden: {estimate_line}"
+        );
+        assert!(
+            estimate_line.contains(&format!(r#""method":"{method}""#)),
+            "{method}: {estimate_line}"
+        );
+        assert!(estimate_line.contains(r#""labels_consumed":10"#));
+    }
+}
+
+#[test]
+fn unknown_methods_are_rejected_with_a_protocol_error() {
+    // The rejection path the smoke script cannot carry (it asserts all-ok):
+    // an unknown method is answered with a structured error and the
+    // connection keeps serving.
+    let engine = Engine::new();
+    let script = concat!(
+        r#"{"cmd":"load_pool","pool":"p","scores":[0.9,0.1],"predictions":[true,false]}"#,
+        "\n",
+        r#"{"cmd":"create_session","session":"s","pool":"p","seed":1,"method":"annealing"}"#,
+        "\n",
+        r#"{"cmd":"sessions"}"#,
+        "\n",
     );
-    assert!(estimate_line.contains(r#""labels_consumed":10"#));
+    let mut output = Vec::new();
+    serve_lines(&engine, Cursor::new(script), &mut output).unwrap();
+    let text = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert!(lines[1].contains(r#""ok":false"#), "{}", lines[1]);
+    assert!(lines[1].contains("annealing"), "{}", lines[1]);
+    assert!(lines[2].contains(r#""ok":true"#), "{}", lines[2]);
 }

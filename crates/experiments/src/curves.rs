@@ -6,6 +6,7 @@ use crate::methods::Method;
 use crate::pools::ExperimentPool;
 use crossbeam::thread;
 use oasis::oracle::{GroundTruthOracle, Oracle};
+use oasis::samplers::{InteractiveSampler, Sampler};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -1,19 +1,22 @@
 //! Engine-vs-library parity: the acceptance experiment for `oasis-engine`.
 //!
-//! The engine's whole value proposition is that moving OASIS behind a
+//! The engine's whole value proposition is that moving a sampler behind a
 //! session/worker-pool/checkpoint boundary changes *nothing* statistically:
 //! N concurrent engine sessions with fixed seeds must produce estimates
 //! bit-identical to N sequential library runs with the same seeds, and an
 //! interrupt→checkpoint→restore→resume session must land on the same bits as
-//! one that never stopped.  This driver checks both on a cora-profile pool
-//! and reports engine throughput (steps/second across the worker pool) as a
-//! bonus.
+//! one that never stopped.  Since the `InteractiveSampler` redesign the
+//! engine serves *every* method of the paper's comparison, so this driver
+//! checks both properties for the full [`Method::parity_lineup`] — passive,
+//! importance, stratified and OASIS — on a cora-profile pool, and reports
+//! engine throughput (steps/second across the worker pool) as a bonus.
 
+use crate::methods::{AnySampler, Method};
 use crate::pools::{direct_pool, ExperimentPool};
 use crate::report::{fmt_float, TextTable};
 use er_core::datasets::DatasetProfile;
 use oasis::oracle::GroundTruthOracle;
-use oasis::samplers::{OasisConfig, OasisSampler, Sampler};
+use oasis::samplers::Sampler;
 use oasis_engine::{Engine, LabelSource, SessionCheckpoint, SessionJob};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,13 +27,15 @@ use std::time::Instant;
 pub struct EngineParityConfig {
     /// Pool scale relative to the full cora pool.
     pub scale: f64,
-    /// Number of concurrent sessions (and sequential reference runs).
+    /// Number of concurrent sessions (and sequential reference runs) *per
+    /// method*.
     pub sessions: usize,
     /// Sampling steps per session.
     pub steps: usize,
     /// Worker threads driving the sessions.
     pub workers: usize,
-    /// Base RNG seed; session `i` uses `seed + i`.
+    /// Base RNG seed; session `i` uses `seed + i` (shared across methods —
+    /// the method, not the seed, differentiates the runs).
     pub seed: u64,
 }
 
@@ -49,6 +54,8 @@ impl Default for EngineParityConfig {
 /// Per-session parity outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParityRow {
+    /// The method label (paper legend style).
+    pub method: String,
     /// The session's seed.
     pub seed: u64,
     /// F-measure from the sequential library run.
@@ -65,7 +72,7 @@ pub struct ParityRow {
 /// The full parity report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineParity {
-    /// One row per session.
+    /// One row per (method, session).
     pub rows: Vec<ParityRow>,
     /// Pool size used.
     pub pool_size: usize,
@@ -73,7 +80,7 @@ pub struct EngineParity {
     pub steps: usize,
     /// Worker threads used for the concurrent pass.
     pub workers: usize,
-    /// Wall-clock seconds for the concurrent engine pass.
+    /// Wall-clock seconds for the concurrent engine pass (all methods).
     pub parallel_seconds: f64,
     /// Aggregate engine throughput: total steps / parallel wall-clock.
     pub steps_per_second: f64,
@@ -90,6 +97,7 @@ impl EngineParity {
     /// Render as a plain-text table.
     pub fn render(&self) -> String {
         let mut table = TextTable::new(vec![
+            "Method",
             "Seed",
             "Library F",
             "Engine F",
@@ -98,6 +106,7 @@ impl EngineParity {
         ]);
         for row in &self.rows {
             table.add_row(vec![
+                row.method.clone(),
                 row.seed.to_string(),
                 fmt_float(row.library_f, 12),
                 fmt_float(row.engine_f, 12),
@@ -106,7 +115,7 @@ impl EngineParity {
             ]);
         }
         format!(
-            "Engine parity on a cora-profile pool ({} pairs, {} sessions x {} steps, {} workers)\n{}\nEngine throughput: {:.0} steps/s ({} total steps in {:.3}s)\nAll identical: {}",
+            "Engine parity on a cora-profile pool ({} pairs, {} method x session rows x {} steps, {} workers)\n{}\nEngine throughput: {:.0} steps/s ({} total steps in {:.3}s)\nAll identical: {}",
             self.pool_size,
             self.rows.len(),
             self.steps,
@@ -120,15 +129,17 @@ impl EngineParity {
     }
 }
 
+/// Sequential library reference: the same `AnySampler::build` construction
+/// the engine session uses, driven by the classic `Sampler::run` loop.
 fn library_reference(
     pool: &ExperimentPool,
-    config: &OasisConfig,
+    method: &Method,
     seed: u64,
     steps: usize,
 ) -> oasis::Estimate {
     let mut oracle = GroundTruthOracle::new(pool.truth.clone());
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut sampler = OasisSampler::new(&pool.pool, config.clone()).expect("valid config");
+    let mut sampler: AnySampler = method.build(&pool.pool, 0.5, 0.0).expect("valid config");
     sampler
         .run(&pool.pool, &mut oracle, &mut rng, steps)
         .expect("library run cannot fail")
@@ -139,16 +150,17 @@ fn library_reference(
 fn checkpointed_run(
     engine: &Engine,
     pool: &ExperimentPool,
-    config: &OasisConfig,
+    method: &Method,
     seed: u64,
     steps: usize,
 ) -> oasis::Estimate {
-    let session_id = format!("ckpt-{seed}");
+    let session_id = format!("ckpt-{}-{seed}", method.sampler_method());
     engine
         .create_session(
             &session_id,
             "cora",
-            config.clone(),
+            method.sampler_method(),
+            method.engine_config(0.5, 0.0),
             seed,
             LabelSource::GroundTruth(GroundTruthOracle::new(pool.truth.clone())),
         )
@@ -168,40 +180,48 @@ fn checkpointed_run(
     estimate
 }
 
-/// Run the parity experiment.
+/// Run the parity experiment across the full method line-up.
 pub fn run(config: &EngineParityConfig) -> EngineParity {
     let pool = direct_pool(&DatasetProfile::cora(), config.scale, true, config.seed);
-    let sampler_config = OasisConfig::default().with_strata_count(30);
+    let methods = Method::parity_lineup();
     let seeds: Vec<u64> = (0..config.sessions as u64)
         .map(|i| config.seed + i)
         .collect();
 
-    // Sequential library references.
-    let references: Vec<oasis::Estimate> = seeds
-        .iter()
-        .map(|&seed| library_reference(&pool, &sampler_config, seed, config.steps))
-        .collect();
+    // Sequential library references, one per (method, seed).
+    let mut references: Vec<(Method, u64, oasis::Estimate)> = Vec::new();
+    for &method in &methods {
+        for &seed in &seeds {
+            references.push((
+                method,
+                seed,
+                library_reference(&pool, &method, seed, config.steps),
+            ));
+        }
+    }
 
-    // Concurrent engine sessions over one shared pool.
+    // Concurrent engine sessions over one shared pool: all methods mixed in
+    // one job list, so the worker pool interleaves methods freely.
     let engine = Engine::new();
     engine
         .load_pool("cora", pool.pool.clone())
         .expect("load pool");
-    for &seed in &seeds {
+    for &(method, seed, _) in &references {
         engine
             .create_session(
-                format!("s{seed}"),
+                format!("{}-{seed}", method.sampler_method()),
                 "cora",
-                sampler_config.clone(),
+                method.sampler_method(),
+                method.engine_config(0.5, 0.0),
                 seed,
                 LabelSource::GroundTruth(GroundTruthOracle::new(pool.truth.clone())),
             )
             .expect("session");
     }
-    let jobs: Vec<SessionJob> = seeds
+    let jobs: Vec<SessionJob> = references
         .iter()
-        .map(|&seed| SessionJob::Steps {
-            session: format!("s{seed}"),
+        .map(|&(method, seed, _)| SessionJob::Steps {
+            session: format!("{}-{seed}", method.sampler_method()),
             steps: config.steps,
         })
         .collect();
@@ -211,19 +231,20 @@ pub fn run(config: &EngineParityConfig) -> EngineParity {
         .expect("parallel run");
     let parallel_seconds = start.elapsed().as_secs_f64();
 
-    let rows: Vec<ParityRow> = seeds
+    let rows: Vec<ParityRow> = references
         .iter()
-        .zip(references.iter().zip(estimates.iter()))
-        .map(|(&seed, (reference, estimate))| {
+        .zip(estimates.iter())
+        .map(|((method, seed, reference), estimate)| {
             let bit_identical = reference.f_measure.to_bits() == estimate.f_measure.to_bits()
                 && reference.precision.to_bits() == estimate.precision.to_bits()
                 && reference.recall.to_bits() == estimate.recall.to_bits();
-            let resumed = checkpointed_run(&engine, &pool, &sampler_config, seed, config.steps);
+            let resumed = checkpointed_run(&engine, &pool, method, *seed, config.steps);
             let checkpoint_identical = resumed.f_measure.to_bits() == reference.f_measure.to_bits()
                 && resumed.precision.to_bits() == reference.precision.to_bits()
                 && resumed.recall.to_bits() == reference.recall.to_bits();
             ParityRow {
-                seed,
+                method: method.label(),
+                seed: *seed,
                 library_f: reference.f_measure,
                 engine_f: estimate.f_measure,
                 bit_identical,
@@ -232,7 +253,7 @@ pub fn run(config: &EngineParityConfig) -> EngineParity {
         })
         .collect();
 
-    let total_steps = (config.sessions * config.steps) as f64;
+    let total_steps = (rows.len() * config.steps) as f64;
     EngineParity {
         rows,
         pool_size: pool.len(),
@@ -250,7 +271,7 @@ mod tests {
     fn tiny_config() -> EngineParityConfig {
         EngineParityConfig {
             scale: 0.02,
-            sessions: 4,
+            sessions: 2,
             steps: 150,
             workers: 2,
             seed: 77,
@@ -258,9 +279,13 @@ mod tests {
     }
 
     #[test]
-    fn engine_matches_library_bit_for_bit() {
+    fn engine_matches_library_bit_for_bit_for_every_method() {
         let parity = run(&tiny_config());
-        assert_eq!(parity.rows.len(), 4);
+        // 4 methods x 2 sessions.
+        assert_eq!(parity.rows.len(), 8);
+        let methods: std::collections::HashSet<&str> =
+            parity.rows.iter().map(|r| r.method.as_str()).collect();
+        assert_eq!(methods.len(), 4, "all four methods represented");
         assert!(
             parity.all_identical(),
             "parity failed:\n{}",
@@ -275,6 +300,7 @@ mod tests {
         assert!(text.contains("Engine parity"));
         assert!(text.contains("steps/s"));
         assert!(text.contains("All identical: true"));
+        assert!(text.contains("Passive") && text.contains("IS") && text.contains("Stratified"));
         assert!(parity.steps_per_second > 0.0);
     }
 }

@@ -7,7 +7,7 @@ use crate::report::{fmt_float, TextTable};
 use er_core::datasets::DatasetProfile;
 use oasis::diagnostics::OracleReference;
 use oasis::oracle::{GroundTruthOracle, Oracle};
-use oasis::samplers::{OasisConfig, OasisSampler, Sampler};
+use oasis::samplers::{InteractiveSampler, OasisConfig, OasisSampler, Sampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

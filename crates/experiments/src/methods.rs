@@ -1,19 +1,18 @@
 //! The sampling methods under comparison (paper Section 6.2).
 //!
-//! [`Method`] names a method + its hyperparameters; [`AnySampler`] is a
-//! concrete enum dispatcher over the sampler types of the `oasis` crate so the
-//! experiment runner can treat them uniformly (the [`oasis::Sampler`] trait
-//! has generic methods and is therefore not object-safe).
+//! [`Method`] names a method + its hyperparameters and maps both onto the
+//! core crate's method-agnostic surface: a [`SamplerMethod`] tag plus one
+//! [`OasisConfig`] carrying every hyperparameter.  Building goes through
+//! [`AnySampler::build`] — the same constructor the `oasis-engine` session
+//! layer uses — so an experiment run and an engine session with the same
+//! method, config and seed are the *same* sampler, which is what the
+//! engine-parity drivers pin bit-for-bit.
 
-use oasis::estimator::Estimate;
-use oasis::oracle::Oracle;
 use oasis::pool::ScoredPool;
-use oasis::samplers::{
-    ImportanceSampler, OasisConfig, OasisSampler, PassiveSampler, Sampler, StepOutcome,
-    StratifiedSampler,
-};
+use oasis::samplers::OasisConfig;
 use oasis::Result;
-use rand::Rng;
+
+pub use oasis::samplers::{AnySampler, SamplerMethod};
 
 /// A named sampling method with its hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +62,17 @@ impl Method {
         ]
     }
 
+    /// One method per [`SamplerMethod`] tag at the paper's defaults — the
+    /// line-up the engine-parity driver pins.
+    pub fn parity_lineup() -> Vec<Method> {
+        vec![
+            Method::Passive,
+            Method::ImportanceSampling,
+            Method::Stratified { strata: 30 },
+            Method::oasis(30),
+        ]
+    }
+
     /// OASIS with the paper's default ε = 10⁻³.
     pub fn oasis(strata: usize) -> Method {
         Method::Oasis {
@@ -82,77 +92,41 @@ impl Method {
         }
     }
 
+    /// The wire/engine tag of this method.
+    pub fn sampler_method(&self) -> SamplerMethod {
+        match self {
+            Method::Passive => SamplerMethod::Passive,
+            Method::Stratified { .. } => SamplerMethod::Stratified,
+            Method::ImportanceSampling => SamplerMethod::Importance,
+            Method::Oasis { .. } => SamplerMethod::Oasis,
+        }
+    }
+
+    /// The method-agnostic config carrying this method's hyperparameters —
+    /// exactly what an engine `create_session` for this method would send.
+    pub fn engine_config(&self, alpha: f64, score_threshold: f64) -> OasisConfig {
+        let base = OasisConfig::default()
+            .with_alpha(alpha)
+            .with_score_threshold(score_threshold);
+        match *self {
+            Method::Passive | Method::ImportanceSampling => base,
+            Method::Stratified { strata } => base.with_strata_count(strata),
+            Method::Oasis { strata, epsilon } => {
+                base.with_strata_count(strata).with_epsilon(epsilon)
+            }
+        }
+    }
+
     /// Build a fresh sampler of this method for the given pool.
     ///
     /// `alpha` is the F-measure weight and `score_threshold` the decision
     /// threshold used when squashing non-probability scores.
     pub fn build(&self, pool: &ScoredPool, alpha: f64, score_threshold: f64) -> Result<AnySampler> {
-        Ok(match *self {
-            Method::Passive => AnySampler::Passive(PassiveSampler::new(alpha)),
-            Method::Stratified { strata } => {
-                AnySampler::Stratified(StratifiedSampler::new(pool, alpha, strata)?)
-            }
-            Method::ImportanceSampling => {
-                AnySampler::Importance(ImportanceSampler::new(pool, alpha, score_threshold)?)
-            }
-            Method::Oasis { strata, epsilon } => {
-                let config = OasisConfig::default()
-                    .with_alpha(alpha)
-                    .with_strata_count(strata)
-                    .with_epsilon(epsilon)
-                    .with_score_threshold(score_threshold);
-                AnySampler::Oasis(OasisSampler::new(pool, config)?)
-            }
-        })
-    }
-}
-
-/// Enum dispatcher over the concrete sampler types.
-#[derive(Debug, Clone)]
-pub enum AnySampler {
-    /// Passive sampler.
-    Passive(PassiveSampler),
-    /// Proportional stratified sampler.
-    Stratified(StratifiedSampler),
-    /// Static importance sampler.
-    Importance(ImportanceSampler),
-    /// OASIS sampler.
-    Oasis(OasisSampler),
-}
-
-impl AnySampler {
-    /// One sampling iteration (see [`oasis::Sampler::step`]).
-    pub fn step<O: Oracle, R: Rng + ?Sized>(
-        &mut self,
-        pool: &ScoredPool,
-        oracle: &mut O,
-        rng: &mut R,
-    ) -> Result<StepOutcome> {
-        match self {
-            AnySampler::Passive(s) => s.step(pool, oracle, rng),
-            AnySampler::Stratified(s) => s.step(pool, oracle, rng),
-            AnySampler::Importance(s) => s.step(pool, oracle, rng),
-            AnySampler::Oasis(s) => s.step(pool, oracle, rng),
-        }
-    }
-
-    /// The current estimate.
-    pub fn estimate(&self) -> Estimate {
-        match self {
-            AnySampler::Passive(s) => s.estimate(),
-            AnySampler::Stratified(s) => s.estimate(),
-            AnySampler::Importance(s) => s.estimate(),
-            AnySampler::Oasis(s) => s.estimate(),
-        }
-    }
-
-    /// Access the inner OASIS sampler, if this is one (used by the
-    /// convergence diagnostics of Figure 4).
-    pub fn as_oasis(&self) -> Option<&OasisSampler> {
-        match self {
-            AnySampler::Oasis(s) => Some(s),
-            _ => None,
-        }
+        AnySampler::build(
+            self.sampler_method(),
+            pool,
+            &self.engine_config(alpha, score_threshold),
+        )
     }
 }
 
@@ -160,6 +134,7 @@ impl AnySampler {
 mod tests {
     use super::*;
     use oasis::oracle::GroundTruthOracle;
+    use oasis::samplers::{InteractiveSampler, Sampler};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -186,6 +161,14 @@ mod tests {
         assert!(matches!(lineup[5], Method::Oasis { strata: 120, .. }));
         let balanced = Method::figure2_lineup_balanced();
         assert!(matches!(balanced[3], Method::Oasis { strata: 10, .. }));
+        // The parity line-up covers every wire tag exactly once.
+        let tags: Vec<SamplerMethod> = Method::parity_lineup()
+            .iter()
+            .map(Method::sampler_method)
+            .collect();
+        for tag in SamplerMethod::ALL {
+            assert_eq!(tags.iter().filter(|&&t| t == tag).count(), 1, "{tag}");
+        }
     }
 
     #[test]
@@ -202,6 +185,32 @@ mod tests {
             }
             let estimate = sampler.estimate();
             assert_eq!(estimate.alpha, 0.5);
+        }
+    }
+
+    #[test]
+    fn build_matches_engine_style_construction_bitwise() {
+        // Method::build and AnySampler::build(tag, config) must be the same
+        // sampler: identical draws on identical streams.
+        let (pool, truth) = tiny_pool();
+        for method in Method::parity_lineup() {
+            let mut a = method.build(&pool, 0.5, 0.5).unwrap();
+            let mut b = AnySampler::build(
+                method.sampler_method(),
+                &pool,
+                &method.engine_config(0.5, 0.5),
+            )
+            .unwrap();
+            let mut rng_a = StdRng::seed_from_u64(9);
+            let mut rng_b = StdRng::seed_from_u64(9);
+            let mut oracle_a = GroundTruthOracle::new(truth.clone());
+            let mut oracle_b = GroundTruthOracle::new(truth.clone());
+            for _ in 0..30 {
+                let x = a.step(&pool, &mut oracle_a, &mut rng_a).unwrap();
+                let y = b.step(&pool, &mut oracle_b, &mut rng_b).unwrap();
+                assert_eq!(x.item, y.item);
+                assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+            }
         }
     }
 

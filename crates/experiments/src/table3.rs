@@ -19,6 +19,7 @@ use crate::pools::{direct_pool, ExperimentPool};
 use crate::report::{fmt_float, TextTable};
 use er_core::datasets::DatasetProfile;
 use oasis::oracle::GroundTruthOracle;
+use oasis::samplers::Sampler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;

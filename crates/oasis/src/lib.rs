@@ -37,7 +37,7 @@
 //! ```
 //! use oasis::pool::ScoredPool;
 //! use oasis::oracle::{GroundTruthOracle, Oracle};
-//! use oasis::samplers::{OasisConfig, OasisSampler, Sampler};
+//! use oasis::samplers::{InteractiveSampler, OasisConfig, OasisSampler, Sampler};
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
@@ -85,22 +85,29 @@ pub use measures::{ConfusionCounts, Measures};
 pub use oracle::{GroundTruthOracle, NoisyOracle, Oracle};
 pub use pool::ScoredPool;
 pub use samplers::{
-    CategoricalCdf, EstimatorState, ImportanceSampler, OasisConfig, OasisSampler, PassiveSampler,
-    Proposal, Sampler, SamplerState, StratifiedSampler, TrackedSampler,
+    AnySampler, CategoricalCdf, EstimatorState, ImportanceSampler, ImportanceState,
+    InteractiveSampler, OasisConfig, OasisSampler, OasisState, PassiveSampler, PassiveState,
+    Proposal, Sampler, SamplerMethod, SamplerState, StratifiedSampler, StratifiedState,
+    TrackedSampler,
 };
 pub use strata::{CsfStratifier, EqualSizeStratifier, Strata, Stratifier};
 
-#[cfg(test)]
-pub(crate) mod test_fixtures {
-    //! Shared fixtures for the crate's unit tests.
+#[cfg(any(test, feature = "test-util"))]
+#[doc(hidden)]
+pub mod test_fixtures {
+    //! Shared fixtures for this crate's unit tests, also exported (behind
+    //! the `test-util` feature, hidden from docs) so downstream crates'
+    //! test suites — notably `oasis-engine` — can reuse the same synthetic
+    //! pools instead of carrying copies.  Not a stable API.
 
     use crate::pool::ScoredPool;
     use rand::rngs::StdRng;
     use rand::{Rng as _, SeedableRng};
 
     /// A deterministic imbalanced pool plus its hidden truth: calibrated
-    /// scores that correlate with (but don't perfectly predict) the labels.
-    pub(crate) fn pool_and_truth(n: usize, seed: u64, match_rate: f64) -> (ScoredPool, Vec<bool>) {
+    /// scores that correlate with (but don't perfectly predict) the labels —
+    /// the regime OASIS targets.
+    pub fn pool_and_truth(n: usize, seed: u64, match_rate: f64) -> (ScoredPool, Vec<bool>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut scores = Vec::with_capacity(n);
         let mut predictions = Vec::with_capacity(n);

@@ -15,11 +15,11 @@
 //! precomputes its cumulative weights once and draws in `O(log N)` via
 //! binary search ([`CategoricalCdf`]).
 
-use super::{CategoricalCdf, Sampler, StepOutcome};
+use super::state::{EstimatorState, ImportanceState, SamplerMethod, SamplerState};
+use super::{CategoricalCdf, InteractiveSampler, Proposal, Sampler};
 use crate::error::{Error, Result};
 use crate::estimator::{AisEstimator, Estimate};
 use crate::instrumental::pointwise_optimal;
-use crate::oracle::Oracle;
 use crate::pool::ScoredPool;
 use rand::Rng;
 
@@ -38,6 +38,9 @@ pub struct ImportanceSampler {
     cdf: CategoricalCdf,
     /// Importance weights `p(z)/q(z) = (1/N)/q_i`, pre-computed.
     weights: Vec<f64>,
+    /// The decision threshold τ the proposal was built with (kept for
+    /// serializable state; the proposal itself is recomputed on restore).
+    score_threshold: f64,
     estimator: AisEstimator,
 }
 
@@ -80,6 +83,7 @@ impl ImportanceSampler {
             proposal,
             cdf,
             weights,
+            score_threshold,
             estimator: AisEstimator::new(alpha),
         })
     }
@@ -87,6 +91,20 @@ impl ImportanceSampler {
     /// The (normalised) static instrumental distribution over pool items.
     pub fn proposal(&self) -> &[f64] {
         &self.proposal
+    }
+
+    /// Assemble a sampler from a restored estimator, recomputing the static
+    /// proposal from the pool (a pure deterministic function of the scores,
+    /// so the recomputation is bit-exact); shared by
+    /// [`ImportanceState::rebuild`].
+    pub(super) fn from_parts(
+        pool: &ScoredPool,
+        score_threshold: f64,
+        estimator: AisEstimator,
+    ) -> Result<Self> {
+        let mut sampler = ImportanceSampler::new(pool, estimator.alpha(), score_threshold)?;
+        sampler.estimator = estimator;
+        Ok(sampler)
     }
 }
 
@@ -110,24 +128,23 @@ pub(crate) fn initial_f_guess(predictions: &[bool], probabilities: &[f64], alpha
     }
 }
 
-impl Sampler for ImportanceSampler {
-    fn step<O: Oracle, R: Rng + ?Sized>(
-        &mut self,
-        pool: &ScoredPool,
-        oracle: &mut O,
-        rng: &mut R,
-    ) -> Result<StepOutcome> {
+impl InteractiveSampler for ImportanceSampler {
+    /// Draw one item from the static instrumental distribution; the
+    /// importance weight is the precomputed `(1/N)/q_i` and the stratum slot
+    /// is unused (0).
+    fn propose<R: Rng + ?Sized>(&mut self, pool: &ScoredPool, rng: &mut R) -> Proposal {
         let item = self.cdf.sample(rng);
-        let prediction = pool.prediction(item);
-        let label = oracle.query(item, rng)?;
-        let weight = self.weights[item];
-        self.estimator.observe(weight, prediction, label);
-        Ok(StepOutcome {
+        Proposal {
             item,
-            prediction,
-            label,
-            weight,
-        })
+            stratum: 0,
+            prediction: pool.prediction(item),
+            weight: self.weights[item],
+        }
+    }
+
+    fn apply_label(&mut self, proposal: &Proposal, label: bool) {
+        self.estimator
+            .observe(proposal.weight, proposal.prediction, label);
     }
 
     fn estimate(&self) -> Estimate {
@@ -137,7 +154,27 @@ impl Sampler for ImportanceSampler {
     fn name(&self) -> &'static str {
         "IS"
     }
+
+    fn method(&self) -> SamplerMethod {
+        SamplerMethod::Importance
+    }
+
+    fn state(&self) -> SamplerState {
+        SamplerState::Importance(ImportanceState {
+            score_threshold: self.score_threshold,
+            estimator: EstimatorState::capture(&self.estimator),
+        })
+    }
+
+    fn from_state(pool: &ScoredPool, state: SamplerState) -> Result<Self> {
+        match state {
+            SamplerState::Importance(state) => state.rebuild(pool),
+            other => Err(other.method_mismatch(SamplerMethod::Importance)),
+        }
+    }
 }
+
+impl Sampler for ImportanceSampler {}
 
 #[cfg(test)]
 mod tests {

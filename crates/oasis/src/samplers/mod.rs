@@ -1,32 +1,71 @@
 //! Label-efficient samplers for ER evaluation.
 //!
-//! All samplers implement the [`Sampler`] trait: each call to
-//! [`Sampler::step`] selects one record pair from the pool (possibly one that
-//! was already labelled — draws are with replacement), queries the oracle, and
-//! updates the internal estimate of the F-measure.  The *label budget* is
-//! tracked by the oracle, which only charges for the first query of each
-//! distinct pair.
+//! All samplers implement two layered traits:
+//!
+//! * [`InteractiveSampler`] — the propose/apply-label *state machine*.  A
+//!   driver asks for a [`Proposal`] (or a batch), hands it to whatever
+//!   produces labels (an in-process oracle, a human annotation queue, a
+//!   remote `oasis-serve` client), and feeds each label back through
+//!   [`apply_label`](InteractiveSampler::apply_label).  Every sampler —
+//!   adaptive or not — speaks this interface, which is what lets sessions,
+//!   checkpoints and the wire protocol stay method-agnostic.
+//! * [`Sampler`] — the classic in-process loop.  Its
+//!   [`step`](Sampler::step) is a *provided* method that runs the state
+//!   machine without suspension (propose → query the oracle → apply), so the
+//!   two code paths cannot drift apart: with the same seed, a propose/apply
+//!   driver and a `step` loop produce bit-identical draws and estimates.
+//!
+//! # The interactive state-machine contract
+//!
+//! * **Proposals are self-contained.**  A [`Proposal`] locks in the item,
+//!   the prediction and the importance weight at proposal time; the weight
+//!   depends only on the instrumental distribution used for the draw, never
+//!   on the eventual label.
+//! * **Pending proposals do not constrain new ones.**  Any number of
+//!   proposals may be outstanding; consecutive proposals without intervening
+//!   labels draw from the same (frozen) distribution, because a sampler only
+//!   adapts on [`apply_label`](InteractiveSampler::apply_label).  This is
+//!   what makes batched annotation sound, and what
+//!   [`propose_batch`](InteractiveSampler::propose_batch) exploits to pay
+//!   any per-refresh cost once per batch.
+//! * **Labels may arrive late, batched, or out of order.**  Applying the
+//!   same set of (proposal, label) pairs in a different order may reach a
+//!   different (equally valid) posterior for adaptive samplers, so drivers
+//!   that need bit-reproducibility apply labels in ascending proposal order
+//!   — the `oasis-engine` session layer does exactly that.
+//! * **Draws are with replacement.**  The same item may be proposed many
+//!   times; the *label budget* (distinct items labelled, paper footnote 5)
+//!   is tracked by the oracle or the driving session, not the sampler.
 //!
 //! Implemented samplers, matching the paper's experimental comparison
 //! (Section 6.2):
 //!
-//! | Sampler | Proposal | Estimator | Adaptive |
-//! |---|---|---|---|
-//! | [`PassiveSampler`] | uniform over the pool | plain F-measure (Eqn. 1) | no |
-//! | [`StratifiedSampler`] | proportional to stratum size | stratified F-measure | no |
-//! | [`ImportanceSampler`] | static pointwise optimal (scores as probabilities) | AIS (Eqn. 3) | no |
-//! | [`OasisSampler`] | ε-greedy stratified optimal, refit each iteration | AIS (Eqn. 3) | yes |
+//! | Sampler | Method tag | Proposal | Estimator | Adaptive |
+//! |---|---|---|---|---|
+//! | [`PassiveSampler`] | `passive` | uniform over the pool | plain F-measure (Eqn. 1) | no |
+//! | [`StratifiedSampler`] | `stratified` | proportional to stratum size | stratified F-measure | no |
+//! | [`ImportanceSampler`] | `importance` | static pointwise optimal (scores as probabilities) | AIS (Eqn. 3) | no |
+//! | [`OasisSampler`] | `oasis` | ε-greedy stratified optimal, refit each iteration | AIS (Eqn. 3) | yes |
+//!
+//! [`AnySampler`] dispatches over the four concrete types behind one value,
+//! and the method-tagged [`SamplerState`] serializes any of them for
+//! exact-resume checkpointing.
 
+mod any;
 mod importance;
 mod oasis_sampler;
 mod passive;
 mod state;
 mod stratified;
 
+pub use any::AnySampler;
 pub use importance::ImportanceSampler;
 pub use oasis_sampler::{OasisConfig, OasisSampler, Proposal, StratifierChoice};
 pub use passive::PassiveSampler;
-pub use state::{EstimatorState, SamplerState};
+pub use state::{
+    EstimatorState, ImportanceState, OasisState, PassiveState, SamplerMethod, SamplerState,
+    StratifiedState,
+};
 pub use stratified::StratifiedSampler;
 
 use crate::error::Result;
@@ -49,22 +88,113 @@ pub struct StepOutcome {
     pub weight: f64,
 }
 
-/// A sequential sampler that spends oracle labels to estimate the F-measure.
-pub trait Sampler {
-    /// Perform one sampling iteration: choose an item, query the oracle, and
-    /// update the estimate.
-    fn step<O: Oracle, R: Rng + ?Sized>(
+/// The propose/apply-label state machine every sampler exposes.
+///
+/// See the [module docs](self) for the full contract.  Implementors only
+/// provide the two halves of an iteration ([`propose`](Self::propose) and
+/// [`apply_label`](Self::apply_label)) plus estimate/state plumbing; the
+/// batch forms have defaults that are bit-identical to repeated single
+/// calls, and [`Sampler::step`] rides on the two halves.
+pub trait InteractiveSampler {
+    /// The first half of an iteration: draw one item from the sampler's
+    /// current instrumental distribution and lock in its importance weight.
+    /// The sampler then waits (conceptually) for
+    /// [`apply_label`](Self::apply_label); no oracle is consulted.
+    fn propose<R: Rng + ?Sized>(&mut self, pool: &ScoredPool, rng: &mut R) -> Proposal;
+
+    /// Draw `count` proposals.  Because no labels can intervene inside the
+    /// batch, the instrumental distribution is identical for every draw, so
+    /// this produces the same proposals (bit-for-bit, same RNG stream) as
+    /// calling [`propose`](Self::propose) `count` times; adaptive samplers
+    /// override it to pay their per-refresh cost once per batch.
+    fn propose_batch<R: Rng + ?Sized>(
         &mut self,
         pool: &ScoredPool,
-        oracle: &mut O,
         rng: &mut R,
-    ) -> Result<StepOutcome>;
+        count: usize,
+    ) -> Vec<Proposal> {
+        (0..count).map(|_| self.propose(pool, rng)).collect()
+    }
+
+    /// The second half of an iteration: fold an oracle label for a pending
+    /// [`Proposal`] into the estimator (and, for adaptive samplers, the
+    /// model the next proposal is computed from).
+    fn apply_label(&mut self, proposal: &Proposal, label: bool);
+
+    /// Apply a batch of labels in order.  Equivalent to calling
+    /// [`apply_label`](Self::apply_label) once per pair; provided so batch
+    /// oracle responses (crowd pushes, engine `label` commands) have a
+    /// single entry point.
+    fn apply_labels<'a, I>(&mut self, labelled: I)
+    where
+        I: IntoIterator<Item = (&'a Proposal, bool)>,
+    {
+        for (proposal, label) in labelled {
+            self.apply_label(proposal, label);
+        }
+    }
 
     /// The current estimate of the evaluation measures.
     fn estimate(&self) -> Estimate;
 
     /// A short human-readable name (used in experiment reports).
     fn name(&self) -> &'static str;
+
+    /// The method tag (used by sessions, checkpoints and the wire protocol).
+    fn method(&self) -> SamplerMethod;
+
+    /// Number of strata the sampler's proposals index into — `1` for
+    /// unstratified samplers, whose proposals always carry stratum `0`.
+    /// Drivers use this to validate untrusted pending proposals.
+    fn strata_len(&self) -> usize {
+        1
+    }
+
+    /// Capture the full serializable state of the sampler for
+    /// checkpointing, tagged with its method.
+    fn state(&self) -> SamplerState;
+
+    /// Rebuild a sampler from a captured [`SamplerState`] against the pool
+    /// it was captured on.  Exact-resume: the restored sampler continues
+    /// bit-for-bit.
+    ///
+    /// # Errors
+    /// A state tagged for a different method, or any validation failure
+    /// while reconstructing (allocations outside the pool, corrupt
+    /// estimator sums, …).
+    fn from_state(pool: &ScoredPool, state: SamplerState) -> Result<Self>
+    where
+        Self: Sized;
+}
+
+/// A sequential sampler that spends oracle labels to estimate the F-measure.
+///
+/// `Sampler` extends [`InteractiveSampler`] with the classic in-process
+/// driving loops; [`step`](Self::step) is a provided method running the
+/// state machine without suspension, so implementors typically write only
+/// `impl Sampler for X {}`.
+pub trait Sampler: InteractiveSampler {
+    /// Perform one sampling iteration: choose an item, query the oracle, and
+    /// update the estimate.  This is exactly
+    /// [`propose`](InteractiveSampler::propose) → [`Oracle::query`] →
+    /// [`apply_label`](InteractiveSampler::apply_label), so a `step` loop
+    /// and a suspend/resume driver with the same seed are bit-identical.
+    fn step<O: Oracle, R: Rng + ?Sized>(
+        &mut self,
+        pool: &ScoredPool,
+        oracle: &mut O,
+        rng: &mut R,
+    ) -> Result<StepOutcome> {
+        let proposal = self.propose(pool, rng);
+        let label = oracle.query(proposal.item, rng)?;
+        self.apply_label(&proposal, label);
+        Ok(StepOutcome {
+            item: proposal.item,
+            prediction: proposal.prediction,
+            label,
+            weight: proposal.weight,
+        })
+    }
 
     /// Run `iterations` steps, returning the final estimate.
     fn run<O: Oracle, R: Rng + ?Sized>(
@@ -105,6 +235,12 @@ pub trait Sampler {
 /// [`VarianceTracker`](crate::confidence::VarianceTracker), so callers get
 /// standard errors and confidence intervals alongside the point estimate.
 ///
+/// The tracker observes every applied label, so the wrapper works through
+/// both driving styles (`step` loops and propose/apply drivers).  Its
+/// [`state`](InteractiveSampler::state) is the inner sampler's; the variance
+/// history itself is not serialized, so a restored `TrackedSampler` resumes
+/// the *estimate* exactly but restarts its variance accumulation.
+///
 /// ```
 /// use oasis::{GroundTruthOracle, OasisConfig, OasisSampler, Sampler, ScoredPool, TrackedSampler};
 /// use rand::{rngs::StdRng, SeedableRng};
@@ -126,7 +262,7 @@ pub struct TrackedSampler<S> {
     tracker: crate::confidence::VarianceTracker,
 }
 
-impl<S: Sampler> TrackedSampler<S> {
+impl<S: InteractiveSampler> TrackedSampler<S> {
     /// Wrap a sampler, tracking variance for the α-weighted F-measure.
     pub fn new(inner: S, alpha: f64) -> Self {
         TrackedSampler {
@@ -152,17 +288,24 @@ impl<S: Sampler> TrackedSampler<S> {
     }
 }
 
-impl<S: Sampler> Sampler for TrackedSampler<S> {
-    fn step<O: Oracle, R: Rng + ?Sized>(
+impl<S: InteractiveSampler> InteractiveSampler for TrackedSampler<S> {
+    fn propose<R: Rng + ?Sized>(&mut self, pool: &ScoredPool, rng: &mut R) -> Proposal {
+        self.inner.propose(pool, rng)
+    }
+
+    fn propose_batch<R: Rng + ?Sized>(
         &mut self,
         pool: &ScoredPool,
-        oracle: &mut O,
         rng: &mut R,
-    ) -> Result<StepOutcome> {
-        let outcome = self.inner.step(pool, oracle, rng)?;
+        count: usize,
+    ) -> Vec<Proposal> {
+        self.inner.propose_batch(pool, rng, count)
+    }
+
+    fn apply_label(&mut self, proposal: &Proposal, label: bool) {
+        self.inner.apply_label(proposal, label);
         self.tracker
-            .observe(outcome.weight, outcome.prediction, outcome.label);
-        Ok(outcome)
+            .observe(proposal.weight, proposal.prediction, label);
     }
 
     fn estimate(&self) -> Estimate {
@@ -172,7 +315,29 @@ impl<S: Sampler> Sampler for TrackedSampler<S> {
     fn name(&self) -> &'static str {
         self.inner.name()
     }
+
+    fn method(&self) -> SamplerMethod {
+        self.inner.method()
+    }
+
+    fn strata_len(&self) -> usize {
+        self.inner.strata_len()
+    }
+
+    fn state(&self) -> SamplerState {
+        self.inner.state()
+    }
+
+    fn from_state(pool: &ScoredPool, state: SamplerState) -> Result<Self> {
+        let alpha = state.alpha();
+        Ok(TrackedSampler {
+            inner: S::from_state(pool, state)?,
+            tracker: crate::confidence::VarianceTracker::new(alpha),
+        })
+    }
 }
+
+impl<S: InteractiveSampler> Sampler for TrackedSampler<S> {}
 
 /// Write the running cumulative sums of `probabilities` into `cumulative`
 /// (cleared first), reusing its capacity.  Shared by the one-shot sampler,
@@ -400,5 +565,34 @@ mod tests {
         for _ in 0..500 {
             assert_eq!(cdf.sample(&mut a), sample_categorical(&mut b, &weights));
         }
+    }
+
+    #[test]
+    fn tracked_sampler_observes_through_the_interactive_path() {
+        use crate::oracle::GroundTruthOracle;
+        let (pool, truth) = crate::test_fixtures::pool_and_truth(200, 3, 0.2);
+        let inner = PassiveSampler::new(0.5);
+        let mut tracked = TrackedSampler::new(inner, 0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Drive through propose/apply rather than step.
+        for _ in 0..60 {
+            let proposal = tracked.propose(&pool, &mut rng);
+            tracked.apply_label(&proposal, truth[proposal.item]);
+        }
+        assert_eq!(tracked.tracker().count(), 60);
+        assert_eq!(tracked.method(), SamplerMethod::Passive);
+
+        // State restore keeps the estimate but restarts the tracker.
+        let state = tracked.state();
+        let restored = TrackedSampler::<PassiveSampler>::from_state(&pool, state).unwrap();
+        assert_eq!(
+            restored.estimate().f_measure.to_bits(),
+            tracked.estimate().f_measure.to_bits()
+        );
+        assert_eq!(restored.tracker().count(), 0);
+        let mut oracle = GroundTruthOracle::new(truth);
+        let mut restored = restored;
+        restored.step(&pool, &mut oracle, &mut rng).unwrap();
+        assert_eq!(restored.tracker().count(), 1);
     }
 }

@@ -1,12 +1,11 @@
 //! The OASIS sampler — the paper's contribution (Algorithms 2 and 3).
 
-use super::state::{EstimatorState, SamplerState};
-use super::{Sampler, StepOutcome};
+use super::state::{EstimatorState, OasisState, SamplerMethod, SamplerState};
+use super::{InteractiveSampler, Sampler};
 use crate::bayes::BetaBernoulliModel;
 use crate::error::{Error, Result};
 use crate::estimator::{AisEstimator, Estimate};
 use crate::instrumental::{epsilon_greedy, stratified_optimal};
-use crate::oracle::Oracle;
 use crate::pool::ScoredPool;
 use crate::samplers::importance::logistic;
 use crate::strata::{CsfStratifier, EqualSizeStratifier, Strata, Stratifier};
@@ -102,7 +101,7 @@ impl OasisConfig {
         self
     }
 
-    fn validate(&self) -> Result<()> {
+    pub(super) fn validate(&self) -> Result<()> {
         if !(0.0..=1.0).contains(&self.alpha) || self.alpha.is_nan() {
             return Err(Error::InvalidParameter {
                 name: "alpha",
@@ -212,12 +211,13 @@ pub struct Proposal {
 ///    (Eqn. 3) with importance weight `w_t = ω_k / v⁽ᵗ⁾_k`.
 ///
 /// The loop is also exposed as an explicit state machine —
-/// [`propose`](OasisSampler::propose) / [`apply_label`](OasisSampler::apply_label)
-/// — so the oracle does not have to be an in-process callback: a driver can
-/// suspend at the label request and resume when labels arrive, possibly in
-/// batches ([`apply_labels`](OasisSampler::apply_labels)).  [`Sampler::step`]
-/// is implemented on top of that state machine, so the two code paths cannot
-/// drift apart.
+/// [`propose`](InteractiveSampler::propose) /
+/// [`apply_label`](InteractiveSampler::apply_label) — so the oracle does not
+/// have to be an in-process callback: a driver can suspend at the label
+/// request and resume when labels arrive, possibly in batches
+/// ([`apply_labels`](InteractiveSampler::apply_labels)).  [`Sampler::step`]
+/// is the provided trait method running that state machine without
+/// suspension, so the two code paths cannot drift apart.
 #[derive(Debug, Clone)]
 pub struct OasisSampler {
     config: OasisConfig,
@@ -231,6 +231,13 @@ pub struct OasisSampler {
     /// binary-search draw allocates nothing after the first step.  Transient:
     /// not part of [`SamplerState`].
     cdf_scratch: Vec<f64>,
+    /// Whether the posterior has changed since `current_proposal` /
+    /// `cdf_scratch` were computed.  The instrumental distribution is a pure
+    /// function of the posterior and the running estimate, both of which
+    /// move only on `apply_label`, so consecutive proposals without
+    /// intervening labels reuse the cached CDF instead of paying the O(K)
+    /// refit per draw.  Transient: not part of [`SamplerState`].
+    proposal_dirty: bool,
 }
 
 impl OasisSampler {
@@ -264,6 +271,7 @@ impl OasisSampler {
             initial_f_guess: init.f_guess,
             current_proposal: vec![1.0 / k as f64; k],
             cdf_scratch: Vec::new(),
+            proposal_dirty: true,
         })
     }
 
@@ -321,27 +329,28 @@ impl OasisSampler {
         epsilon_greedy(self.strata.weights(), &optimal, self.config.epsilon)
     }
 
-    /// Algorithm 3, lines 3–6 — the first half of a step: refresh the
-    /// instrumental distribution, draw a stratum and an item, and lock in the
-    /// importance weight.  The sampler then waits for
-    /// [`apply_label`](Self::apply_label); the oracle is *not* consulted.
-    ///
-    /// Consecutive proposals without intervening labels draw from the same
-    /// posterior (the distribution cannot change without new labels), which
-    /// is what makes batched annotation sound.
-    pub fn propose<R: Rng + ?Sized>(&mut self, pool: &ScoredPool, rng: &mut R) -> Proposal {
-        // Line 3: v⁽ᵗ⁾ from Eqn. 12.
-        let proposal = self.compute_proposal();
-        // Line 4: draw a stratum — binary search over cumulative weights held
-        // in a reusable scratch buffer (no allocation on the hot path).
-        super::fill_cumulative(&proposal, &mut self.cdf_scratch);
+    /// Refresh the cached instrumental distribution and its cumulative
+    /// weights if any label has arrived since they were last computed.
+    fn refresh_proposal_cache(&mut self) {
+        if self.proposal_dirty {
+            // Line 3: v⁽ᵗ⁾ from Eqn. 12, plus its CDF in the reusable
+            // scratch buffer (no allocation on the hot path).
+            self.current_proposal = self.compute_proposal();
+            super::fill_cumulative(&self.current_proposal, &mut self.cdf_scratch);
+            self.proposal_dirty = false;
+        }
+    }
+
+    /// Draw one proposal from the (already refreshed) cached distribution.
+    fn draw_from_cache<R: Rng + ?Sized>(&self, pool: &ScoredPool, rng: &mut R) -> Proposal {
+        debug_assert!(!self.proposal_dirty);
+        // Line 4: draw a stratum — binary search over the cached CDF.
         let stratum = super::sample_from_cumulative(rng, &self.cdf_scratch);
         // Line 5: draw an item uniformly within the stratum.
         let members = self.strata.members(stratum);
         let item = members[rng.gen_range(0..members.len())];
         // Line 6: importance weight w_t = ω_k / v_k.
-        let weight = self.strata.weights()[stratum] / proposal[stratum];
-        self.current_proposal = proposal;
+        let weight = self.strata.weights()[stratum] / self.current_proposal[stratum];
         Proposal {
             item,
             stratum,
@@ -350,95 +359,8 @@ impl OasisSampler {
         }
     }
 
-    /// Batch form of [`propose`](Self::propose): draw `count` proposals from
-    /// one refresh of the instrumental distribution.  Because no labels can
-    /// intervene inside the batch, the posterior — and therefore the
-    /// distribution — is identical for every draw, so this produces the same
-    /// proposals (bit-for-bit, same RNG stream) as calling `propose` `count`
-    /// times while paying the O(K) distribution/CDF construction once.
-    pub fn propose_batch<R: Rng + ?Sized>(
-        &mut self,
-        pool: &ScoredPool,
-        rng: &mut R,
-        count: usize,
-    ) -> Vec<Proposal> {
-        if count == 0 {
-            return Vec::new();
-        }
-        let proposal = self.compute_proposal();
-        super::fill_cumulative(&proposal, &mut self.cdf_scratch);
-        let mut batch = Vec::with_capacity(count);
-        for _ in 0..count {
-            let stratum = super::sample_from_cumulative(rng, &self.cdf_scratch);
-            let members = self.strata.members(stratum);
-            let item = members[rng.gen_range(0..members.len())];
-            let weight = self.strata.weights()[stratum] / proposal[stratum];
-            batch.push(Proposal {
-                item,
-                stratum,
-                prediction: pool.prediction(item),
-                weight,
-            });
-        }
-        self.current_proposal = proposal;
-        batch
-    }
-
-    /// Algorithm 3, lines 9–11 — the second half of a step: fold an oracle
-    /// label for a pending [`Proposal`] into the Beta–Bernoulli posterior
-    /// (Eqn. 10) and the AIS estimator (Eqn. 3).
-    pub fn apply_label(&mut self, proposal: &Proposal, label: bool) {
-        self.model.observe(proposal.stratum, label);
-        self.estimator
-            .observe(proposal.weight, proposal.prediction, label);
-    }
-
-    /// Apply a batch of labels in order.  Equivalent to calling
-    /// [`apply_label`](Self::apply_label) once per pair; provided so batch
-    /// oracle responses (crowd pushes, engine `label` commands) have a single
-    /// entry point.
-    pub fn apply_labels<'a, I>(&mut self, labelled: I)
-    where
-        I: IntoIterator<Item = (&'a Proposal, bool)>,
-    {
-        for (proposal, label) in labelled {
-            self.apply_label(proposal, label);
-        }
-    }
-
-    /// Capture the full serializable state of the sampler (strata, posterior,
-    /// estimator sums, initialisation products) for checkpointing.  See
-    /// [`SamplerState`].
-    pub fn state(&self) -> SamplerState {
-        let (prior_gamma0, prior_gamma1, observed_matches, observed_non_matches) =
-            self.model.snapshot();
-        SamplerState {
-            config: self.config.clone(),
-            allocations: self.strata.allocations().to_vec(),
-            prior_gamma0: prior_gamma0.to_vec(),
-            prior_gamma1: prior_gamma1.to_vec(),
-            observed_matches: observed_matches.to_vec(),
-            observed_non_matches: observed_non_matches.to_vec(),
-            decay_prior: self.model.decays_prior(),
-            estimator: EstimatorState::capture(&self.estimator),
-            initial_f_guess: self.initial_f_guess,
-            current_proposal: self.current_proposal.clone(),
-        }
-    }
-
-    /// Rebuild a sampler from a captured [`SamplerState`] against the pool it
-    /// was captured on.  Exact-resume: the restored sampler continues
-    /// bit-for-bit.
-    ///
-    /// # Errors
-    /// Propagates validation failures (bad config, allocations outside the
-    /// pool, corrupt model rows).
-    pub fn from_state(pool: &ScoredPool, state: SamplerState) -> Result<Self> {
-        state.rebuild(pool)
-    }
-
     /// Assemble a sampler from restored components; shared by
-    /// [`SamplerState::rebuild`].
+    /// [`OasisState::rebuild`].
     pub(super) fn from_parts(
         config: OasisConfig,
         strata: Strata,
@@ -467,28 +389,50 @@ impl OasisSampler {
             initial_f_guess,
             current_proposal,
             cdf_scratch: Vec::new(),
+            proposal_dirty: true,
         })
     }
 }
 
-impl Sampler for OasisSampler {
-    fn step<O: Oracle, R: Rng + ?Sized>(
+impl InteractiveSampler for OasisSampler {
+    /// Algorithm 3, lines 3–6: refresh the instrumental distribution (if any
+    /// label arrived since the last refresh), draw a stratum and an item,
+    /// and lock in the importance weight.
+    fn propose<R: Rng + ?Sized>(&mut self, pool: &ScoredPool, rng: &mut R) -> Proposal {
+        self.refresh_proposal_cache();
+        self.draw_from_cache(pool, rng)
+    }
+
+    /// Batch form: one refresh of the instrumental distribution serves all
+    /// `count` draws.  Because no labels can intervene inside the batch, the
+    /// posterior — and therefore the distribution — is identical for every
+    /// draw, so this produces the same proposals (bit-for-bit, same RNG
+    /// stream) as calling `propose` `count` times while paying the O(K)
+    /// distribution/CDF refit at most once.
+    fn propose_batch<R: Rng + ?Sized>(
         &mut self,
         pool: &ScoredPool,
-        oracle: &mut O,
         rng: &mut R,
-    ) -> Result<StepOutcome> {
-        // The in-process loop is the state machine run without suspension:
-        // propose (lines 3–6), query the oracle (lines 7–8), apply (9–11).
-        let proposal = self.propose(pool, rng);
-        let label = oracle.query(proposal.item, rng)?;
-        self.apply_label(&proposal, label);
-        Ok(StepOutcome {
-            item: proposal.item,
-            prediction: proposal.prediction,
-            label,
-            weight: proposal.weight,
-        })
+        count: usize,
+    ) -> Vec<Proposal> {
+        if count == 0 {
+            return Vec::new();
+        }
+        self.refresh_proposal_cache();
+        (0..count)
+            .map(|_| self.draw_from_cache(pool, rng))
+            .collect()
+    }
+
+    /// Algorithm 3, lines 9–11: fold an oracle label for a pending
+    /// [`Proposal`] into the Beta–Bernoulli posterior (Eqn. 10) and the AIS
+    /// estimator (Eqn. 3), invalidating the cached instrumental
+    /// distribution.
+    fn apply_label(&mut self, proposal: &Proposal, label: bool) {
+        self.model.observe(proposal.stratum, label);
+        self.estimator
+            .observe(proposal.weight, proposal.prediction, label);
+        self.proposal_dirty = true;
     }
 
     fn estimate(&self) -> Estimate {
@@ -498,13 +442,49 @@ impl Sampler for OasisSampler {
     fn name(&self) -> &'static str {
         "OASIS"
     }
+
+    fn method(&self) -> SamplerMethod {
+        SamplerMethod::Oasis
+    }
+
+    fn strata_len(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Capture the full serializable state (strata, posterior, estimator
+    /// sums, initialisation products); see [`OasisState`].
+    fn state(&self) -> SamplerState {
+        let (prior_gamma0, prior_gamma1, observed_matches, observed_non_matches) =
+            self.model.snapshot();
+        SamplerState::Oasis(OasisState {
+            config: self.config.clone(),
+            allocations: self.strata.allocations().to_vec(),
+            prior_gamma0: prior_gamma0.to_vec(),
+            prior_gamma1: prior_gamma1.to_vec(),
+            observed_matches: observed_matches.to_vec(),
+            observed_non_matches: observed_non_matches.to_vec(),
+            decay_prior: self.model.decays_prior(),
+            estimator: EstimatorState::capture(&self.estimator),
+            initial_f_guess: self.initial_f_guess,
+            current_proposal: self.current_proposal.clone(),
+        })
+    }
+
+    fn from_state(pool: &ScoredPool, state: SamplerState) -> Result<Self> {
+        match state {
+            SamplerState::Oasis(state) => state.rebuild(pool),
+            other => Err(other.method_mismatch(SamplerMethod::Oasis)),
+        }
+    }
 }
+
+impl Sampler for OasisSampler {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::measures::exhaustive_measures;
-    use crate::oracle::GroundTruthOracle;
+    use crate::oracle::{GroundTruthOracle, Oracle};
     use crate::samplers::PassiveSampler;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -1,9 +1,9 @@
 //! Passive (uniform i.i.d.) sampling — the baseline of Section 6.2.
 
-use super::{Sampler, StepOutcome};
+use super::state::{EstimatorState, PassiveState, SamplerMethod, SamplerState};
+use super::{InteractiveSampler, Proposal, Sampler};
 use crate::error::Result;
 use crate::estimator::{AisEstimator, Estimate};
-use crate::oracle::Oracle;
 use crate::pool::ScoredPool;
 use rand::Rng;
 
@@ -26,25 +26,29 @@ impl PassiveSampler {
             estimator: AisEstimator::new(alpha),
         }
     }
+
+    /// Assemble a sampler from a restored estimator; shared by
+    /// [`PassiveState::rebuild`].
+    pub(super) fn from_parts(estimator: AisEstimator) -> Self {
+        PassiveSampler { estimator }
+    }
 }
 
-impl Sampler for PassiveSampler {
-    fn step<O: Oracle, R: Rng + ?Sized>(
-        &mut self,
-        pool: &ScoredPool,
-        oracle: &mut O,
-        rng: &mut R,
-    ) -> Result<StepOutcome> {
+impl InteractiveSampler for PassiveSampler {
+    /// Draw one item uniformly; the importance weight is always 1 and the
+    /// stratum slot is unused (0).
+    fn propose<R: Rng + ?Sized>(&mut self, pool: &ScoredPool, rng: &mut R) -> Proposal {
         let item = rng.gen_range(0..pool.len());
-        let prediction = pool.prediction(item);
-        let label = oracle.query(item, rng)?;
-        self.estimator.observe(1.0, prediction, label);
-        Ok(StepOutcome {
+        Proposal {
             item,
-            prediction,
-            label,
+            stratum: 0,
+            prediction: pool.prediction(item),
             weight: 1.0,
-        })
+        }
+    }
+
+    fn apply_label(&mut self, proposal: &Proposal, label: bool) {
+        self.estimator.observe(1.0, proposal.prediction, label);
     }
 
     fn estimate(&self) -> Estimate {
@@ -54,13 +58,32 @@ impl Sampler for PassiveSampler {
     fn name(&self) -> &'static str {
         "Passive"
     }
+
+    fn method(&self) -> SamplerMethod {
+        SamplerMethod::Passive
+    }
+
+    fn state(&self) -> SamplerState {
+        SamplerState::Passive(PassiveState {
+            estimator: EstimatorState::capture(&self.estimator),
+        })
+    }
+
+    fn from_state(_pool: &ScoredPool, state: SamplerState) -> Result<Self> {
+        match state {
+            SamplerState::Passive(state) => state.rebuild(),
+            other => Err(other.method_mismatch(SamplerMethod::Passive)),
+        }
+    }
 }
+
+impl Sampler for PassiveSampler {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::measures::exhaustive_measures;
-    use crate::oracle::GroundTruthOracle;
+    use crate::oracle::{GroundTruthOracle, Oracle};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -1,23 +1,98 @@
 //! Serializable sampler state for checkpoint/resume.
 //!
-//! [`SamplerState`] captures everything an [`OasisSampler`] needs to continue
-//! a run bit-for-bit: the configuration, the exact stratification (as raw
-//! allocations, since re-stratifying a different pool could tie-break
-//! differently), the Beta–Bernoulli posterior counts, the AIS estimator's
-//! weighted sums, and the initialisation products.  The caller's RNG is *not*
-//! part of this state — samplers borrow their generator — so resumable
-//! drivers (the `oasis-engine` crate) persist the RNG words alongside.
+//! Every sampler implementing [`InteractiveSampler`](super::InteractiveSampler)
+//! exposes its full resumable state through the method-tagged [`SamplerState`]
+//! enum: [`OasisState`] for the adaptive sampler, and the lighter
+//! [`PassiveState`] / [`ImportanceState`] / [`StratifiedState`] for the
+//! baselines.  A state captures everything a sampler needs to continue a run
+//! bit-for-bit; the caller's RNG is *not* part of it — samplers borrow their
+//! generator — so resumable drivers (the `oasis-engine` crate) persist the
+//! RNG words alongside.
 //!
-//! The state is a plain data type; JSON conversion lives in
-//! [`crate::serial`].
+//! The states are plain data types; JSON conversion lives in
+//! [`crate::serial`].  States may come from untrusted checkpoint documents,
+//! so every `rebuild` validates before constructing (overlapping strata
+//! allocations, corrupt estimator sums, mismatched row lengths are all
+//! rejected rather than silently skewing later estimates).
 
+use super::importance::ImportanceSampler;
 use super::oasis_sampler::{OasisConfig, OasisSampler};
+use super::passive::PassiveSampler;
+use super::stratified::StratifiedSampler;
 use crate::bayes::BetaBernoulliModel;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::estimator::AisEstimator;
 use crate::pool::ScoredPool;
 use crate::strata::Strata;
 use serde::{Deserialize, Serialize};
+
+/// The sampling method a state (or a live sampler) belongs to.
+///
+/// This is the tag that makes sessions, checkpoints and the `oasis-serve`
+/// wire protocol method-agnostic: everywhere a concrete sampler type used to
+/// be named, a `SamplerMethod` value travels instead.  The string forms
+/// (`"oasis"`, `"passive"`, `"importance"`, `"stratified"`) are the wire
+/// names used by the protocol's `create_session` command and the JSON
+/// encoding of [`SamplerState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SamplerMethod {
+    /// The paper's adaptive sampler ([`OasisSampler`]).
+    Oasis,
+    /// Uniform i.i.d. sampling ([`PassiveSampler`]).
+    Passive,
+    /// Static importance sampling ([`ImportanceSampler`]).
+    Importance,
+    /// Proportional stratified sampling ([`StratifiedSampler`]).
+    Stratified,
+}
+
+impl SamplerMethod {
+    /// All methods, in the order the paper compares them (Section 6.2).
+    pub const ALL: [SamplerMethod; 4] = [
+        SamplerMethod::Oasis,
+        SamplerMethod::Passive,
+        SamplerMethod::Importance,
+        SamplerMethod::Stratified,
+    ];
+
+    /// The wire name (`"oasis"`, `"passive"`, `"importance"`,
+    /// `"stratified"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SamplerMethod::Oasis => "oasis",
+            SamplerMethod::Passive => "passive",
+            SamplerMethod::Importance => "importance",
+            SamplerMethod::Stratified => "stratified",
+        }
+    }
+
+    /// Parse a wire name.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] naming the offending value and the
+    /// accepted set, so protocol layers can surface a structured error.
+    pub fn parse(name: &str) -> Result<SamplerMethod> {
+        match name {
+            "oasis" => Ok(SamplerMethod::Oasis),
+            "passive" => Ok(SamplerMethod::Passive),
+            "importance" => Ok(SamplerMethod::Importance),
+            "stratified" => Ok(SamplerMethod::Stratified),
+            other => Err(Error::InvalidParameter {
+                name: "method",
+                message: format!(
+                    "unknown sampling method {other:?} (expected one of \
+                     \"oasis\", \"passive\", \"importance\", \"stratified\")"
+                ),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for SamplerMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Snapshot of an [`AisEstimator`]: the four weighted sums of Eqn. 3 plus the
 /// iteration count.
@@ -67,15 +142,38 @@ impl EstimatorState {
     }
 }
 
+/// Reject allocations that place one pool item in more than one slot (within
+/// or across strata) — such a state would silently skew the stratum weights
+/// and every later estimate.  Out-of-range indices are rejected separately by
+/// [`Strata::from_allocations`].
+fn validate_allocations_disjoint(pool: &ScoredPool, allocations: &[Vec<usize>]) -> Result<()> {
+    let mut seen = vec![false; pool.len()];
+    for stratum in allocations {
+        for &item in stratum {
+            if let Some(flag) = seen.get_mut(item) {
+                if *flag {
+                    return Err(Error::InvalidParameter {
+                        name: "allocations",
+                        message: format!("pool item {item} allocated to more than one slot"),
+                    });
+                }
+                *flag = true;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Full serializable state of an [`OasisSampler`].
 ///
-/// Produced by [`OasisSampler::state`], consumed by
-/// [`OasisSampler::from_state`].  A round trip through this type (and through
-/// its JSON form, [`crate::serial`]) is exact: resuming a restored sampler
-/// with a restored RNG produces the same estimates, bit-for-bit, as never
-/// having stopped.
+/// Produced by [`InteractiveSampler::state`](super::InteractiveSampler::state)
+/// (as [`SamplerState::Oasis`]), consumed by
+/// [`OasisSampler::from_state`](super::InteractiveSampler::from_state).  A
+/// round trip through this type (and through its JSON form,
+/// [`crate::serial`]) is exact: resuming a restored sampler with a restored
+/// RNG produces the same estimates, bit-for-bit, as never having stopped.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SamplerState {
+pub struct OasisState {
     /// The sampler configuration.
     pub config: OasisConfig,
     /// The exact stratification: pool indices per stratum.
@@ -98,7 +196,7 @@ pub struct SamplerState {
     pub current_proposal: Vec<f64>,
 }
 
-impl SamplerState {
+impl OasisState {
     /// Rebuild a sampler against `pool`.
     ///
     /// The pool must be the one the state was captured against (the engine
@@ -111,24 +209,7 @@ impl SamplerState {
     /// Propagates validation failures from the config, strata and model
     /// constructors (e.g. allocations referencing items outside the pool).
     pub fn rebuild(self, pool: &ScoredPool) -> Result<OasisSampler> {
-        // States may come from untrusted checkpoint documents: an item
-        // allocated twice (within or across strata) would silently skew the
-        // stratum weights and every later estimate, so reject it here
-        // (out-of-range indices are rejected by `from_allocations` below).
-        let mut seen = vec![false; pool.len()];
-        for stratum in &self.allocations {
-            for &item in stratum {
-                if let Some(flag) = seen.get_mut(item) {
-                    if *flag {
-                        return Err(crate::error::Error::InvalidParameter {
-                            name: "allocations",
-                            message: format!("pool item {item} allocated to more than one slot"),
-                        });
-                    }
-                    *flag = true;
-                }
-            }
-        }
+        validate_allocations_disjoint(pool, &self.allocations)?;
         let strata = Strata::from_allocations(pool, self.allocations)?;
         let model = BetaBernoulliModel::from_state(
             self.prior_gamma0,
@@ -148,16 +229,213 @@ impl SamplerState {
     }
 }
 
+/// Full serializable state of a [`PassiveSampler`]: the estimator
+/// accumulator is the whole sampler (draws are uniform, so nothing else is
+/// adaptive or random beyond the caller's RNG).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PassiveState {
+    /// The (unit-weight) estimator accumulator.
+    pub estimator: EstimatorState,
+}
+
+impl PassiveState {
+    /// Rebuild the sampler.
+    ///
+    /// # Errors
+    /// Propagates estimator validation (corrupt sums).
+    pub fn rebuild(self) -> Result<PassiveSampler> {
+        Ok(PassiveSampler::from_parts(self.estimator.rebuild()?))
+    }
+}
+
+/// Full serializable state of an [`ImportanceSampler`].
+///
+/// The static instrumental distribution is *not* embedded: it is a pure
+/// deterministic function of the pool's scores, `alpha` (carried inside the
+/// estimator state) and `score_threshold`, so `rebuild` recomputes it with
+/// identical IEEE-754 operations and lands on identical bits.  The engine
+/// layer's pool fingerprint guarantees the pool is the one the state was
+/// captured against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImportanceState {
+    /// Decision threshold τ used to squash non-probability scores.
+    pub score_threshold: f64,
+    /// The AIS estimator accumulator.
+    pub estimator: EstimatorState,
+}
+
+impl ImportanceState {
+    /// Rebuild the sampler against `pool` (see type docs for why the
+    /// proposal is recomputed rather than stored).
+    ///
+    /// # Errors
+    /// Propagates estimator/constructor validation.
+    pub fn rebuild(self, pool: &ScoredPool) -> Result<ImportanceSampler> {
+        let estimator = self.estimator.rebuild()?;
+        ImportanceSampler::from_parts(pool, self.score_threshold, estimator)
+    }
+}
+
+/// Full serializable state of a [`StratifiedSampler`]: the exact
+/// stratification plus the per-stratum tallies of the stratified estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StratifiedState {
+    /// F-measure weight α.
+    pub alpha: f64,
+    /// The exact stratification: pool indices per stratum.
+    pub allocations: Vec<Vec<usize>>,
+    /// Labelled draw counts per stratum.
+    pub samples: Vec<f64>,
+    /// Σ ℓ·ℓ̂ per stratum.
+    pub true_positives: Vec<f64>,
+    /// Σ ℓ per stratum.
+    pub actual_positives: Vec<f64>,
+    /// Total sampling iterations folded in.
+    pub iterations: usize,
+}
+
+impl StratifiedState {
+    /// Rebuild the sampler against `pool`.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] on overlapping allocations, tally rows
+    /// that do not cover the strata, or corrupt (non-finite, negative, or
+    /// inconsistent) tally values.
+    pub fn rebuild(self, pool: &ScoredPool) -> Result<StratifiedSampler> {
+        if !(0.0..=1.0).contains(&self.alpha) || self.alpha.is_nan() {
+            return Err(Error::InvalidParameter {
+                name: "alpha",
+                message: format!("must be in [0, 1], got {}", self.alpha),
+            });
+        }
+        validate_allocations_disjoint(pool, &self.allocations)?;
+        let strata = Strata::from_allocations(pool, self.allocations)?;
+        let k = strata.len();
+        if self.samples.len() != k
+            || self.true_positives.len() != k
+            || self.actual_positives.len() != k
+        {
+            return Err(Error::InvalidParameter {
+                name: "tallies",
+                message: format!(
+                    "tally rows must cover all {k} strata (got {}, {}, {})",
+                    self.samples.len(),
+                    self.true_positives.len(),
+                    self.actual_positives.len()
+                ),
+            });
+        }
+        for ((&n, &tp), &actual) in self
+            .samples
+            .iter()
+            .zip(self.true_positives.iter())
+            .zip(self.actual_positives.iter())
+        {
+            // tp counts ℓ·ℓ̂ and actual counts ℓ over the same draws, so
+            // 0 ≤ tp ≤ actual ≤ samples for any genuine tally.
+            let sane = n.is_finite()
+                && tp.is_finite()
+                && actual.is_finite()
+                && n >= 0.0
+                && (0.0..=n).contains(&actual)
+                && (0.0..=actual).contains(&tp);
+            if !sane {
+                return Err(Error::InvalidParameter {
+                    name: "tallies",
+                    message: format!(
+                        "corrupt stratum tally (samples {n}, true positives {tp}, \
+                         actual positives {actual})"
+                    ),
+                });
+            }
+        }
+        StratifiedSampler::from_parts(
+            strata,
+            self.alpha,
+            self.samples,
+            self.true_positives,
+            self.actual_positives,
+            self.iterations,
+        )
+    }
+}
+
+/// Method-tagged serializable sampler state — the type that makes sessions,
+/// checkpoints and the wire protocol method-agnostic.
+///
+/// Produced by [`InteractiveSampler::state`](super::InteractiveSampler::state),
+/// consumed by [`InteractiveSampler::from_state`](super::InteractiveSampler::from_state)
+/// (which rejects a variant for the wrong sampler) or by
+/// [`AnySampler::from_state`](super::AnySampler::from_state) (which dispatches
+/// on the tag).  The JSON encoding carries the tag as a `"method"` field;
+/// documents without one predate the tagged form and are read as OASIS states
+/// for backward compatibility.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SamplerState {
+    /// State of an [`OasisSampler`].
+    Oasis(OasisState),
+    /// State of a [`PassiveSampler`].
+    Passive(PassiveState),
+    /// State of an [`ImportanceSampler`].
+    Importance(ImportanceState),
+    /// State of a [`StratifiedSampler`].
+    Stratified(StratifiedState),
+}
+
+impl SamplerState {
+    /// The method tag.
+    pub fn method(&self) -> SamplerMethod {
+        match self {
+            SamplerState::Oasis(_) => SamplerMethod::Oasis,
+            SamplerState::Passive(_) => SamplerMethod::Passive,
+            SamplerState::Importance(_) => SamplerMethod::Importance,
+            SamplerState::Stratified(_) => SamplerMethod::Stratified,
+        }
+    }
+
+    /// The F-measure weight α the state's estimator targets.
+    pub fn alpha(&self) -> f64 {
+        match self {
+            SamplerState::Oasis(s) => s.estimator.alpha,
+            SamplerState::Passive(s) => s.estimator.alpha,
+            SamplerState::Importance(s) => s.estimator.alpha,
+            SamplerState::Stratified(s) => s.alpha,
+        }
+    }
+
+    /// The error every `from_state` raises when handed a state whose tag
+    /// names a different method.
+    pub(super) fn method_mismatch(&self, expected: SamplerMethod) -> Error {
+        Error::InvalidParameter {
+            name: "state",
+            message: format!(
+                "state is tagged {:?} but the sampler is {:?}",
+                self.method().as_str(),
+                expected.as_str()
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::oracle::GroundTruthOracle;
-    use crate::samplers::Sampler;
+    use crate::samplers::{InteractiveSampler, Sampler};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn pool_and_truth(n: usize, seed: u64) -> (ScoredPool, Vec<bool>) {
         crate::test_fixtures::pool_and_truth(n, seed, 0.08)
+    }
+
+    #[test]
+    fn method_names_round_trip() {
+        for method in SamplerMethod::ALL {
+            assert_eq!(SamplerMethod::parse(method.as_str()).unwrap(), method);
+            assert_eq!(format!("{method}"), method.as_str());
+        }
+        assert!(SamplerMethod::parse("bogus").is_err());
     }
 
     #[test]
@@ -171,7 +449,8 @@ mod tests {
             sampler.step(&pool, &mut oracle, &mut rng).unwrap();
         }
         let state = sampler.state();
-        let restored = state.clone().rebuild(&pool).unwrap();
+        assert_eq!(state.method(), SamplerMethod::Oasis);
+        let restored = OasisSampler::from_state(&pool, state.clone()).unwrap();
 
         // The restored sampler is indistinguishable: same estimate bits, same
         // posterior, same proposal.
@@ -218,18 +497,25 @@ mod tests {
         assert!(a.propose_batch(&pool, &mut rng_a, 0).is_empty());
     }
 
+    fn oasis_state(sampler: &OasisSampler) -> OasisState {
+        match sampler.state() {
+            SamplerState::Oasis(state) => state,
+            other => panic!("unexpected tag {:?}", other.method()),
+        }
+    }
+
     #[test]
     fn rebuild_rejects_overlapping_allocations() {
         let (pool, _) = pool_and_truth(50, 9);
         let sampler =
             OasisSampler::new(&pool, OasisConfig::default().with_strata_count(4)).unwrap();
         // Duplicate within one stratum.
-        let mut state = sampler.state();
+        let mut state = oasis_state(&sampler);
         let item = state.allocations[0][0];
         state.allocations[0].push(item);
         assert!(state.rebuild(&pool).is_err());
         // Duplicate across strata.
-        let mut state = sampler.state();
+        let mut state = oasis_state(&sampler);
         let item = state.allocations[0][0];
         state.allocations[1].push(item);
         assert!(state.rebuild(&pool).is_err());
@@ -240,7 +526,7 @@ mod tests {
         let (pool, _) = pool_and_truth(50, 6);
         let sampler =
             OasisSampler::new(&pool, OasisConfig::default().with_strata_count(4)).unwrap();
-        let mut state = sampler.state();
+        let mut state = oasis_state(&sampler);
         state.allocations[0].push(10_000);
         assert!(state.rebuild(&pool).is_err());
     }
@@ -250,8 +536,65 @@ mod tests {
         let (pool, _) = pool_and_truth(50, 7);
         let sampler =
             OasisSampler::new(&pool, OasisConfig::default().with_strata_count(4)).unwrap();
-        let mut state = sampler.state();
+        let mut state = oasis_state(&sampler);
         state.observed_matches.pop();
         assert!(state.rebuild(&pool).is_err());
+    }
+
+    #[test]
+    fn from_state_rejects_mismatched_tags() {
+        let (pool, _) = pool_and_truth(60, 11);
+        let passive = PassiveSampler::new(0.5);
+        let state = passive.state();
+        assert!(OasisSampler::from_state(&pool, state.clone()).is_err());
+        assert!(ImportanceSampler::from_state(&pool, state.clone()).is_err());
+        assert!(StratifiedSampler::from_state(&pool, state).is_err());
+    }
+
+    #[test]
+    fn stratified_rebuild_rejects_corrupt_tallies() {
+        let (pool, truth) = pool_and_truth(200, 12);
+        let mut oracle = GroundTruthOracle::new(truth);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sampler = StratifiedSampler::new(&pool, 0.5, 6).unwrap();
+        for _ in 0..40 {
+            sampler.step(&pool, &mut oracle, &mut rng).unwrap();
+        }
+        let good = match sampler.state() {
+            SamplerState::Stratified(state) => state,
+            other => panic!("unexpected tag {:?}", other.method()),
+        };
+        assert!(good.clone().rebuild(&pool).is_ok());
+
+        let mut short = good.clone();
+        short.samples.pop();
+        assert!(short.rebuild(&pool).is_err());
+
+        // Tallies claiming more positives than draws are impossible.
+        let mut inflated = good.clone();
+        inflated.true_positives[0] = inflated.samples[0] + 1.0;
+        assert!(inflated.rebuild(&pool).is_err());
+
+        // As are more true positives than actual positives (tp counts ℓ·ℓ̂,
+        // actual counts ℓ) — that tally would restore into recall > 1.
+        let mut impossible = good.clone();
+        impossible.samples[0] = 10.0;
+        impossible.true_positives[0] = 10.0;
+        impossible.actual_positives[0] = 1.0;
+        assert!(impossible.rebuild(&pool).is_err());
+
+        for corrupt in [f64::NAN, f64::INFINITY, -1.0] {
+            let mut bad = good.clone();
+            bad.samples[0] = corrupt;
+            assert!(bad.rebuild(&pool).is_err(), "samples {corrupt}");
+        }
+
+        // Alpha outside [0, 1] must be rejected like every other method's
+        // restore path does.
+        for corrupt in [f64::NAN, -0.1, 1.5] {
+            let mut bad = good.clone();
+            bad.alpha = corrupt;
+            assert!(bad.rebuild(&pool).is_err(), "alpha {corrupt}");
+        }
     }
 }

@@ -1,10 +1,10 @@
 //! Proportional stratified sampling (Druck & McCallum style) — the
 //! "Stratified" baseline of Section 6.2.
 
-use super::{CategoricalCdf, Sampler, StepOutcome};
+use super::state::{SamplerMethod, SamplerState, StratifiedState};
+use super::{CategoricalCdf, InteractiveSampler, Proposal, Sampler};
 use crate::error::Result;
 use crate::estimator::Estimate;
-use crate::oracle::Oracle;
 use crate::pool::ScoredPool;
 use crate::strata::{CsfStratifier, Strata, Stratifier};
 use rand::Rng;
@@ -76,6 +76,26 @@ impl StratifiedSampler {
         &self.strata
     }
 
+    /// Assemble a sampler from restored tallies; shared by
+    /// [`StratifiedState::rebuild`] (which validates the rows first).
+    pub(super) fn from_parts(
+        strata: Strata,
+        alpha: f64,
+        samples: Vec<f64>,
+        true_positives: Vec<f64>,
+        actual_positives: Vec<f64>,
+        iterations: usize,
+    ) -> Result<Self> {
+        let mut sampler = StratifiedSampler::with_strata(strata, alpha);
+        for (k, tally) in sampler.tallies.iter_mut().enumerate() {
+            tally.samples = samples[k];
+            tally.true_positives = true_positives[k];
+            tally.actual_positives = actual_positives[k];
+        }
+        sampler.iterations = iterations;
+        Ok(sampler)
+    }
+
     fn stratified_estimate(&self) -> Estimate {
         let mut est_tp = 0.0;
         let mut est_actual = 0.0;
@@ -117,31 +137,29 @@ impl StratifiedSampler {
     }
 }
 
-impl Sampler for StratifiedSampler {
-    fn step<O: Oracle, R: Rng + ?Sized>(
-        &mut self,
-        pool: &ScoredPool,
-        oracle: &mut O,
-        rng: &mut R,
-    ) -> Result<StepOutcome> {
+impl InteractiveSampler for StratifiedSampler {
+    /// Draw a stratum proportionally to its weight, then an item uniformly
+    /// within it; the marginal item distribution is uniform, so the
+    /// importance weight is 1.
+    fn propose<R: Rng + ?Sized>(&mut self, pool: &ScoredPool, rng: &mut R) -> Proposal {
         let stratum = self.weight_cdf.sample(rng);
         let members = self.strata.members(stratum);
         let item = members[rng.gen_range(0..members.len())];
-        let prediction = pool.prediction(item);
-        let label = oracle.query(item, rng)?;
+        Proposal {
+            item,
+            stratum,
+            prediction: pool.prediction(item),
+            weight: 1.0,
+        }
+    }
 
-        let tally = &mut self.tallies[stratum];
+    /// Fold the label into the proposal's stratum tally.
+    fn apply_label(&mut self, proposal: &Proposal, label: bool) {
+        let tally = &mut self.tallies[proposal.stratum];
         tally.samples += 1.0;
-        tally.true_positives += f64::from(u8::from(label && prediction));
+        tally.true_positives += f64::from(u8::from(label && proposal.prediction));
         tally.actual_positives += f64::from(u8::from(label));
         self.iterations += 1;
-
-        Ok(StepOutcome {
-            item,
-            prediction,
-            label,
-            weight: 1.0,
-        })
     }
 
     fn estimate(&self) -> Estimate {
@@ -151,7 +169,43 @@ impl Sampler for StratifiedSampler {
     fn name(&self) -> &'static str {
         "Stratified"
     }
+
+    fn method(&self) -> SamplerMethod {
+        SamplerMethod::Stratified
+    }
+
+    fn strata_len(&self) -> usize {
+        self.strata.len()
+    }
+
+    fn state(&self) -> SamplerState {
+        let mut samples = Vec::with_capacity(self.tallies.len());
+        let mut true_positives = Vec::with_capacity(self.tallies.len());
+        let mut actual_positives = Vec::with_capacity(self.tallies.len());
+        for tally in &self.tallies {
+            samples.push(tally.samples);
+            true_positives.push(tally.true_positives);
+            actual_positives.push(tally.actual_positives);
+        }
+        SamplerState::Stratified(StratifiedState {
+            alpha: self.alpha,
+            allocations: self.strata.allocations().to_vec(),
+            samples,
+            true_positives,
+            actual_positives,
+            iterations: self.iterations,
+        })
+    }
+
+    fn from_state(pool: &ScoredPool, state: SamplerState) -> Result<Self> {
+        match state {
+            SamplerState::Stratified(state) => state.rebuild(pool),
+            other => Err(other.method_mismatch(SamplerMethod::Stratified)),
+        }
+    }
 }
+
+impl Sampler for StratifiedSampler {}
 
 #[cfg(test)]
 mod tests {

@@ -10,13 +10,23 @@
 //!   [`ConfidenceInterval`], [`OracleReference`] — so experiment results can
 //!   be persisted and compared across runs;
 //! * the configuration — [`OasisConfig`] / [`StratifierChoice`];
-//! * the resumable sampler state — [`SamplerState`] / [`EstimatorState`].
+//! * the resumable sampler state — the method-tagged [`SamplerState`] enum
+//!   and its per-method payloads ([`OasisState`], [`PassiveState`],
+//!   [`ImportanceState`], [`StratifiedState`], [`EstimatorState`]).
+//!
+//! The tagged encoding is flat: every state serialises as one object whose
+//! `"method"` field names the variant.  Documents *without* a `"method"`
+//! field predate the tagged form and are read as OASIS states, so
+//! checkpoints written before the redesign keep restoring.
 
 use crate::confidence::ConfidenceInterval;
 use crate::diagnostics::OracleReference;
 use crate::estimator::Estimate;
 use crate::measures::{ConfusionCounts, Measures};
-use crate::samplers::{EstimatorState, OasisConfig, SamplerState, StratifierChoice};
+use crate::samplers::{
+    EstimatorState, ImportanceState, OasisConfig, OasisState, PassiveState, SamplerMethod,
+    SamplerState, StratifiedState, StratifierChoice,
+};
 use serde::json::{FromJson, Json, JsonError, JsonResult, ToJson};
 
 fn field_f64(value: &Json, key: &str) -> JsonResult<f64> {
@@ -261,14 +271,36 @@ impl FromJson for EstimatorState {
     }
 }
 
-impl ToJson for SamplerState {
+impl ToJson for SamplerMethod {
+    fn to_json(&self) -> Json {
+        Json::String(self.as_str().to_string())
+    }
+}
+
+impl FromJson for SamplerMethod {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        SamplerMethod::parse(value.as_str()?).map_err(|e| JsonError::new(e.to_string()))
+    }
+}
+
+fn allocations_to_json(allocations: &[Vec<usize>]) -> Json {
+    Json::Array(allocations.iter().map(ToJson::to_json).collect())
+}
+
+fn allocations_from_json(value: &Json) -> JsonResult<Vec<Vec<usize>>> {
+    value
+        .require("allocations")?
+        .as_array()?
+        .iter()
+        .map(Vec::<usize>::from_json)
+        .collect()
+}
+
+impl ToJson for OasisState {
     fn to_json(&self) -> Json {
         let mut obj = Json::object();
         obj.set("config", self.config.to_json());
-        obj.set(
-            "allocations",
-            Json::Array(self.allocations.iter().map(ToJson::to_json).collect()),
-        );
+        obj.set("allocations", allocations_to_json(&self.allocations));
         obj.set("prior_gamma0", self.prior_gamma0.to_json());
         obj.set("prior_gamma1", self.prior_gamma1.to_json());
         obj.set("observed_matches", self.observed_matches.to_json());
@@ -281,16 +313,11 @@ impl ToJson for SamplerState {
     }
 }
 
-impl FromJson for SamplerState {
+impl FromJson for OasisState {
     fn from_json(value: &Json) -> JsonResult<Self> {
-        Ok(SamplerState {
+        Ok(OasisState {
             config: OasisConfig::from_json(value.require("config")?)?,
-            allocations: value
-                .require("allocations")?
-                .as_array()?
-                .iter()
-                .map(Vec::<usize>::from_json)
-                .collect::<JsonResult<_>>()?,
+            allocations: allocations_from_json(value)?,
             prior_gamma0: Vec::<f64>::from_json(value.require("prior_gamma0")?)?,
             prior_gamma1: Vec::<f64>::from_json(value.require("prior_gamma1")?)?,
             observed_matches: Vec::<f64>::from_json(value.require("observed_matches")?)?,
@@ -303,11 +330,106 @@ impl FromJson for SamplerState {
     }
 }
 
+impl ToJson for PassiveState {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("estimator", self.estimator.to_json());
+        obj
+    }
+}
+
+impl FromJson for PassiveState {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        Ok(PassiveState {
+            estimator: EstimatorState::from_json(value.require("estimator")?)?,
+        })
+    }
+}
+
+impl ToJson for ImportanceState {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("score_threshold", self.score_threshold.to_json());
+        obj.set("estimator", self.estimator.to_json());
+        obj
+    }
+}
+
+impl FromJson for ImportanceState {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        Ok(ImportanceState {
+            score_threshold: field_f64(value, "score_threshold")?,
+            estimator: EstimatorState::from_json(value.require("estimator")?)?,
+        })
+    }
+}
+
+impl ToJson for StratifiedState {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("alpha", self.alpha.to_json());
+        obj.set("allocations", allocations_to_json(&self.allocations));
+        obj.set("samples", self.samples.to_json());
+        obj.set("true_positives", self.true_positives.to_json());
+        obj.set("actual_positives", self.actual_positives.to_json());
+        obj.set("iterations", self.iterations.to_json());
+        obj
+    }
+}
+
+impl FromJson for StratifiedState {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        Ok(StratifiedState {
+            alpha: field_f64(value, "alpha")?,
+            allocations: allocations_from_json(value)?,
+            samples: Vec::<f64>::from_json(value.require("samples")?)?,
+            true_positives: Vec::<f64>::from_json(value.require("true_positives")?)?,
+            actual_positives: Vec::<f64>::from_json(value.require("actual_positives")?)?,
+            iterations: value.require("iterations")?.as_usize()?,
+        })
+    }
+}
+
+impl ToJson for SamplerState {
+    /// Flat encoding: the variant payload's fields plus a `"method"` tag.
+    fn to_json(&self) -> Json {
+        let mut obj = match self {
+            SamplerState::Oasis(s) => s.to_json(),
+            SamplerState::Passive(s) => s.to_json(),
+            SamplerState::Importance(s) => s.to_json(),
+            SamplerState::Stratified(s) => s.to_json(),
+        };
+        obj.set("method", self.method().to_json());
+        obj
+    }
+}
+
+impl FromJson for SamplerState {
+    /// A missing `"method"` field means a pre-redesign document, which could
+    /// only describe an OASIS sampler.
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        let method = match value.get("method") {
+            Some(tag) => SamplerMethod::from_json(tag)?,
+            None => SamplerMethod::Oasis,
+        };
+        Ok(match method {
+            SamplerMethod::Oasis => SamplerState::Oasis(OasisState::from_json(value)?),
+            SamplerMethod::Passive => SamplerState::Passive(PassiveState::from_json(value)?),
+            SamplerMethod::Importance => {
+                SamplerState::Importance(ImportanceState::from_json(value)?)
+            }
+            SamplerMethod::Stratified => {
+                SamplerState::Stratified(StratifiedState::from_json(value)?)
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::oracle::GroundTruthOracle;
-    use crate::samplers::{OasisSampler, Sampler};
+    use crate::samplers::{AnySampler, InteractiveSampler, OasisSampler, Sampler};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -411,6 +533,7 @@ mod tests {
         }
         let state = sampler.state();
         let text = state.to_json().render();
+        assert!(text.contains(r#""method":"oasis""#), "tagged encoding");
         let parsed = SamplerState::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(parsed, state, "JSON round trip must be exact");
         let restored = OasisSampler::from_state(&pool, parsed).unwrap();
@@ -418,5 +541,61 @@ mod tests {
             restored.estimate().f_measure.to_bits(),
             sampler.estimate().f_measure.to_bits()
         );
+    }
+
+    #[test]
+    fn every_method_tag_round_trips_through_json() {
+        let (pool, truth) = crate::test_fixtures::pool_and_truth(500, 21, 0.15);
+        for method in SamplerMethod::ALL {
+            let config = OasisConfig::default().with_strata_count(5);
+            let mut sampler = AnySampler::build(method, &pool, &config).unwrap();
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut oracle = GroundTruthOracle::new(truth.clone());
+            for _ in 0..60 {
+                sampler.step(&pool, &mut oracle, &mut rng).unwrap();
+            }
+            let state = sampler.state();
+            let text = state.to_json().render();
+            assert!(
+                text.contains(&format!(r#""method":"{}""#, method.as_str())),
+                "{method}: {text}"
+            );
+            let parsed = SamplerState::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(parsed, state, "{method}: JSON round trip must be exact");
+            let restored = AnySampler::from_state(&pool, parsed).unwrap();
+            assert_eq!(
+                restored.estimate().f_measure.to_bits(),
+                sampler.estimate().f_measure.to_bits(),
+                "{method}"
+            );
+        }
+    }
+
+    #[test]
+    fn untagged_sampler_state_documents_parse_as_oasis() {
+        // Pre-redesign checkpoints carry no "method" field; they can only be
+        // OASIS states and must keep restoring.
+        let (pool, truth) = crate::test_fixtures::pool_and_truth(400, 22, 0.15);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut oracle = GroundTruthOracle::new(truth);
+        let mut sampler =
+            OasisSampler::new(&pool, OasisConfig::default().with_strata_count(5)).unwrap();
+        for _ in 0..40 {
+            sampler.step(&pool, &mut oracle, &mut rng).unwrap();
+        }
+        let mut untagged = sampler.state().to_json();
+        untagged.remove("method");
+        let text = untagged.render();
+        assert!(!text.contains(r#""method""#));
+        let parsed = SamplerState::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed.method(), SamplerMethod::Oasis);
+        assert_eq!(parsed, sampler.state());
+    }
+
+    #[test]
+    fn unknown_method_tags_are_rejected() {
+        let doc = r#"{"method":"bogus","estimator":{}}"#;
+        let err = SamplerState::from_json(&Json::parse(doc).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("bogus"), "{err}");
     }
 }

@@ -9,11 +9,15 @@ use oasis::instrumental::{
 use oasis::measures::{exhaustive_measures, ConfusionCounts};
 use oasis::oracle::{GroundTruthOracle, Oracle};
 use oasis::pool::ScoredPool;
-use oasis::samplers::{OasisConfig, OasisSampler, PassiveSampler, Sampler, StratifiedSampler};
+use oasis::samplers::{
+    AnySampler, InteractiveSampler, OasisConfig, OasisSampler, PassiveSampler, Sampler,
+    SamplerMethod, SamplerState, StratifiedSampler,
+};
 use oasis::strata::{CsfStratifier, EqualSizeStratifier, Stratifier};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::json::{FromJson, Json, ToJson};
 
 /// Strategy: a pool of (score, prediction, truth) triples with scores in [0, 1].
 fn pool_strategy(
@@ -328,6 +332,118 @@ proptest! {
         if target.f_measure > 0.0 {
             prop_assert!((est.to_measures().f_measure - target.f_measure).abs() < 0.25,
                 "estimate {} vs target {}", est.to_measures().f_measure, target.f_measure);
+        }
+    }
+
+    // ----- the InteractiveSampler contract, for all four methods -----
+
+    /// Same seed ⇒ a `Sampler::step` loop and a propose/apply-label driver
+    /// produce bit-identical draws, weights and estimates.  This is the
+    /// invariant the engine's session layer (and therefore `oasis-serve`)
+    /// rests on, checked for every method.
+    #[test]
+    fn propose_apply_matches_step_bitwise_for_every_method(
+        (scores, predictions, truth) in pool_strategy(20, 120),
+        seed in any::<u64>(),
+        steps in 1usize..60,
+    ) {
+        let pool = ScoredPool::new(scores, predictions).unwrap();
+        let config = OasisConfig::default().with_strata_count(4);
+        for method in SamplerMethod::ALL {
+            let mut stepped = AnySampler::build(method, &pool, &config).unwrap();
+            let mut driven = AnySampler::build(method, &pool, &config).unwrap();
+            let mut rng_step = StdRng::seed_from_u64(seed);
+            let mut rng_drive = StdRng::seed_from_u64(seed);
+            let mut oracle = GroundTruthOracle::new(truth.clone());
+            for _ in 0..steps {
+                let outcome = stepped.step(&pool, &mut oracle, &mut rng_step).unwrap();
+                let proposal = driven.propose(&pool, &mut rng_drive);
+                prop_assert_eq!(outcome.item, proposal.item, "{}", method);
+                prop_assert_eq!(
+                    outcome.weight.to_bits(), proposal.weight.to_bits(), "{}", method
+                );
+                // The oracle consumed one extra RNG-free query on the step
+                // side; mirror its label without touching the drive stream.
+                driven.apply_label(&proposal, truth[proposal.item]);
+                // Keep the two RNG streams aligned: GroundTruthOracle does
+                // not draw from the RNG, so nothing else to consume.
+            }
+            let a = stepped.estimate();
+            let b = driven.estimate();
+            prop_assert_eq!(a.f_measure.to_bits(), b.f_measure.to_bits(), "{}", method);
+            prop_assert_eq!(a.precision.to_bits(), b.precision.to_bits(), "{}", method);
+            prop_assert_eq!(a.recall.to_bits(), b.recall.to_bits(), "{}", method);
+            prop_assert_eq!(a.iterations, b.iterations, "{}", method);
+        }
+    }
+
+    /// `propose_batch` is bit-identical to repeated `propose` on the same
+    /// RNG stream, for every method (the adaptive sampler refreshes its
+    /// distribution once per batch; the static ones trivially agree).
+    #[test]
+    fn propose_batch_matches_singles_bitwise_for_every_method(
+        (scores, predictions, _) in pool_strategy(20, 120),
+        seed in any::<u64>(),
+        count in 0usize..40,
+    ) {
+        let pool = ScoredPool::new(scores, predictions).unwrap();
+        let config = OasisConfig::default().with_strata_count(4);
+        for method in SamplerMethod::ALL {
+            let mut batched = AnySampler::build(method, &pool, &config).unwrap();
+            let mut single = AnySampler::build(method, &pool, &config).unwrap();
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let batch = batched.propose_batch(&pool, &mut rng_a, count);
+            prop_assert_eq!(batch.len(), count);
+            for proposal in batch {
+                let reference = single.propose(&pool, &mut rng_b);
+                prop_assert_eq!(proposal.item, reference.item, "{}", method);
+                prop_assert_eq!(proposal.stratum, reference.stratum, "{}", method);
+                prop_assert_eq!(
+                    proposal.weight.to_bits(), reference.weight.to_bits(), "{}", method
+                );
+            }
+        }
+    }
+
+    /// Checkpoint/restore round trip through the tagged state's JSON text:
+    /// the restored sampler continues bit-identically to one that never
+    /// stopped, for every method.
+    #[test]
+    fn tagged_state_json_round_trip_resumes_bitwise_for_every_method(
+        (scores, predictions, truth) in pool_strategy(20, 120),
+        seed in any::<u64>(),
+        cut in 1usize..40,
+    ) {
+        let pool = ScoredPool::new(scores, predictions).unwrap();
+        let config = OasisConfig::default().with_strata_count(4);
+        for method in SamplerMethod::ALL {
+            let mut sampler = AnySampler::build(method, &pool, &config).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut oracle = GroundTruthOracle::new(truth.clone());
+            for _ in 0..cut {
+                sampler.step(&pool, &mut oracle, &mut rng).unwrap();
+            }
+            let text = sampler.state().to_json().render();
+            let parsed = SamplerState::from_json(&Json::parse(&text).unwrap()).unwrap();
+            prop_assert_eq!(parsed.method(), method);
+            let mut restored = AnySampler::from_state(&pool, parsed).unwrap();
+
+            // Continue both with identical RNG streams and oracles.
+            let mut rng_a = StdRng::seed_from_u64(seed ^ 0x5eed);
+            let mut rng_b = StdRng::seed_from_u64(seed ^ 0x5eed);
+            let mut oracle_a = GroundTruthOracle::new(truth.clone());
+            let mut oracle_b = GroundTruthOracle::new(truth.clone());
+            for _ in 0..20 {
+                let a = sampler.step(&pool, &mut oracle_a, &mut rng_a).unwrap();
+                let b = restored.step(&pool, &mut oracle_b, &mut rng_b).unwrap();
+                prop_assert_eq!(a.item, b.item, "{}", method);
+                prop_assert_eq!(a.weight.to_bits(), b.weight.to_bits(), "{}", method);
+            }
+            let ea = sampler.estimate();
+            let eb = restored.estimate();
+            prop_assert_eq!(ea.f_measure.to_bits(), eb.f_measure.to_bits(), "{}", method);
+            prop_assert_eq!(ea.iterations, eb.iterations, "{}", method);
         }
     }
 }

@@ -11,7 +11,7 @@
 use er_core::datasets::DatasetProfile;
 use experiments::pools::{pipeline_pool, ClassifierKind};
 use oasis::oracle::{GroundTruthOracle, Oracle};
-use oasis::samplers::{OasisConfig, OasisSampler, Sampler};
+use oasis::samplers::{InteractiveSampler, OasisConfig, OasisSampler, Sampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -14,7 +14,7 @@ use experiments::curves::{compare_methods, CurveConfig};
 use experiments::methods::Method;
 use experiments::pools::direct_pool;
 use oasis::oracle::{NoisyOracle, Oracle};
-use oasis::samplers::{OasisConfig, OasisSampler, Sampler};
+use oasis::samplers::{InteractiveSampler, OasisConfig, OasisSampler, Sampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -15,7 +15,7 @@ use er_core::datasets::vocabulary::EntityKind;
 use er_core::pool_builder::PoolBuilder;
 use oasis::measures::exhaustive_measures;
 use oasis::oracle::{GroundTruthOracle, Oracle};
-use oasis::samplers::{OasisConfig, OasisSampler, Sampler};
+use oasis::samplers::{InteractiveSampler, OasisConfig, OasisSampler, Sampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

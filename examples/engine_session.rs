@@ -6,7 +6,7 @@
 
 use er_core::datasets::{DatasetProfile, DirectPoolModel};
 use oasis::oracle::GroundTruthOracle;
-use oasis::samplers::OasisConfig;
+use oasis::samplers::{OasisConfig, SamplerMethod};
 use oasis_engine::{Engine, LabelSource, SessionCheckpoint, SessionJob};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,10 +27,17 @@ fn main() {
     //    suspends; "annotators" (here: us, peeking at the hidden truth)
     //    label the tickets in batches and the session resumes.
     engine
-        .create_session("human", "abt-buy", config.clone(), 7, {
-            let pool = engine.pool("abt-buy").expect("loaded");
-            LabelSource::external(pool.len())
-        })
+        .create_session(
+            "human",
+            "abt-buy",
+            SamplerMethod::Oasis,
+            config.clone(),
+            7,
+            {
+                let pool = engine.pool("abt-buy").expect("loaded");
+                LabelSource::external(pool.len())
+            },
+        )
         .expect("create session");
     let session = engine.session("human").expect("exists");
     for round in 0..40 {
@@ -76,13 +83,17 @@ fn main() {
 
     // 4. A fleet of in-process simulation sessions driven concurrently by
     //    the scoped-thread worker pool.  Independent seeds → independent
-    //    runs; concurrency changes wall-clock, never the estimates.
+    //    runs; concurrency changes wall-clock, never the estimates.  The
+    //    fleet mixes sampling methods — sessions are method-agnostic, so a
+    //    single engine can run the paper's whole comparison side by side.
     let seeds: Vec<u64> = (100..108).collect();
-    for &seed in &seeds {
+    let methods = SamplerMethod::ALL;
+    for (i, &seed) in seeds.iter().enumerate() {
         engine
             .create_session(
                 format!("sim-{seed}"),
                 "abt-buy",
+                methods[i % methods.len()],
                 config.clone(),
                 seed,
                 LabelSource::GroundTruth(GroundTruthOracle::new(truth.clone())),
@@ -104,7 +115,11 @@ fn main() {
         seeds.len(),
         start.elapsed()
     );
-    for (seed, estimate) in seeds.iter().zip(estimates.iter()) {
-        println!("  seed {seed}: F ≈ {:.3}", estimate.f_measure);
+    for ((seed, estimate), method) in seeds
+        .iter()
+        .zip(estimates.iter())
+        .zip(methods.iter().cycle())
+    {
+        println!("  seed {seed} ({method}): F ≈ {:.3}", estimate.f_measure);
     }
 }

@@ -6,7 +6,7 @@
 use er_core::datasets::{DatasetProfile, DirectPoolModel};
 use oasis::measures::exhaustive_measures;
 use oasis::oracle::{GroundTruthOracle, Oracle};
-use oasis::samplers::{OasisConfig, OasisSampler, PassiveSampler, Sampler};
+use oasis::samplers::{InteractiveSampler, OasisConfig, OasisSampler, PassiveSampler, Sampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

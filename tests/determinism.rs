@@ -74,6 +74,7 @@ fn engine_session(seed: u64) -> Session {
         "determinism",
         "fixed",
         Arc::new(pool),
+        oasis::SamplerMethod::Oasis,
         OasisConfig::default().with_strata_count(25),
         seed,
         LabelSource::GroundTruth(GroundTruthOracle::new(truth)),

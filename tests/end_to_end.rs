@@ -10,7 +10,8 @@ use er_core::pool_builder::PoolBuilder;
 use oasis::measures::exhaustive_measures;
 use oasis::oracle::{GroundTruthOracle, NoisyOracle, Oracle};
 use oasis::samplers::{
-    ImportanceSampler, OasisConfig, OasisSampler, PassiveSampler, Sampler, StratifiedSampler,
+    ImportanceSampler, InteractiveSampler, OasisConfig, OasisSampler, PassiveSampler, Sampler,
+    StratifiedSampler,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;

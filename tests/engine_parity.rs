@@ -1,11 +1,11 @@
 //! Workspace-level acceptance tests for `oasis-engine`: N concurrent engine
 //! sessions with fixed seeds must be bit-identical to N sequential library
 //! runs with the same seeds, through both the Rust API and the line
-//! protocol.
+//! protocol — for every sampling method, not just OASIS.
 
 use er_core::datasets::score_model::{DirectPoolConfig, DirectPoolModel};
 use oasis::oracle::GroundTruthOracle;
-use oasis::samplers::{OasisConfig, OasisSampler, Sampler};
+use oasis::samplers::{AnySampler, OasisConfig, OasisSampler, Sampler, SamplerMethod};
 use oasis::Estimate;
 use oasis_engine::server::serve_lines;
 use oasis_engine::{Engine, LabelSource, SessionJob};
@@ -35,6 +35,22 @@ fn library_run(pool: &oasis::ScoredPool, truth: &[bool], seed: u64, steps: usize
     sampler.run(pool, &mut oracle, &mut rng, steps).unwrap()
 }
 
+/// Library reference for an arbitrary method via the same `AnySampler::build`
+/// path the engine uses.
+fn library_run_method(
+    pool: &oasis::ScoredPool,
+    truth: &[bool],
+    method: SamplerMethod,
+    seed: u64,
+    steps: usize,
+) -> Estimate {
+    let mut oracle = GroundTruthOracle::new(truth.to_vec());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = OasisConfig::default().with_strata_count(20);
+    let mut sampler = AnySampler::build(method, pool, &config).unwrap();
+    sampler.run(pool, &mut oracle, &mut rng, steps).unwrap()
+}
+
 #[test]
 fn eight_concurrent_sessions_match_eight_sequential_library_runs() {
     let (pool, truth) = fixed_pool();
@@ -53,6 +69,7 @@ fn eight_concurrent_sessions_match_eight_sequential_library_runs() {
             .create_session(
                 format!("s{seed}"),
                 "pool",
+                SamplerMethod::Oasis,
                 OasisConfig::default().with_strata_count(20),
                 seed,
                 LabelSource::GroundTruth(GroundTruthOracle::new(truth.clone())),
@@ -84,6 +101,87 @@ fn eight_concurrent_sessions_match_eight_sequential_library_runs() {
 }
 
 #[test]
+fn a_mixed_method_fleet_matches_sequential_library_runs() {
+    // One engine, all four methods concurrently — the redesign's point: the
+    // session/worker machinery is method-agnostic and changes nothing.
+    let (pool, truth) = fixed_pool();
+    let steps = 220;
+    let seed = 640;
+
+    let references: Vec<(SamplerMethod, Estimate)> = SamplerMethod::ALL
+        .iter()
+        .map(|&method| {
+            (
+                method,
+                library_run_method(&pool, &truth, method, seed, steps),
+            )
+        })
+        .collect();
+
+    let engine = Engine::new();
+    engine.load_pool("pool", pool).unwrap();
+    for &(method, _) in &references {
+        engine
+            .create_session(
+                method.as_str(),
+                "pool",
+                method,
+                OasisConfig::default().with_strata_count(20),
+                seed,
+                LabelSource::GroundTruth(GroundTruthOracle::new(truth.clone())),
+            )
+            .unwrap();
+    }
+    let jobs: Vec<SessionJob> = references
+        .iter()
+        .map(|&(method, _)| SessionJob::Steps {
+            session: method.as_str().to_string(),
+            steps,
+        })
+        .collect();
+    let estimates = engine.run_parallel(&jobs, 4).unwrap();
+
+    for ((method, reference), estimate) in references.iter().zip(&estimates) {
+        assert_eq!(
+            reference.f_measure.to_bits(),
+            estimate.f_measure.to_bits(),
+            "{method}: engine F {} != library F {}",
+            estimate.f_measure,
+            reference.f_measure
+        );
+        assert_eq!(reference.precision.to_bits(), estimate.precision.to_bits());
+        assert_eq!(reference.recall.to_bits(), estimate.recall.to_bits());
+    }
+}
+
+fn render_bools(bits: &[bool]) -> String {
+    let items: Vec<&str> = bits
+        .iter()
+        .map(|&b| if b { "true" } else { "false" })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+fn run_script(engine: &Engine, script: &str) -> Vec<String> {
+    let mut output = Vec::new();
+    serve_lines(engine, Cursor::new(script.to_string()), &mut output).unwrap();
+    String::from_utf8(output)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+fn estimate_bits_of(line: &str) -> (u64, u64, u64) {
+    let response = serde::json::Json::parse(line).unwrap();
+    let estimate = response.require("estimate").unwrap();
+    let f = estimate.require("f_measure").unwrap().as_f64().unwrap();
+    let p = estimate.require("precision").unwrap().as_f64().unwrap();
+    let r = estimate.require("recall").unwrap().as_f64().unwrap();
+    (f.to_bits(), p.to_bits(), r.to_bits())
+}
+
+#[test]
 fn the_line_protocol_reproduces_a_library_run() {
     // Drive a full session through the wire protocol (the same path the
     // `oasis-serve` binary and the CI smoke test use) and compare the final
@@ -91,13 +189,6 @@ fn the_line_protocol_reproduces_a_library_run() {
     let (pool, truth) = fixed_pool();
     let expected = library_run(&pool, &truth, 777, 200);
 
-    let render_bools = |bits: &[bool]| -> String {
-        let items: Vec<&str> = bits
-            .iter()
-            .map(|&b| if b { "true" } else { "false" })
-            .collect();
-        format!("[{}]", items.join(","))
-    };
     let scores: Vec<String> = pool.scores().iter().map(|s| format!("{s:?}")).collect();
     let script = format!(
         concat!(
@@ -114,18 +205,115 @@ fn the_line_protocol_reproduces_a_library_run() {
     );
 
     let engine = Engine::new();
-    let mut output = Vec::new();
-    serve_lines(&engine, Cursor::new(script), &mut output).unwrap();
-    let text = String::from_utf8(output).unwrap();
-    let last_line = text.lines().last().unwrap();
+    let responses = run_script(&engine, &script);
+    let last_line = responses.last().unwrap();
     assert!(last_line.contains(r#""ok":true"#), "line: {last_line}");
+    let (f, p, r) = estimate_bits_of(last_line);
+    assert_eq!(f, expected.f_measure.to_bits());
+    assert_eq!(p, expected.precision.to_bits());
+    assert_eq!(r, expected.recall.to_bits());
+}
 
-    let response = serde::json::Json::parse(last_line).unwrap();
-    let estimate = response.require("estimate").unwrap();
-    let f = estimate.require("f_measure").unwrap().as_f64().unwrap();
-    let p = estimate.require("precision").unwrap().as_f64().unwrap();
-    let r = estimate.require("recall").unwrap().as_f64().unwrap();
-    assert_eq!(f.to_bits(), expected.f_measure.to_bits());
-    assert_eq!(p.to_bits(), expected.precision.to_bits());
-    assert_eq!(r.to_bits(), expected.recall.to_bits());
+#[test]
+fn every_method_checkpoints_and_resumes_bitwise_over_the_wire() {
+    // The acceptance bar of the InteractiveSampler redesign: for each of the
+    // four methods, drive create → step → checkpoint → restore → continue
+    // entirely through the wire protocol, and land bit-identically on the
+    // estimate of an uninterrupted in-process library run at the same seed.
+    let (pool, truth) = fixed_pool();
+    let steps_total = 180;
+    let steps_first = 67;
+    let seed = 4242;
+
+    let scores: Vec<String> = pool.scores().iter().map(|s| format!("{s:?}")).collect();
+    let engine = Engine::new();
+    let load = format!(
+        r#"{{"cmd":"load_pool","pool":"p","scores":[{}],"predictions":{}}}"#,
+        scores.join(","),
+        render_bools(pool.predictions()),
+    );
+    let responses = run_script(&engine, &format!("{load}\n"));
+    assert!(responses[0].contains(r#""ok":true"#));
+
+    for method in SamplerMethod::ALL {
+        let expected = library_run_method(&pool, &truth, method, seed, steps_total);
+
+        let m = method.as_str();
+        let setup = format!(
+            concat!(
+                r#"{{"cmd":"create_session","session":"{m}","pool":"p","seed":{seed},"method":"{m}","config":{{"strata_count":20}},"truth":{truth}}}"#,
+                "\n",
+                r#"{{"cmd":"step","session":"{m}","steps":{first}}}"#,
+                "\n",
+                r#"{{"cmd":"checkpoint","session":"{m}"}}"#,
+                "\n",
+                r#"{{"cmd":"delete_session","session":"{m}"}}"#,
+                "\n",
+            ),
+            m = m,
+            seed = seed,
+            first = steps_first,
+            truth = render_bools(&truth),
+        );
+        let responses = run_script(&engine, &setup);
+        for response in &responses {
+            assert!(response.contains(r#""ok":true"#), "{m}: {response}");
+        }
+        assert!(
+            responses[0].contains(&format!(r#""method":"{m}""#)),
+            "{m}: {}",
+            responses[0]
+        );
+        let checkpoint_doc = serde::json::Json::parse(&responses[2])
+            .unwrap()
+            .require("checkpoint")
+            .unwrap()
+            .render();
+        assert!(
+            checkpoint_doc.contains(&format!(r#""method":"{m}""#)),
+            "{m}: tagged sampler state expected in checkpoint"
+        );
+
+        let resume = format!(
+            concat!(
+                r#"{{"cmd":"restore","session":"{m}2","checkpoint":{doc}}}"#,
+                "\n",
+                r#"{{"cmd":"step","session":"{m}2","steps":{rest}}}"#,
+                "\n",
+            ),
+            m = m,
+            doc = checkpoint_doc,
+            rest = steps_total - steps_first,
+        );
+        let responses = run_script(&engine, &resume);
+        assert!(responses[0].contains(r#""restored":true"#), "{m}");
+        let (f, p, r) = estimate_bits_of(&responses[1]);
+        assert_eq!(f, expected.f_measure.to_bits(), "{m}: F drifted");
+        assert_eq!(p, expected.precision.to_bits(), "{m}: P drifted");
+        assert_eq!(r, expected.recall.to_bits(), "{m}: R drifted");
+    }
+}
+
+#[test]
+fn unknown_methods_and_duplicate_sessions_are_structured_wire_errors() {
+    let engine = Engine::new();
+    let script = concat!(
+        r#"{"cmd":"load_pool","pool":"p","scores":[0.9,0.7,0.3,0.1],"predictions":[true,true,false,false]}"#,
+        "\n",
+        r#"{"cmd":"create_session","session":"s","pool":"p","seed":1,"method":"bogus"}"#,
+        "\n",
+        r#"{"cmd":"create_session","session":"s","pool":"p","seed":1,"config":{"strata_count":2}}"#,
+        "\n",
+        r#"{"cmd":"create_session","session":"s","pool":"p","seed":1,"config":{"strata_count":2}}"#,
+        "\n",
+        r#"{"cmd":"sessions"}"#,
+        "\n",
+    );
+    let responses = run_script(&engine, script);
+    assert_eq!(responses.len(), 5, "every request gets a response");
+    assert!(responses[1].contains(r#""ok":false"#) && responses[1].contains("bogus"));
+    assert!(responses[2].contains(r#""ok":true"#));
+    assert!(responses[3].contains(r#""ok":false"#) && responses[3].contains("already exists"));
+    // The connection survived both errors.
+    assert!(responses[4].contains(r#""sessions":["s"]"#));
 }

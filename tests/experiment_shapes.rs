@@ -6,6 +6,7 @@ use experiments::curves::{method_curve, CurveConfig};
 use experiments::figure2::{run_profile, Figure2Config};
 use experiments::methods::Method;
 use experiments::pools::direct_pool;
+use oasis::samplers::Sampler;
 
 /// Mean of the defined entries of a slice.
 fn mean_defined(values: &[f64]) -> f64 {

@@ -94,6 +94,15 @@ impl Json {
         }
     }
 
+    /// Remove a key from an object value, returning the removed value;
+    /// `None` for missing keys / non-objects.
+    pub fn remove(&mut self, key: &str) -> Option<Json> {
+        match self {
+            Json::Object(map) => map.remove(key),
+            _ => None,
+        }
+    }
+
     /// Fetch a required object key, with a descriptive error.
     pub fn require(&self, key: &str) -> JsonResult<&Json> {
         self.get(key)
