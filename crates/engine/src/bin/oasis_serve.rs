@@ -6,13 +6,16 @@
 //! Usage:
 //!
 //! ```text
-//! oasis-serve                   # serve stdin/stdout (scriptable, CI-friendly)
+//! oasis-serve                     # serve stdin/stdout (scriptable, CI-friendly)
 //! oasis-serve --tcp 0.0.0.0:7171  # serve TCP, concurrent connections
+//! oasis-serve --store DIR         # durable sessions: checkpoints + WAL in DIR
+//! oasis-serve --store DIR --max-resident 64   # LRU-evict idle sessions to DIR
 //! ```
 
 use oasis_engine::server::{serve_lines, serve_tcp};
-use oasis_engine::Engine;
+use oasis_engine::{Engine, FsCheckpointStore};
 use std::io::{BufReader, Write as _};
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -20,10 +23,13 @@ fn main() {
         println!(
             "oasis-serve — evaluation engine speaking line-delimited JSON\n\n\
              USAGE:\n  oasis-serve                serve stdin/stdout\n  \
-             oasis-serve --tcp ADDR     serve TCP on ADDR (e.g. 127.0.0.1:7171)\n\n\
+             oasis-serve --tcp ADDR     serve TCP on ADDR (e.g. 127.0.0.1:7171)\n  \
+             oasis-serve --store DIR    durable sessions: checkpoints + write-ahead\n\
+             \x20                            log in DIR, replayed across restarts\n  \
+             oasis-serve --max-resident N   with --store: LRU-evict idle sessions\n\n\
              Commands: load_pool, create_session, propose, label, step,\n\
-             run_budget, estimate, checkpoint, restore, sessions,\n\
-             delete_session, shutdown.\n\n\
+             run_budget, estimate, checkpoint, restore, checkpoint_to,\n\
+             restore_from, sessions, delete_session, shutdown.\n\n\
              create_session's optional \"method\" field selects the sampler:\n\
              \"oasis\" (default), \"passive\", \"importance\", \"stratified\"."
         );
@@ -33,6 +39,8 @@ fn main() {
     // Strict argument parsing: a typo'd flag must not silently fall back to
     // stdio mode (which would sit blocked on stdin with no diagnostic).
     let mut tcp_addr: Option<String> = None;
+    let mut store_dir: Option<String> = None;
+    let mut max_resident: Option<usize> = None;
     let mut rest = args[1..].iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -43,14 +51,47 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--store" => match rest.next() {
+                Some(dir) => store_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("oasis-serve: --store requires a directory path");
+                    std::process::exit(2);
+                }
+            },
+            "--max-resident" => match rest.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => max_resident = Some(n),
+                _ => {
+                    eprintln!("oasis-serve: --max-resident requires a positive integer");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("oasis-serve: unknown argument {other:?} (try --help)");
                 std::process::exit(2);
             }
         }
     }
+    if max_resident.is_some() && store_dir.is_none() {
+        eprintln!("oasis-serve: --max-resident requires --store (evicted sessions need a store)");
+        std::process::exit(2);
+    }
 
-    let engine = Engine::new();
+    let mut engine = Engine::new();
+    if let Some(dir) = store_dir {
+        match FsCheckpointStore::open(&dir) {
+            Ok(store) => {
+                eprintln!("oasis-serve: durable store at {dir}");
+                engine = engine.with_store(Arc::new(store));
+            }
+            Err(error) => {
+                eprintln!("oasis-serve: cannot open store: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(cap) = max_resident {
+        engine = engine.with_max_resident(cap);
+    }
     let outcome = match tcp_addr {
         Some(addr) => {
             eprintln!("oasis-serve: listening on {addr}");

@@ -10,10 +10,12 @@
 use crate::checkpoint::SessionCheckpoint;
 use crate::error::{EngineError, EngineResult};
 use crate::session::{LabelSource, Session};
+use crate::store::{parse_envelope, render_envelope, CheckpointStore};
+use crate::wal::{self, WalEntry, WalRecord};
 use oasis::{Estimate, OasisConfig, SamplerMethod, ScoredPool};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A unit of work for [`Engine::run_parallel`]: drive one session.
@@ -45,20 +47,87 @@ impl SessionJob {
     }
 }
 
+/// Per-session durability bookkeeping (next WAL sequence number, dirtiness,
+/// LRU recency).  Lives beside — not inside — the session so it survives
+/// eviction and is reachable without the session's own mutex.
+#[derive(Debug, Clone, Default)]
+struct SessionMeta {
+    /// Sequence number the next WAL record will carry.
+    wal_seq: u64,
+    /// Whether the session has been mutated since its last durable
+    /// checkpoint (or, without a store, since it was created/restored).
+    dirty: bool,
+    /// Logical access time for LRU eviction.
+    last_access: u64,
+}
+
+/// A snapshot of one session's identity and progress, cheap enough to build
+/// for a `sessions` listing without disturbing the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOverview {
+    /// The session id.
+    pub id: String,
+    /// The sampling method, or `None` for a stored-but-evicted session
+    /// (reading it would mean rehydrating the whole checkpoint).
+    pub method: Option<SamplerMethod>,
+    /// Pending (proposed but unlabelled) ticket count, if resident.
+    pub pending: Option<usize>,
+    /// Distinct labels consumed, if resident.
+    pub labels_consumed: Option<usize>,
+    /// Whether the session has been mutated since its last durable
+    /// checkpoint.
+    pub dirty: bool,
+    /// Whether the session is resident in memory (vs. only in the store).
+    pub resident: bool,
+}
+
 /// The engine: a registry of shared pools and concurrent sessions.
 ///
 /// All methods take `&self`; interior locking makes the engine shareable
 /// across server connections and worker threads.
+///
+/// With a [`CheckpointStore`] attached (see [`Engine::with_store`]) every
+/// session is durable: creation writes a base checkpoint, every mutating
+/// request is write-ahead logged, [`Engine::checkpoint_to`] compacts log
+/// into checkpoint, and a restart — or an access to a session evicted under
+/// [`Engine::with_max_resident`] — rebuilds the exact pre-crash state by
+/// replaying `latest checkpoint + WAL suffix`.
 #[derive(Debug, Default)]
 pub struct Engine {
     pools: RwLock<HashMap<String, Arc<ScoredPool>>>,
     sessions: RwLock<HashMap<String, Arc<Mutex<Session>>>>,
+    store: Option<Arc<dyn CheckpointStore>>,
+    meta: Mutex<HashMap<String, SessionMeta>>,
+    max_resident: Option<usize>,
+    clock: AtomicU64,
 }
 
 impl Engine {
     /// An empty engine.
     pub fn new() -> Self {
         Engine::default()
+    }
+
+    /// Attach a durable checkpoint store.  From then on every session is
+    /// durable: created sessions write a base checkpoint immediately, and
+    /// mutating requests are write-ahead logged before they apply.
+    pub fn with_store(mut self, store: Arc<dyn CheckpointStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Cap the number of sessions resident in memory.  Requires a store:
+    /// when the cap is exceeded, the least-recently-used session is
+    /// checkpointed and evicted, and a later access rehydrates it
+    /// transparently.  Without a store the cap is ignored.
+    pub fn with_max_resident(mut self, cap: usize) -> Self {
+        self.max_resident = Some(cap.max(1));
+        self
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&Arc<dyn CheckpointStore>> {
+        self.store.as_ref()
     }
 
     /// Register a pool under `id`, sharing it across future sessions.
@@ -117,6 +186,7 @@ impl Engine {
         if self.sessions.read().contains_key(&session_id) {
             return Err(EngineError::DuplicateId(session_id));
         }
+        self.reject_stored_duplicate(&session_id)?;
         let session = Session::new(
             session_id.clone(),
             pool_id,
@@ -126,12 +196,40 @@ impl Engine {
             seed,
             source,
         )?;
-        let mut sessions = self.sessions.write();
-        if sessions.contains_key(&session_id) {
-            return Err(EngineError::DuplicateId(session_id));
+        self.register(session_id, session)
+    }
+
+    /// A stored-but-evicted session owns its id just as a resident one does.
+    fn reject_stored_duplicate(&self, session_id: &str) -> EngineResult<()> {
+        if let Some(store) = &self.store {
+            if store.load_checkpoint(session_id)?.is_some() {
+                return Err(EngineError::DuplicateId(session_id.to_string()));
+            }
         }
-        sessions.insert(session_id, Arc::new(Mutex::new(session)));
         Ok(())
+    }
+
+    /// Register a freshly built session; with a store attached, write its
+    /// base checkpoint first so the WAL always has something to replay onto.
+    fn register(&self, session_id: String, session: Session) -> EngineResult<()> {
+        if let Some(store) = &self.store {
+            store.put_checkpoint(&session_id, &render_envelope(&session.checkpoint(), 0))?;
+            store.truncate_wal(&session_id)?;
+        }
+        let handle = Arc::new(Mutex::new(session));
+        {
+            let mut sessions = self.sessions.write();
+            if sessions.contains_key(&session_id) {
+                return Err(EngineError::DuplicateId(session_id));
+            }
+            sessions.insert(session_id.clone(), handle);
+            let mut meta = self.meta.lock();
+            let slot = meta.entry(session_id).or_default();
+            slot.wal_seq = 0;
+            slot.dirty = false;
+            slot.last_access = self.clock.fetch_add(1, Ordering::Relaxed);
+        }
+        self.enforce_resident_cap()
     }
 
     /// Restore a session from a checkpoint; the checkpointed pool id must be
@@ -150,48 +248,239 @@ impl Engine {
         if self.sessions.read().contains_key(&session_id) {
             return Err(EngineError::DuplicateId(session_id));
         }
+        self.reject_stored_duplicate(&session_id)?;
         // Fingerprint verification and sampler reconstruction are O(N);
         // keep them outside the write lock (same pattern as create_session).
         let mut checkpoint = checkpoint;
         checkpoint.session_id = session_id.clone();
         let session = Session::restore(checkpoint, pool)?;
-        let mut sessions = self.sessions.write();
-        if sessions.contains_key(&session_id) {
-            return Err(EngineError::DuplicateId(session_id));
+        self.register(session_id, session)
+    }
+
+    /// Fetch a session handle.  With a store attached, a stored-but-evicted
+    /// session is rehydrated transparently (checkpoint + WAL replay).
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSession`] if it exists neither in memory nor in
+    /// the store; [`EngineError::Store`] if its store entry is corrupt.
+    pub fn session(&self, id: &str) -> EngineResult<Arc<Mutex<Session>>> {
+        if let Some(handle) = self.sessions.read().get(id).cloned() {
+            self.touch(id);
+            return Ok(handle);
         }
-        sessions.insert(session_id, Arc::new(Mutex::new(session)));
+        self.rehydrate(id).map(|(handle, _)| handle)
+    }
+
+    fn touch(&self, id: &str) {
+        if let Some(slot) = self.meta.lock().get_mut(id) {
+            slot.last_access = self.clock.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Rebuild an evicted (or pre-restart) session from the store: restore
+    /// the latest checkpoint, then replay the WAL suffix at or beyond its
+    /// watermark.  Returns the handle and the number of records replayed.
+    fn rehydrate(&self, id: &str) -> EngineResult<(Arc<Mutex<Session>>, usize)> {
+        let unknown = || EngineError::UnknownSession(id.to_string());
+        let Some(store) = self.store.clone() else {
+            return Err(unknown());
+        };
+        let Some(document) = store.load_checkpoint(id)? else {
+            return Err(unknown());
+        };
+        let (mut checkpoint, wal_seq) = parse_envelope(&document)?;
+        checkpoint.session_id = id.to_string();
+        let pool = self.pool(&checkpoint.pool_id)?;
+        let mut session = Session::restore(checkpoint, pool)?;
+        let mut records = Vec::new();
+        for line in store.read_wal(id)? {
+            records.push(WalRecord::parse(&line)?);
+        }
+        let applied = wal::replay(&mut session, &records, wal_seq)?;
+
+        let handle = Arc::new(Mutex::new(session));
+        {
+            let mut sessions = self.sessions.write();
+            if let Some(existing) = sessions.get(id) {
+                // Lost a rehydration race; the winner's copy (and its meta,
+                // possibly already advanced by new WAL appends) is the truth.
+                return Ok((Arc::clone(existing), 0));
+            }
+            sessions.insert(id.to_string(), Arc::clone(&handle));
+            let mut meta = self.meta.lock();
+            let slot = meta.entry(id.to_string()).or_default();
+            slot.wal_seq = wal_seq + applied as u64;
+            slot.dirty = applied > 0;
+            slot.last_access = self.clock.fetch_add(1, Ordering::Relaxed);
+        }
+        self.enforce_resident_cap()?;
+        Ok((handle, applied))
+    }
+
+    /// Explicitly rehydrate a session from the store (the `restore_from`
+    /// protocol verb), returning the number of WAL records replayed on top
+    /// of its checkpoint.
+    ///
+    /// # Errors
+    /// [`EngineError::Store`] with no store attached or a corrupt entry;
+    /// [`EngineError::UnknownSession`] if the store has no such session;
+    /// [`EngineError::DuplicateId`] if it is already resident.
+    pub fn restore_from(&self, id: &str) -> EngineResult<usize> {
+        if self.store.is_none() {
+            return Err(EngineError::Store(
+                "no checkpoint store attached".to_string(),
+            ));
+        }
+        if self.sessions.read().contains_key(id) {
+            return Err(EngineError::DuplicateId(id.to_string()));
+        }
+        self.rehydrate(id).map(|(_, applied)| applied)
+    }
+
+    /// Durably checkpoint a session: write the store envelope (checkpoint +
+    /// WAL watermark) and truncate its log.  Returns the watermark — the
+    /// sequence number the next WAL record will carry.
+    ///
+    /// # Errors
+    /// [`EngineError::Store`] with no store attached or on write failure;
+    /// [`EngineError::UnknownSession`] if the session does not exist.
+    pub fn checkpoint_to(&self, id: &str) -> EngineResult<u64> {
+        let Some(store) = self.store.clone() else {
+            return Err(EngineError::Store(
+                "no checkpoint store attached".to_string(),
+            ));
+        };
+        let handle = self.session(id)?;
+        // Hold the session lock across capture + write + truncate so no
+        // mutation (and no WAL append) can slip between them.
+        let session = handle.lock();
+        let mut meta = self.meta.lock();
+        let slot = meta.entry(id.to_string()).or_default();
+        let wal_seq = slot.wal_seq;
+        store.put_checkpoint(id, &render_envelope(&session.checkpoint(), wal_seq))?;
+        store.truncate_wal(id)?;
+        slot.dirty = false;
+        Ok(wal_seq)
+    }
+
+    /// Append a mutation record to a session's write-ahead log, assigning
+    /// the next sequence number.  MUST be called with the session's mutex
+    /// held and *before* the mutation is applied — that ordering is what
+    /// makes the log a write-*ahead* log and keeps concurrent batches in
+    /// application order.  No-op (except dirtiness tracking) without a
+    /// store.
+    pub(crate) fn log_wal(&self, session_id: &str, entry: WalEntry) -> EngineResult<()> {
+        let mut meta = self.meta.lock();
+        let slot = meta.entry(session_id.to_string()).or_default();
+        if let Some(store) = &self.store {
+            let record = WalRecord {
+                seq: slot.wal_seq,
+                entry,
+            };
+            store.append_wal(session_id, &record.render())?;
+            slot.wal_seq += 1;
+        }
+        slot.dirty = true;
         Ok(())
     }
 
-    /// Fetch a session handle.
-    ///
-    /// # Errors
-    /// [`EngineError::UnknownSession`] if it does not exist.
-    pub fn session(&self, id: &str) -> EngineResult<Arc<Mutex<Session>>> {
-        self.sessions
-            .read()
-            .get(id)
-            .cloned()
-            .ok_or_else(|| EngineError::UnknownSession(id.to_string()))
+    /// Evict least-recently-used sessions (checkpointing them first) until
+    /// the resident count is within the configured cap.
+    fn enforce_resident_cap(&self) -> EngineResult<()> {
+        let Some(cap) = self.max_resident else {
+            return Ok(());
+        };
+        if self.store.is_none() {
+            return Ok(());
+        }
+        loop {
+            let victim = {
+                let sessions = self.sessions.read();
+                if sessions.len() <= cap {
+                    return Ok(());
+                }
+                let meta = self.meta.lock();
+                sessions
+                    .keys()
+                    .min_by_key(|id| meta.get(*id).map(|m| m.last_access).unwrap_or(0))
+                    .cloned()
+            };
+            let Some(victim) = victim else {
+                return Ok(());
+            };
+            self.checkpoint_to(&victim)?;
+            self.sessions.write().remove(&victim);
+            // Meta stays: its wal_seq matches the envelope watermark, so
+            // appends after rehydration continue the same sequence.
+        }
     }
 
-    /// Ids of all live sessions, sorted.
+    /// Ids of all known sessions — resident and stored — sorted.
     pub fn session_ids(&self) -> Vec<String> {
         let mut ids: Vec<String> = self.sessions.read().keys().cloned().collect();
+        if let Some(store) = &self.store {
+            if let Ok(stored) = store.list_sessions() {
+                ids.extend(stored);
+            }
+        }
         ids.sort();
+        ids.dedup();
         ids
     }
 
-    /// Remove a session (its checkpoint, if any, remains valid).
+    /// Per-session metadata for every known session, sorted by id.  Resident
+    /// sessions report method/pending/labels; stored-but-evicted ones only
+    /// their identity (reading more would mean rehydrating the checkpoint).
+    pub fn session_overviews(&self) -> Vec<SessionOverview> {
+        self.session_ids()
+            .into_iter()
+            .map(|id| {
+                let resident = self.sessions.read().get(&id).cloned();
+                let dirty = self.meta.lock().get(&id).map(|m| m.dirty).unwrap_or(false);
+                match resident {
+                    Some(handle) => {
+                        let session = handle.lock();
+                        SessionOverview {
+                            id,
+                            method: Some(session.method()),
+                            pending: Some(session.pending_count()),
+                            labels_consumed: Some(session.labels_consumed()),
+                            dirty,
+                            resident: true,
+                        }
+                    }
+                    None => SessionOverview {
+                        id,
+                        method: None,
+                        pending: None,
+                        labels_consumed: None,
+                        dirty,
+                        resident: false,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Remove a session everywhere: the resident registry, its durability
+    /// metadata, and (with a store) its checkpoint and log.
     ///
     /// # Errors
-    /// [`EngineError::UnknownSession`] if it does not exist.
+    /// [`EngineError::UnknownSession`] if it exists neither in memory nor in
+    /// the store.
     pub fn delete_session(&self, id: &str) -> EngineResult<()> {
-        self.sessions
-            .write()
-            .remove(id)
-            .map(|_| ())
-            .ok_or_else(|| EngineError::UnknownSession(id.to_string()))
+        let resident = self.sessions.write().remove(id).is_some();
+        let mut stored = false;
+        if let Some(store) = &self.store {
+            stored = store.load_checkpoint(id)?.is_some();
+            store.remove(id)?;
+        }
+        self.meta.lock().remove(id);
+        if resident || stored {
+            Ok(())
+        } else {
+            Err(EngineError::UnknownSession(id.to_string()))
+        }
     }
 
     /// Drive many sessions concurrently on a pool of `workers` scoped
@@ -239,10 +528,22 @@ impl Engine {
         let session = self.session(job.session_id())?;
         let mut session = session.lock();
         match job {
-            SessionJob::Steps { steps, .. } => session.step(*steps),
+            SessionJob::Steps { steps, .. } => {
+                self.log_wal(job.session_id(), WalEntry::Step { steps: *steps })?;
+                session.step(*steps)
+            }
             SessionJob::Budget {
                 budget, max_steps, ..
-            } => session.run_until_budget(*budget, *max_steps),
+            } => {
+                self.log_wal(
+                    job.session_id(),
+                    WalEntry::RunBudget {
+                        label_budget: *budget,
+                        max_steps: *max_steps,
+                    },
+                )?;
+                session.run_until_budget(*budget, *max_steps)
+            }
         }
     }
 }
@@ -381,6 +682,216 @@ mod tests {
         assert_eq!(estimates.len(), 1);
         let session = engine.session("good").unwrap();
         assert!(session.lock().labels_consumed() >= 50);
+    }
+
+    fn scratch_store(tag: &str) -> (std::path::PathBuf, Arc<crate::store::FsCheckpointStore>) {
+        let dir =
+            std::env::temp_dir().join(format!("oasis-engine-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(crate::store::FsCheckpointStore::open(&dir).unwrap());
+        (dir, store)
+    }
+
+    fn durable_engine(store: &Arc<crate::store::FsCheckpointStore>) -> Engine {
+        Engine::new().with_store(Arc::clone(store) as Arc<dyn CheckpointStore>)
+    }
+
+    fn oracle_session(engine: &Engine, id: &str, truth: &[bool], seed: u64) {
+        engine
+            .create_session(
+                id,
+                "p",
+                SamplerMethod::Oasis,
+                OasisConfig::default().with_strata_count(6),
+                seed,
+                LabelSource::GroundTruth(GroundTruthOracle::new(truth.to_vec())),
+            )
+            .unwrap();
+    }
+
+    fn steps_job(id: &str, steps: usize) -> Vec<SessionJob> {
+        vec![SessionJob::Steps {
+            session: id.to_string(),
+            steps,
+        }]
+    }
+
+    #[test]
+    fn durable_sessions_replay_checkpoint_plus_wal_after_a_crash() {
+        let (dir, store) = scratch_store("crash");
+        let (pool, truth) = pool_and_truth(800, 31);
+
+        // Reference: a run that never crashed, in a store-less engine.
+        let reference = Engine::new();
+        reference.load_pool("p", pool.clone()).unwrap();
+        oracle_session(&reference, "s", &truth, 5);
+        reference.run_parallel(&steps_job("s", 200), 1).unwrap();
+        let reference_session = reference.session("s").unwrap();
+        let reference_session = reference_session.lock();
+
+        // Durable run: 120 steps, a durable checkpoint, 80 more steps that
+        // live only in the WAL — then the process "dies" (engine dropped).
+        {
+            let engine = durable_engine(&store);
+            engine.load_pool("p", pool.clone()).unwrap();
+            oracle_session(&engine, "s", &truth, 5);
+            engine.run_parallel(&steps_job("s", 120), 1).unwrap();
+            engine.checkpoint_to("s").unwrap();
+            engine.run_parallel(&steps_job("s", 80), 1).unwrap();
+        }
+
+        // Restart: a fresh engine over the same store directory.  The pool
+        // is not durable — the client reloads it — but the session state is.
+        let revived = Engine::new().with_store(Arc::new(
+            crate::store::FsCheckpointStore::open(&dir).unwrap(),
+        ) as Arc<dyn CheckpointStore>);
+        revived.load_pool("p", pool).unwrap();
+        assert_eq!(revived.restore_from("s").unwrap(), 1, "one WAL record");
+        let session = revived.session("s").unwrap();
+        let session = session.lock();
+        assert_eq!(
+            session.estimate().f_measure.to_bits(),
+            reference_session.estimate().f_measure.to_bits()
+        );
+        assert_eq!(
+            session.labels_consumed(),
+            reference_session.labels_consumed()
+        );
+        let a = session.confidence_interval(0.95).unwrap();
+        let b = reference_session.confidence_interval(0.95).unwrap();
+        assert_eq!(a.lower.to_bits(), b.lower.to_bits());
+        assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+        assert!(session.variance_tracked());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_checkpoints_idle_sessions_and_rehydrates_on_access() {
+        let (dir, store) = scratch_store("lru");
+        let (pool, truth) = pool_and_truth(600, 32);
+
+        let reference = Engine::new();
+        reference.load_pool("p", pool.clone()).unwrap();
+        oracle_session(&reference, "s1", &truth, 7);
+        reference.run_parallel(&steps_job("s1", 90), 1).unwrap();
+
+        let engine = durable_engine(&store).with_max_resident(1);
+        engine.load_pool("p", pool).unwrap();
+        oracle_session(&engine, "s1", &truth, 7);
+        engine.run_parallel(&steps_job("s1", 40), 1).unwrap();
+        // Creating s2 exceeds the cap: s1 (least recently used) is
+        // checkpointed and evicted.
+        oracle_session(&engine, "s2", &truth, 8);
+        let overviews = engine.session_overviews();
+        assert_eq!(overviews.len(), 2);
+        let s1 = overviews.iter().find(|o| o.id == "s1").unwrap();
+        assert!(!s1.resident, "s1 should have been evicted");
+        assert!(!s1.dirty, "eviction checkpoints first");
+        assert!(overviews.iter().find(|o| o.id == "s2").unwrap().resident);
+        // Both ids stay visible even while one lives only in the store.
+        assert_eq!(engine.session_ids(), vec!["s1", "s2"]);
+
+        // Accessing s1 rehydrates it transparently and the run continues
+        // bit-identically to the never-evicted reference.
+        engine.run_parallel(&steps_job("s1", 50), 1).unwrap();
+        let revived = engine.session("s1").unwrap();
+        let expected = reference.session("s1").unwrap();
+        assert_eq!(
+            revived.lock().estimate().f_measure.to_bits(),
+            expected.lock().estimate().f_measure.to_bits()
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_from_failures_are_structured_errors() {
+        // No store attached: a Store error, not a panic.
+        let bare = Engine::new();
+        assert!(matches!(bare.restore_from("s"), Err(EngineError::Store(_))));
+        assert!(matches!(
+            bare.checkpoint_to("s"),
+            Err(EngineError::Store(_))
+        ));
+
+        let (dir, store) = scratch_store("errors");
+        let (pool, truth) = pool_and_truth(400, 33);
+        let engine = durable_engine(&store);
+        engine.load_pool("p", pool).unwrap();
+
+        // Missing entry.
+        assert!(matches!(
+            engine.restore_from("ghost"),
+            Err(EngineError::UnknownSession(_))
+        ));
+        // Corrupt entry: bad JSON, and valid JSON of the wrong shape.
+        store.put_checkpoint("bad", "definitely not json").unwrap();
+        assert!(matches!(
+            engine.restore_from("bad"),
+            Err(EngineError::Store(_))
+        ));
+        store
+            .put_checkpoint("shape", r#"{"format":"oasis-engine/store-v1","wal_seq":0}"#)
+            .unwrap();
+        assert!(matches!(
+            engine.restore_from("shape"),
+            Err(EngineError::Store(_))
+        ));
+        // Already resident.
+        oracle_session(&engine, "s", &truth, 9);
+        assert!(matches!(
+            engine.restore_from("s"),
+            Err(EngineError::DuplicateId(_))
+        ));
+        // A corrupt WAL line under a good checkpoint is also structured.
+        engine.checkpoint_to("s").unwrap();
+        engine.delete_session("s").unwrap();
+        oracle_session(&engine, "s", &truth, 9);
+        store.append_wal("s", "garbage").unwrap();
+        let fresh = Engine::new().with_store(Arc::new(
+            crate::store::FsCheckpointStore::open(&dir).unwrap(),
+        ) as Arc<dyn CheckpointStore>);
+        let (pool, _) = pool_and_truth(400, 33);
+        fresh.load_pool("p", pool).unwrap();
+        assert!(matches!(
+            fresh.restore_from("s"),
+            Err(EngineError::Store(_))
+        ));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stored_ids_stay_reserved_and_delete_clears_the_store() {
+        let (dir, store) = scratch_store("reserve");
+        let (pool, truth) = pool_and_truth(300, 34);
+        {
+            let engine = durable_engine(&store);
+            engine.load_pool("p", pool.clone()).unwrap();
+            oracle_session(&engine, "s", &truth, 3);
+        }
+        // After a "restart" the stored id still owns its name.
+        let engine = durable_engine(&store);
+        engine.load_pool("p", pool).unwrap();
+        assert!(matches!(
+            engine.create_session(
+                "s",
+                "p",
+                SamplerMethod::Oasis,
+                OasisConfig::default().with_strata_count(4),
+                1,
+                LabelSource::GroundTruth(GroundTruthOracle::new(truth.clone()))
+            ),
+            Err(EngineError::DuplicateId(_))
+        ));
+        // Deleting a stored-but-not-resident session clears the store entry
+        // and frees the id.
+        engine.delete_session("s").unwrap();
+        assert!(store.load_checkpoint("s").unwrap().is_none());
+        oracle_session(&engine, "s", &truth, 3);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub enum EngineError {
     CheckpointMismatch(String),
     /// A malformed protocol request.
     Protocol(String),
+    /// A durable checkpoint store failure: I/O, a missing or corrupt entry,
+    /// or a write-ahead log that cannot be replayed.
+    Store(String),
 }
 
 impl fmt::Display for EngineError {
@@ -48,6 +51,7 @@ impl fmt::Display for EngineError {
             EngineError::InvalidLabelSource(why) => write!(f, "invalid label source: {why}"),
             EngineError::CheckpointMismatch(why) => write!(f, "checkpoint mismatch: {why}"),
             EngineError::Protocol(why) => write!(f, "bad request: {why}"),
+            EngineError::Store(why) => write!(f, "store error: {why}"),
         }
     }
 }

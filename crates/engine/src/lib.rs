@@ -22,15 +22,22 @@
 //!   in-process ground-truth oracle remains available for simulation
 //!   ([`LabelSource::GroundTruth`], [`Session::step`]).
 //! * **Checkpoints** ([`SessionCheckpoint`]) — the method-tagged sampler
-//!   state ([`oasis::SamplerState`]), RNG state words, pending tickets and
-//!   oracle/budget state snapshot to JSON with *exact-resume* semantics: an
-//!   interrupted-and-restored run is bit-identical to an uninterrupted one,
-//!   for every method.
+//!   state ([`oasis::SamplerState`]), variance-tracker sums, RNG state
+//!   words, pending tickets and oracle/budget state snapshot to JSON with
+//!   *exact-resume* semantics: an interrupted-and-restored run is
+//!   bit-identical to an uninterrupted one — estimates *and* confidence
+//!   intervals — for every method.
+//! * **Durability** ([`store`], [`wal`]) — a pluggable [`CheckpointStore`]
+//!   (filesystem backend: [`FsCheckpointStore`]) plus an append-only
+//!   write-ahead log of every mutating request.  A restart replays
+//!   `latest checkpoint + WAL suffix` to the exact pre-crash state; an LRU
+//!   cap ([`Engine::with_max_resident`]) evicts idle sessions through the
+//!   store and rehydrates them transparently on next access.
 //! * **`oasis-serve`** — a binary speaking a line-delimited JSON protocol
 //!   ([`protocol`]) over stdin/stdout or TCP ([`server`]): `load_pool`,
 //!   `create_session` (with a `method` field), `propose`, `label`, `step`,
-//!   `run_budget`, `estimate`, `checkpoint`, `restore`, `sessions`,
-//!   `delete_session`, `shutdown`.
+//!   `run_budget`, `estimate`, `checkpoint`, `restore`, `checkpoint_to`,
+//!   `restore_from`, `sessions`, `delete_session`, `shutdown`.
 //!
 //! ## Quick example
 //!
@@ -76,11 +83,15 @@ pub mod error;
 pub mod protocol;
 pub mod server;
 mod session;
+pub mod store;
+pub mod wal;
 
 pub use checkpoint::{pool_fingerprint, OracleCheckpoint, SessionCheckpoint, CHECKPOINT_FORMAT};
-pub use engine::{Engine, SessionJob};
+pub use engine::{Engine, SessionJob, SessionOverview};
 pub use error::{EngineError, EngineResult};
 pub use session::{LabelSource, Session, Ticket};
+pub use store::{CheckpointStore, FsCheckpointStore, STORE_FORMAT};
+pub use wal::{WalEntry, WalRecord};
 
 #[cfg(test)]
 pub(crate) mod test_support {

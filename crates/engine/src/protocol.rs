@@ -14,11 +14,13 @@
 //! | `label` | `session`, `labels[{ticket,label}]` | resume with a label batch |
 //! | `step` | `session`, `steps` | run full iterations (needs `truth`) |
 //! | `run_budget` | `session`, `budget`, `max_steps`? | run until the label budget is spent |
-//! | `estimate` | `session` | current F/P/R estimate + budget state |
+//! | `estimate` | `session` | current F/P/R estimate + 95% CI + budget state |
 //! | `checkpoint` | `session` | inline JSON checkpoint document |
 //! | `restore` | `session`, `checkpoint{}` | rebuild a session from a checkpoint |
-//! | `sessions` | — | list sessions |
-//! | `delete_session` | `session` | drop a session |
+//! | `checkpoint_to` | `session` | durably checkpoint into the attached store |
+//! | `restore_from` | `session` | rebuild from the store: checkpoint + WAL replay |
+//! | `sessions` | — | list sessions with per-session metadata |
+//! | `delete_session` | `session` | drop a session (and its store entry) |
 //! | `shutdown` | — | acknowledge and stop serving |
 //!
 //! `create_session`'s `method` selects the sampling method — `"oasis"`
@@ -31,6 +33,7 @@ use crate::checkpoint::SessionCheckpoint;
 use crate::engine::Engine;
 use crate::error::{EngineError, EngineResult};
 use crate::session::{LabelSource, Session, Ticket};
+use crate::wal::WalEntry;
 use oasis::{GroundTruthOracle, OasisConfig, SamplerMethod, ScoredPool};
 use serde::json::{FromJson, Json, ToJson};
 
@@ -107,6 +110,16 @@ pub enum Request {
         session: String,
         /// The checkpoint document (boxed — it dwarfs every other variant).
         checkpoint: Box<SessionCheckpoint>,
+    },
+    /// Durably checkpoint a session into the attached store.
+    CheckpointTo {
+        /// Session id.
+        session: String,
+    },
+    /// Rebuild a session from the attached store (checkpoint + WAL replay).
+    RestoreFrom {
+        /// Session id.
+        session: String,
     },
     /// List live sessions.
     Sessions,
@@ -223,6 +236,12 @@ impl Request {
                 session: string_field(&value, "session")?,
                 checkpoint: Box::new(SessionCheckpoint::from_json(value.require("checkpoint")?)?),
             }),
+            "checkpoint_to" => Ok(Request::CheckpointTo {
+                session: string_field(&value, "session")?,
+            }),
+            "restore_from" => Ok(Request::RestoreFrom {
+                session: string_field(&value, "session")?,
+            }),
             "sessions" => Ok(Request::Sessions),
             "delete_session" => Ok(Request::DeleteSession {
                 session: string_field(&value, "session")?,
@@ -261,6 +280,17 @@ fn estimate_response(session: &Session) -> Json {
     obj.set("session", Json::String(session.id().to_string()));
     obj.set("method", session.method().to_json());
     obj.set("estimate", session.estimate().to_json());
+    // `null` while the interval is undefined (too few observations) — or
+    // while the variance history is incomplete; `variance_tracked` lets
+    // clients tell the two apart.
+    obj.set(
+        "confidence_interval",
+        match session.confidence_interval(0.95) {
+            Some(interval) => interval.to_json(),
+            None => Json::Null,
+        },
+    );
+    obj.set("variance_tracked", Json::Bool(session.variance_tracked()));
     obj.set("labels_consumed", session.labels_consumed().to_json());
     obj.set("pending", session.pending_count().to_json());
     obj
@@ -322,15 +352,26 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
             obj.set("seed", seed.to_json());
             obj
         }
+        // Every mutating arm below logs its request to the write-ahead log
+        // *after* taking the session lock (so sequence numbers match
+        // application order) and *before* mutating (so a crash mid-request
+        // replays deterministically — see `crate::wal`).
         Request::Propose { session, count } => {
             let handle = engine.session(&session)?;
             let mut guard = handle.lock();
+            engine.log_wal(&session, WalEntry::Propose { count })?;
             let tickets = guard.propose(count)?;
             tickets_response(&guard, &tickets)
         }
         Request::Label { session, labels } => {
             let handle = engine.session(&session)?;
             let mut guard = handle.lock();
+            engine.log_wal(
+                &session,
+                WalEntry::Label {
+                    labels: labels.clone(),
+                },
+            )?;
             let applied = guard.apply_labels(&labels)?;
             let mut obj = estimate_response(&guard);
             obj.set("applied", applied.to_json());
@@ -339,6 +380,7 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
         Request::Step { session, steps } => {
             let handle = engine.session(&session)?;
             let mut guard = handle.lock();
+            engine.log_wal(&session, WalEntry::Step { steps })?;
             guard.step(steps)?;
             estimate_response(&guard)
         }
@@ -349,6 +391,13 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
         } => {
             let handle = engine.session(&session)?;
             let mut guard = handle.lock();
+            engine.log_wal(
+                &session,
+                WalEntry::RunBudget {
+                    label_budget: budget,
+                    max_steps,
+                },
+            )?;
             guard.run_until_budget(budget, max_steps)?;
             estimate_response(&guard)
         }
@@ -375,6 +424,21 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
             obj.set("restored", Json::Bool(true));
             obj
         }
+        Request::CheckpointTo { session } => {
+            let wal_seq = engine.checkpoint_to(&session)?;
+            let mut obj = ok_response();
+            obj.set("session", Json::String(session));
+            obj.set("wal_seq", wal_seq.to_json());
+            obj
+        }
+        Request::RestoreFrom { session } => {
+            let replayed = engine.restore_from(&session)?;
+            let mut obj = ok_response();
+            obj.set("session", Json::String(session));
+            obj.set("restored", Json::Bool(true));
+            obj.set("replayed", replayed.to_json());
+            obj
+        }
         Request::Sessions => {
             let mut obj = ok_response();
             obj.set(
@@ -385,6 +449,27 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
                 "pools",
                 Json::Array(engine.pool_ids().into_iter().map(Json::String).collect()),
             );
+            let detail = engine
+                .session_overviews()
+                .into_iter()
+                .map(|overview| {
+                    let mut entry = Json::object();
+                    entry.set("session", Json::String(overview.id));
+                    if let Some(method) = overview.method {
+                        entry.set("method", method.to_json());
+                    }
+                    if let Some(pending) = overview.pending {
+                        entry.set("pending", pending.to_json());
+                    }
+                    if let Some(labels) = overview.labels_consumed {
+                        entry.set("labels_consumed", labels.to_json());
+                    }
+                    entry.set("dirty", Json::Bool(overview.dirty));
+                    entry.set("resident", Json::Bool(overview.resident));
+                    entry
+                })
+                .collect();
+            obj.set("detail", Json::Array(detail));
             obj
         }
         Request::DeleteSession { session } => {
@@ -426,6 +511,8 @@ mod tests {
             r#"{"cmd":"run_budget","session":"s","budget":50}"#,
             r#"{"cmd":"estimate","session":"s"}"#,
             r#"{"cmd":"checkpoint","session":"s"}"#,
+            r#"{"cmd":"checkpoint_to","session":"s"}"#,
+            r#"{"cmd":"restore_from","session":"s"}"#,
             r#"{"cmd":"sessions"}"#,
             r#"{"cmd":"delete_session","session":"s"}"#,
             r#"{"cmd":"shutdown"}"#,
@@ -563,6 +650,159 @@ mod tests {
         // The limits themselves are accepted.
         let ok = format!(r#"{{"cmd":"propose","session":"s","count":{MAX_PROPOSE_COUNT}}}"#);
         assert!(Request::parse(&ok).is_ok());
+    }
+
+    fn render(engine: &Engine, line: &str) -> String {
+        dispatch(engine, Request::parse(line).unwrap())
+            .response
+            .render()
+    }
+
+    fn demo_engine() -> Engine {
+        let engine = Engine::new();
+        let rendered = render(
+            &engine,
+            r#"{"cmd":"load_pool","pool":"p","scores":[0.95,0.9,0.8,0.6,0.4,0.2,0.15,0.1],"predictions":[true,true,true,true,false,false,false,false]}"#,
+        );
+        assert!(rendered.contains(r#""ok":true"#), "{rendered}");
+        engine
+    }
+
+    #[test]
+    fn estimate_reports_confidence_interval_and_variance_tracked() {
+        let engine = demo_engine();
+        render(
+            &engine,
+            r#"{"cmd":"create_session","session":"s","pool":"p","seed":3,"config":{"strata_count":3},"truth":[true,true,false,true,false,false,false,false]}"#,
+        );
+        // Before any labels the interval is undefined but tracking is on.
+        let rendered = render(&engine, r#"{"cmd":"estimate","session":"s"}"#);
+        assert!(
+            rendered.contains(r#""confidence_interval":null"#),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains(r#""variance_tracked":true"#),
+            "{rendered}"
+        );
+        // After enough steps the interval materialises with bounds.
+        let rendered = render(&engine, r#"{"cmd":"step","session":"s","steps":40}"#);
+        assert!(
+            rendered.contains(r#""confidence_interval":{"#),
+            "{rendered}"
+        );
+        assert!(rendered.contains(r#""lower":"#), "{rendered}");
+        assert!(rendered.contains(r#""upper":"#), "{rendered}");
+        assert!(
+            rendered.contains(r#""variance_tracked":true"#),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn pre_tracker_checkpoints_restore_with_variance_flagged_absent() {
+        let engine = demo_engine();
+        render(
+            &engine,
+            r#"{"cmd":"create_session","session":"s","pool":"p","seed":3,"config":{"strata_count":3},"truth":[true,true,false,true,false,false,false,false]}"#,
+        );
+        render(&engine, r#"{"cmd":"step","session":"s","steps":40}"#);
+        let response = dispatch(
+            &engine,
+            Request::parse(r#"{"cmd":"checkpoint","session":"s"}"#).unwrap(),
+        )
+        .response;
+        // Simulate a pre-tracker-serialization document: same checkpoint,
+        // tracker key stripped.
+        let mut checkpoint = response.require("checkpoint").unwrap().clone();
+        if let Json::Object(entries) = &mut checkpoint {
+            for (key, value) in entries.iter_mut() {
+                if key == "sampler" {
+                    value.remove("tracker");
+                }
+            }
+        }
+        let mut restore = Json::object();
+        restore.set("cmd", Json::String("restore".to_string()));
+        restore.set("session", Json::String("legacy".to_string()));
+        restore.set("checkpoint", checkpoint);
+        let rendered = render(&engine, &restore.render());
+        assert!(rendered.contains(r#""ok":true"#), "{rendered}");
+
+        // The estimate still restores exactly, but the response flags the
+        // missing variance history instead of silently reporting a zeroed
+        // (or freshly restarted) interval.
+        let rendered = render(&engine, r#"{"cmd":"estimate","session":"legacy"}"#);
+        assert!(
+            rendered.contains(r#""variance_tracked":false"#),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains(r#""confidence_interval":null"#),
+            "{rendered}"
+        );
+        let original = render(&engine, r#"{"cmd":"estimate","session":"s"}"#);
+        assert!(
+            original.contains(r#""variance_tracked":true"#),
+            "{original}"
+        );
+    }
+
+    #[test]
+    fn restore_with_mismatched_fingerprint_is_a_structured_error() {
+        let engine = demo_engine();
+        render(
+            &engine,
+            r#"{"cmd":"create_session","session":"s","pool":"p","seed":3,"config":{"strata_count":3},"truth":[true,true,false,true,false,false,false,false]}"#,
+        );
+        render(&engine, r#"{"cmd":"step","session":"s","steps":10}"#);
+        let response = dispatch(
+            &engine,
+            Request::parse(r#"{"cmd":"checkpoint","session":"s"}"#).unwrap(),
+        )
+        .response;
+        let mut checkpoint = response.require("checkpoint").unwrap().clone();
+        checkpoint.set("pool_fingerprint", Json::String("1234".to_string()));
+        let mut restore = Json::object();
+        restore.set("cmd", Json::String("restore".to_string()));
+        restore.set("session", Json::String("copy".to_string()));
+        restore.set("checkpoint", checkpoint);
+        let outcome = dispatch(&engine, Request::parse(&restore.render()).unwrap());
+        assert!(!outcome.shutdown);
+        let rendered = outcome.response.render();
+        assert!(rendered.contains(r#""ok":false"#), "{rendered}");
+        assert!(rendered.contains("checkpoint mismatch"), "{rendered}");
+    }
+
+    #[test]
+    fn store_verbs_report_structured_errors_without_a_store() {
+        let engine = demo_engine();
+        for line in [
+            r#"{"cmd":"checkpoint_to","session":"s"}"#,
+            r#"{"cmd":"restore_from","session":"s"}"#,
+        ] {
+            let rendered = render(&engine, line);
+            assert!(rendered.contains(r#""ok":false"#), "{rendered}");
+            assert!(rendered.contains("store"), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn sessions_response_carries_per_session_detail() {
+        let engine = demo_engine();
+        render(
+            &engine,
+            r#"{"cmd":"create_session","session":"s","pool":"p","seed":3,"method":"passive","config":{"strata_count":3},"truth":[true,true,false,true,false,false,false,false]}"#,
+        );
+        render(&engine, r#"{"cmd":"step","session":"s","steps":12}"#);
+        let rendered = render(&engine, r#"{"cmd":"sessions"}"#);
+        assert!(rendered.contains(r#""sessions":["s"]"#), "{rendered}");
+        assert!(rendered.contains(r#""detail":[{"#), "{rendered}");
+        assert!(rendered.contains(r#""method":"passive""#), "{rendered}");
+        assert!(rendered.contains(r#""pending":0"#), "{rendered}");
+        assert!(rendered.contains(r#""labels_consumed":"#), "{rendered}");
+        assert!(rendered.contains(r#""dirty":true"#), "{rendered}");
+        assert!(rendered.contains(r#""resident":true"#), "{rendered}");
     }
 
     #[test]

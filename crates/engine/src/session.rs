@@ -23,8 +23,8 @@
 use crate::checkpoint::{OracleCheckpoint, SessionCheckpoint};
 use crate::error::{EngineError, EngineResult};
 use oasis::{
-    AnySampler, Estimate, GroundTruthOracle, InteractiveSampler, OasisConfig, Oracle, Proposal,
-    SamplerMethod, ScoredPool,
+    AnySampler, ConfidenceInterval, Estimate, GroundTruthOracle, InteractiveSampler, OasisConfig,
+    Oracle, Proposal, SamplerMethod, ScoredPool, TrackedSampler,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -75,7 +75,7 @@ pub struct Session {
     id: String,
     pool_id: String,
     pool: Arc<ScoredPool>,
-    sampler: AnySampler,
+    sampler: TrackedSampler<AnySampler>,
     rng: StdRng,
     seed: u64,
     pending: VecDeque<Ticket>,
@@ -102,7 +102,7 @@ impl Session {
         source: LabelSource,
     ) -> EngineResult<Self> {
         validate_source(&source, pool.len())?;
-        let sampler = AnySampler::build(method, &pool, &config)?;
+        let sampler = TrackedSampler::new(AnySampler::build(method, &pool, &config)?, config.alpha);
         Ok(Session {
             id: id.into(),
             pool_id: pool_id.into(),
@@ -149,7 +149,22 @@ impl Session {
     /// The underlying sampler (method-specific diagnostics live behind the
     /// [`AnySampler`] dispatcher, e.g. [`AnySampler::as_oasis`]).
     pub fn sampler(&self) -> &AnySampler {
-        &self.sampler
+        self.sampler.inner()
+    }
+
+    /// A normal-approximation confidence interval on the F-measure at the
+    /// given level, or `None` while the estimate is undefined — or while the
+    /// variance history is incomplete (see [`Session::variance_tracked`]).
+    pub fn confidence_interval(&self, level: f64) -> Option<ConfidenceInterval> {
+        self.sampler.confidence_interval(level)
+    }
+
+    /// Whether the session's variance tracker covers the whole run.  `false`
+    /// only after restoring a checkpoint written before tracker state was
+    /// serialized: the estimate is still exact, but intervals are suppressed
+    /// rather than reported from a truncated history.
+    pub fn variance_tracked(&self) -> bool {
+        self.sampler.tracker_complete()
     }
 
     /// Pending (proposed but unlabelled) tickets, oldest first.
@@ -377,7 +392,7 @@ impl Session {
                 checkpoint.pool_fingerprint
             )));
         }
-        let sampler = AnySampler::from_state(&pool, checkpoint.sampler)?;
+        let sampler = TrackedSampler::<AnySampler>::from_state(&pool, checkpoint.sampler)?;
         let source = match checkpoint.oracle {
             OracleCheckpoint::External { labelled, .. } => {
                 if labelled.len() != pool.len() {

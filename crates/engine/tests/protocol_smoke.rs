@@ -4,10 +4,13 @@
 //! matching `grep` in `.github/workflows/ci.yml` too.
 
 use oasis_engine::server::serve_lines;
-use oasis_engine::Engine;
+use oasis_engine::{Engine, FsCheckpointStore};
 use std::io::Cursor;
+use std::sync::Arc;
 
 const SMOKE_SCRIPT: &str = include_str!("smoke/session.jsonl");
+const DURABLE_BEFORE_KILL: &str = include_str!("smoke/durable-before-kill.jsonl");
+const DURABLE_AFTER_RESTART: &str = include_str!("smoke/durable-after-restart.jsonl");
 
 /// Golden estimates for the smoke sessions — one OASIS, one passive, one
 /// stratified session over the same pool, seed and step count (the pool +
@@ -47,6 +50,104 @@ fn scripted_smoke_session_reproduces_the_golden_estimate_lines() {
         );
         assert!(estimate_line.contains(r#""labels_consumed":10"#));
     }
+}
+
+/// Goldens for the kill-and-replay script (`durable-before-kill.jsonl` then
+/// `durable-after-restart.jsonl` over the same store directory).  Session
+/// `d1` is the same pool/seed/step-count as the `s1` smoke session above, so
+/// its estimate golden is shared; the confidence-interval golden pins that
+/// the variance tracker — not just the point estimate — survives the replay.
+const GOLDEN_DURABLE_ESTIMATE_FRAGMENT: &str = GOLDEN_OASIS_FRAGMENT;
+const GOLDEN_DURABLE_CI_FRAGMENT: &str = r#""confidence_interval":{"estimate":0.8605922932779809,"level":0.95,"lower":0.7974245813386895"#;
+
+#[test]
+fn kill_and_replay_smoke_script_reproduces_the_golden_estimate_and_interval() {
+    let dir = std::env::temp_dir().join(format!("oasis-smoke-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 1: a store-backed engine runs two sessions (one step-driven, one
+    // labeled over the wire), durably checkpoints both mid-run, keeps
+    // mutating (WAL only), and is dropped without a shutdown — the kill.
+    {
+        let engine = Engine::new().with_store(Arc::new(FsCheckpointStore::open(&dir).unwrap()));
+        let mut output = Vec::new();
+        serve_lines(&engine, Cursor::new(DURABLE_BEFORE_KILL), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert_eq!(
+            text.lines().count(),
+            11,
+            "one response per request:\n{text}"
+        );
+        for line in text.lines() {
+            assert!(line.contains(r#""ok":true"#), "failed response: {line}");
+        }
+    }
+
+    // Phase 2: a fresh engine over the same directory replays
+    // checkpoint + WAL suffix for both sessions.
+    let engine = Engine::new().with_store(Arc::new(FsCheckpointStore::open(&dir).unwrap()));
+    let mut output = Vec::new();
+    let shutdown = serve_lines(&engine, Cursor::new(DURABLE_AFTER_RESTART), &mut output).unwrap();
+    assert!(shutdown, "the restart script ends with a shutdown command");
+    let text = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 7, "one response per request:\n{text}");
+    for line in &lines {
+        assert!(line.contains(r#""ok":true"#), "failed response: {line}");
+    }
+    // d1 replays its one post-checkpoint step batch; d2 replays its
+    // post-checkpoint propose + label batch.
+    assert!(lines[1].contains(r#""replayed":1"#), "{}", lines[1]);
+    assert!(lines[2].contains(r#""replayed":2"#), "{}", lines[2]);
+    assert!(
+        lines[3].contains(GOLDEN_DURABLE_ESTIMATE_FRAGMENT),
+        "d1 estimate drifted from golden: {}",
+        lines[3]
+    );
+    assert!(
+        lines[3].contains(GOLDEN_DURABLE_CI_FRAGMENT),
+        "d1 confidence interval drifted from golden: {}",
+        lines[3]
+    );
+    assert!(
+        lines[3].contains(r#""variance_tracked":true"#),
+        "{}",
+        lines[3]
+    );
+    assert!(lines[5].contains(r#""detail":["#), "{}", lines[5]);
+
+    // Parity: a never-crashed engine over the identical command stream must
+    // produce byte-identical estimate lines — replay adds nothing and loses
+    // nothing.
+    let reference_dir =
+        std::env::temp_dir().join(format!("oasis-smoke-durable-ref-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&reference_dir);
+    let reference =
+        Engine::new().with_store(Arc::new(FsCheckpointStore::open(&reference_dir).unwrap()));
+    let script = format!(
+        "{DURABLE_BEFORE_KILL}{}",
+        concat!(
+            r#"{"cmd":"estimate","session":"d1"}"#,
+            "\n",
+            r#"{"cmd":"estimate","session":"d2"}"#,
+            "\n",
+        )
+    );
+    let mut output = Vec::new();
+    serve_lines(&reference, Cursor::new(script), &mut output).unwrap();
+    let text = String::from_utf8(output).unwrap();
+    let reference_lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        reference_lines[11], lines[3],
+        "d1 estimate differs from never-crashed run"
+    );
+    assert_eq!(
+        reference_lines[12], lines[4],
+        "d2 estimate differs from never-crashed run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&reference_dir);
 }
 
 #[test]

@@ -22,6 +22,7 @@
 //! centred, and the plug-in variance tracks the Monte-Carlo spread well in
 //! practice (see the tests below and the `experiments` crate).
 
+use crate::error::{Error, Result};
 use serde::{Deserialize, Serialize};
 
 /// A normal-approximation confidence interval for the F-measure.
@@ -89,6 +90,78 @@ impl VarianceTracker {
         self.sum_nn += n * n;
         self.sum_dd += d * d;
         self.sum_nd += n * d;
+    }
+
+    /// Rebuild a tracker from previously captured sums (see
+    /// [`VarianceTracker::sums`]).  The restored tracker continues its
+    /// variance accumulation bit-for-bit — this is the restore half of the
+    /// checkpoint path ([`crate::samplers::state::TrackerState`]).
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] on corrupt values: non-finite numbers,
+    /// negative counts or sums (every per-draw term `n_t`, `d_t` is
+    /// non-negative, so all running sums must be too), an `alpha` outside
+    /// `[0, 1]`, or non-zero sums claimed for a zero observation count.
+    pub fn from_parts(
+        alpha: f64,
+        count: f64,
+        sum_n: f64,
+        sum_d: f64,
+        sum_nn: f64,
+        sum_dd: f64,
+        sum_nd: f64,
+    ) -> Result<Self> {
+        if !(0.0..=1.0).contains(&alpha) || alpha.is_nan() {
+            return Err(Error::InvalidParameter {
+                name: "alpha",
+                message: format!("must be in [0, 1], got {alpha}"),
+            });
+        }
+        let sums = [count, sum_n, sum_d, sum_nn, sum_dd, sum_nd];
+        if sums.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "tracker",
+                message: format!(
+                    "running sums must be finite and non-negative \
+                     (count {count}, sum_n {sum_n}, sum_d {sum_d}, \
+                     sum_nn {sum_nn}, sum_dd {sum_dd}, sum_nd {sum_nd})"
+                ),
+            });
+        }
+        if count == 0.0 && sums.iter().any(|&v| v != 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "tracker",
+                message: "non-zero sums with a zero observation count".to_string(),
+            });
+        }
+        Ok(VarianceTracker {
+            alpha,
+            count,
+            sum_n,
+            sum_d,
+            sum_nn,
+            sum_dd,
+            sum_nd,
+        })
+    }
+
+    /// The F-measure weight α the tracker was built for.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The raw running sums, in the order [`VarianceTracker::from_parts`]
+    /// takes them: `(count, sum_n, sum_d, sum_nn, sum_dd, sum_nd)`.  This is
+    /// the capture half of the checkpoint path.
+    pub fn sums(&self) -> (f64, f64, f64, f64, f64, f64) {
+        (
+            self.count,
+            self.sum_n,
+            self.sum_d,
+            self.sum_nn,
+            self.sum_dd,
+            self.sum_nd,
+        )
     }
 
     /// Number of observations.
@@ -241,6 +314,62 @@ mod tests {
         assert!(tracker.f_measure().is_some());
         assert!(tracker.variance().is_some());
         assert_eq!(tracker.count(), 2);
+    }
+
+    #[test]
+    fn from_parts_round_trips_bitwise_and_rejects_corrupt_sums() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut tracker = VarianceTracker::new(0.5);
+        for _ in 0..300 {
+            let label = rng.gen_bool(0.3);
+            let prediction = rng.gen_bool(if label { 0.8 } else { 0.1 });
+            tracker.observe(0.5 + rng.gen::<f64>(), prediction, label);
+        }
+        let (count, sum_n, sum_d, sum_nn, sum_dd, sum_nd) = tracker.sums();
+        let restored = VarianceTracker::from_parts(
+            tracker.alpha(),
+            count,
+            sum_n,
+            sum_d,
+            sum_nn,
+            sum_dd,
+            sum_nd,
+        )
+        .unwrap();
+        assert_eq!(restored, tracker);
+        assert_eq!(
+            restored.variance().unwrap().to_bits(),
+            tracker.variance().unwrap().to_bits()
+        );
+        let a = tracker.confidence_interval(0.95).unwrap();
+        let b = restored.confidence_interval(0.95).unwrap();
+        assert_eq!(a.lower.to_bits(), b.lower.to_bits());
+        assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+
+        for bad_alpha in [f64::NAN, -0.1, 1.5] {
+            assert!(
+                VarianceTracker::from_parts(bad_alpha, count, sum_n, sum_d, sum_nn, sum_dd, sum_nd)
+                    .is_err(),
+                "alpha {bad_alpha}"
+            );
+        }
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            assert!(
+                VarianceTracker::from_parts(0.5, bad, sum_n, sum_d, sum_nn, sum_dd, sum_nd)
+                    .is_err(),
+                "count {bad}"
+            );
+            assert!(
+                VarianceTracker::from_parts(0.5, count, sum_n, sum_d, bad, sum_dd, sum_nd).is_err(),
+                "sum_nn {bad}"
+            );
+        }
+        // Zero observations cannot have accumulated anything.
+        assert!(VarianceTracker::from_parts(0.5, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0).is_err());
+        assert_eq!(
+            VarianceTracker::from_parts(0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0).unwrap(),
+            VarianceTracker::new(0.5)
+        );
     }
 
     #[test]

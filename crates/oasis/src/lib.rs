@@ -88,7 +88,7 @@ pub use samplers::{
     AnySampler, CategoricalCdf, EstimatorState, ImportanceSampler, ImportanceState,
     InteractiveSampler, OasisConfig, OasisSampler, OasisState, PassiveSampler, PassiveState,
     Proposal, Sampler, SamplerMethod, SamplerState, StratifiedSampler, StratifiedState,
-    TrackedSampler,
+    TrackedSampler, TrackerState,
 };
 pub use strata::{CsfStratifier, EqualSizeStratifier, Strata, Stratifier};
 

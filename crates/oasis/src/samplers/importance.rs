@@ -163,6 +163,7 @@ impl InteractiveSampler for ImportanceSampler {
         SamplerState::Importance(ImportanceState {
             score_threshold: self.score_threshold,
             estimator: EstimatorState::capture(&self.estimator),
+            tracker: None,
         })
     }
 

@@ -64,7 +64,7 @@ pub use oasis_sampler::{OasisConfig, OasisSampler, Proposal, StratifierChoice};
 pub use passive::PassiveSampler;
 pub use state::{
     EstimatorState, ImportanceState, OasisState, PassiveState, SamplerMethod, SamplerState,
-    StratifiedState,
+    StratifiedState, TrackerState,
 };
 pub use stratified::StratifiedSampler;
 
@@ -237,9 +237,17 @@ pub trait Sampler: InteractiveSampler {
 ///
 /// The tracker observes every applied label, so the wrapper works through
 /// both driving styles (`step` loops and propose/apply drivers).  Its
-/// [`state`](InteractiveSampler::state) is the inner sampler's; the variance
-/// history itself is not serialized, so a restored `TrackedSampler` resumes
-/// the *estimate* exactly but restarts its variance accumulation.
+/// [`state`](InteractiveSampler::state) is the inner sampler's with the
+/// tracker's running sums attached ([`TrackerState`](state::TrackerState)),
+/// so a restored `TrackedSampler` resumes both the estimate *and* its
+/// variance accumulation bit-for-bit — the confidence interval after
+/// checkpoint → restore → continue is identical to an uninterrupted run.
+///
+/// Documents written before tracker serialization carry no tracker state
+/// (`tracker: null`).  Restoring one starts a fresh tracker and marks it
+/// *incomplete* ([`TrackedSampler::tracker_complete`] returns `false`):
+/// [`TrackedSampler::confidence_interval`] then returns `None` rather than
+/// reporting an interval computed from a silently truncated history.
 ///
 /// ```
 /// use oasis::{GroundTruthOracle, OasisConfig, OasisSampler, Sampler, ScoredPool, TrackedSampler};
@@ -260,6 +268,10 @@ pub trait Sampler: InteractiveSampler {
 pub struct TrackedSampler<S> {
     inner: S,
     tracker: crate::confidence::VarianceTracker,
+    /// Whether the tracker has observed *every* label the inner estimator
+    /// folded in.  `false` only after restoring a state with no tracker
+    /// snapshot (a pre-tracker-serialization document).
+    tracker_complete: bool,
 }
 
 impl<S: InteractiveSampler> TrackedSampler<S> {
@@ -268,6 +280,7 @@ impl<S: InteractiveSampler> TrackedSampler<S> {
         TrackedSampler {
             inner,
             tracker: crate::confidence::VarianceTracker::new(alpha),
+            tracker_complete: true,
         }
     }
 
@@ -281,9 +294,21 @@ impl<S: InteractiveSampler> TrackedSampler<S> {
         &self.tracker
     }
 
+    /// Whether the variance history covers the whole run.  `false` after
+    /// restoring a document that carried no tracker snapshot; such a
+    /// tracker only covers the labels applied since the restore, so its
+    /// intervals would be misleading and are suppressed.
+    pub fn tracker_complete(&self) -> bool {
+        self.tracker_complete
+    }
+
     /// A normal-approximation confidence interval at the given level, or
-    /// `None` while the estimate is undefined.
+    /// `None` while the estimate is undefined — or while the variance
+    /// history is incomplete (see [`TrackedSampler::tracker_complete`]).
     pub fn confidence_interval(&self, level: f64) -> Option<crate::confidence::ConfidenceInterval> {
+        if !self.tracker_complete {
+            return None;
+        }
         self.tracker.confidence_interval(level)
     }
 }
@@ -325,14 +350,36 @@ impl<S: InteractiveSampler> InteractiveSampler for TrackedSampler<S> {
     }
 
     fn state(&self) -> SamplerState {
-        self.inner.state()
+        let mut state = self.inner.state();
+        // An incomplete tracker is not serialized: restoring it as if it
+        // covered the run would launder a truncated variance history into a
+        // trusted one.  Writing `None` keeps the absence explicit end to end.
+        state.set_tracker(if self.tracker_complete {
+            Some(state::TrackerState::capture(&self.tracker))
+        } else {
+            None
+        });
+        state
     }
 
     fn from_state(pool: &ScoredPool, state: SamplerState) -> Result<Self> {
         let alpha = state.alpha();
-        Ok(TrackedSampler {
-            inner: S::from_state(pool, state)?,
-            tracker: crate::confidence::VarianceTracker::new(alpha),
+        let tracker_state = state.tracker().cloned();
+        // A document with no tracker *and* no observations is trivially
+        // complete — nothing has happened that the tracker could have missed.
+        let trivially_complete = state.iterations() == 0;
+        let inner = S::from_state(pool, state)?;
+        Ok(match tracker_state {
+            Some(snapshot) => TrackedSampler {
+                inner,
+                tracker: snapshot.rebuild()?,
+                tracker_complete: true,
+            },
+            None => TrackedSampler {
+                inner,
+                tracker: crate::confidence::VarianceTracker::new(alpha),
+                tracker_complete: trivially_complete,
+            },
         })
     }
 }
@@ -582,17 +629,27 @@ mod tests {
         assert_eq!(tracked.tracker().count(), 60);
         assert_eq!(tracked.method(), SamplerMethod::Passive);
 
-        // State restore keeps the estimate but restarts the tracker.
+        // State restore keeps the estimate AND the tracker: the confidence
+        // interval after a checkpoint/restore round-trip is bit-identical.
         let state = tracked.state();
         let restored = TrackedSampler::<PassiveSampler>::from_state(&pool, state).unwrap();
         assert_eq!(
             restored.estimate().f_measure.to_bits(),
             tracked.estimate().f_measure.to_bits()
         );
-        assert_eq!(restored.tracker().count(), 0);
+        assert!(restored.tracker_complete());
+        assert_eq!(restored.tracker().count(), 60);
+        let before = tracked.confidence_interval(0.95).unwrap();
+        let after = restored.confidence_interval(0.95).unwrap();
+        assert_eq!(before.lower.to_bits(), after.lower.to_bits());
+        assert_eq!(before.upper.to_bits(), after.upper.to_bits());
+        assert_eq!(
+            before.standard_error.to_bits(),
+            after.standard_error.to_bits()
+        );
         let mut oracle = GroundTruthOracle::new(truth);
         let mut restored = restored;
         restored.step(&pool, &mut oracle, &mut rng).unwrap();
-        assert_eq!(restored.tracker().count(), 1);
+        assert_eq!(restored.tracker().count(), 61);
     }
 }

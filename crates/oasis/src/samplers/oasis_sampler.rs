@@ -467,6 +467,7 @@ impl InteractiveSampler for OasisSampler {
             estimator: EstimatorState::capture(&self.estimator),
             initial_f_guess: self.initial_f_guess,
             current_proposal: self.current_proposal.clone(),
+            tracker: None,
         })
     }
 

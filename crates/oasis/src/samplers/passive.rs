@@ -66,6 +66,7 @@ impl InteractiveSampler for PassiveSampler {
     fn state(&self) -> SamplerState {
         SamplerState::Passive(PassiveState {
             estimator: EstimatorState::capture(&self.estimator),
+            tracker: None,
         })
     }
 

@@ -20,6 +20,7 @@ use super::oasis_sampler::{OasisConfig, OasisSampler};
 use super::passive::PassiveSampler;
 use super::stratified::StratifiedSampler;
 use crate::bayes::BetaBernoulliModel;
+use crate::confidence::VarianceTracker;
 use crate::error::{Error, Result};
 use crate::estimator::AisEstimator;
 use crate::pool::ScoredPool;
@@ -142,6 +143,67 @@ impl EstimatorState {
     }
 }
 
+/// Snapshot of a [`VarianceTracker`]: the bivariate running sums behind the
+/// delta-method variance estimate (see [`crate::confidence`]), plus the
+/// observation count and α.
+///
+/// Every sampler state payload carries an *optional* tracker
+/// (`tracker: Option<TrackerState>`): [`super::TrackedSampler`] attaches one
+/// when it captures state, while bare samplers (and pre-tracker checkpoint
+/// documents) leave it `None`.  An absent tracker restores into a
+/// [`super::TrackedSampler`] whose variance history is *incomplete* — the
+/// wrapper flags that instead of reporting intervals as if nothing were
+/// missing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackerState {
+    /// F-measure weight α.
+    pub alpha: f64,
+    /// Number of observations (stored as f64, exactly as accumulated).
+    pub count: f64,
+    /// Σ n_t where `n_t = w·ℓ·ℓ̂`.
+    pub sum_n: f64,
+    /// Σ d_t where `d_t = w·(α·ℓ̂ + (1−α)·ℓ)`.
+    pub sum_d: f64,
+    /// Σ n_t².
+    pub sum_nn: f64,
+    /// Σ d_t².
+    pub sum_dd: f64,
+    /// Σ n_t·d_t.
+    pub sum_nd: f64,
+}
+
+impl TrackerState {
+    /// Capture a tracker's accumulated sums.
+    pub fn capture(tracker: &VarianceTracker) -> Self {
+        let (count, sum_n, sum_d, sum_nn, sum_dd, sum_nd) = tracker.sums();
+        TrackerState {
+            alpha: tracker.alpha(),
+            count,
+            sum_n,
+            sum_d,
+            sum_nn,
+            sum_dd,
+            sum_nd,
+        }
+    }
+
+    /// Rebuild the tracker; the restored accumulator continues bit-for-bit.
+    ///
+    /// # Errors
+    /// Propagates [`VarianceTracker::from_parts`] validation (corrupt sums).
+    pub fn rebuild(&self) -> Result<VarianceTracker> {
+        VarianceTracker::from_parts(
+            self.alpha,
+            self.count,
+            self.sum_n,
+            self.sum_d,
+            self.sum_nn,
+            self.sum_dd,
+            self.sum_nd,
+        )
+    }
+}
+
 /// Reject allocations that place one pool item in more than one slot (within
 /// or across strata) — such a state would silently skew the stratum weights
 /// and every later estimate.  Out-of-range indices are rejected separately by
@@ -194,6 +256,10 @@ pub struct OasisState {
     pub initial_f_guess: f64,
     /// The instrumental distribution used at the most recent step.
     pub current_proposal: Vec<f64>,
+    /// Variance-tracker sums, when captured through a
+    /// [`super::TrackedSampler`]; `None` for bare samplers and pre-tracker
+    /// documents.
+    pub tracker: Option<TrackerState>,
 }
 
 impl OasisState {
@@ -236,6 +302,9 @@ impl OasisState {
 pub struct PassiveState {
     /// The (unit-weight) estimator accumulator.
     pub estimator: EstimatorState,
+    /// Variance-tracker sums, when captured through a
+    /// [`super::TrackedSampler`].
+    pub tracker: Option<TrackerState>,
 }
 
 impl PassiveState {
@@ -262,6 +331,9 @@ pub struct ImportanceState {
     pub score_threshold: f64,
     /// The AIS estimator accumulator.
     pub estimator: EstimatorState,
+    /// Variance-tracker sums, when captured through a
+    /// [`super::TrackedSampler`].
+    pub tracker: Option<TrackerState>,
 }
 
 impl ImportanceState {
@@ -292,6 +364,9 @@ pub struct StratifiedState {
     pub actual_positives: Vec<f64>,
     /// Total sampling iterations folded in.
     pub iterations: usize,
+    /// Variance-tracker sums, when captured through a
+    /// [`super::TrackedSampler`].
+    pub tracker: Option<TrackerState>,
 }
 
 impl StratifiedState {
@@ -400,6 +475,38 @@ impl SamplerState {
             SamplerState::Passive(s) => s.estimator.alpha,
             SamplerState::Importance(s) => s.estimator.alpha,
             SamplerState::Stratified(s) => s.alpha,
+        }
+    }
+
+    /// Observations the estimator has folded in — used to tell "no tracker
+    /// because nothing happened yet" from "no tracker because the document
+    /// predates tracker serialization".
+    pub fn iterations(&self) -> usize {
+        match self {
+            SamplerState::Oasis(s) => s.estimator.iterations,
+            SamplerState::Passive(s) => s.estimator.iterations,
+            SamplerState::Importance(s) => s.estimator.iterations,
+            SamplerState::Stratified(s) => s.iterations,
+        }
+    }
+
+    /// The variance-tracker snapshot, if one was captured.
+    pub fn tracker(&self) -> Option<&TrackerState> {
+        match self {
+            SamplerState::Oasis(s) => s.tracker.as_ref(),
+            SamplerState::Passive(s) => s.tracker.as_ref(),
+            SamplerState::Importance(s) => s.tracker.as_ref(),
+            SamplerState::Stratified(s) => s.tracker.as_ref(),
+        }
+    }
+
+    /// Attach (or clear) the variance-tracker snapshot.
+    pub fn set_tracker(&mut self, tracker: Option<TrackerState>) {
+        match self {
+            SamplerState::Oasis(s) => s.tracker = tracker,
+            SamplerState::Passive(s) => s.tracker = tracker,
+            SamplerState::Importance(s) => s.tracker = tracker,
+            SamplerState::Stratified(s) => s.tracker = tracker,
         }
     }
 

@@ -194,6 +194,7 @@ impl InteractiveSampler for StratifiedSampler {
             true_positives,
             actual_positives,
             iterations: self.iterations,
+            tracker: None,
         })
     }
 

@@ -25,7 +25,7 @@ use crate::estimator::Estimate;
 use crate::measures::{ConfusionCounts, Measures};
 use crate::samplers::{
     EstimatorState, ImportanceState, OasisConfig, OasisState, PassiveState, SamplerMethod,
-    SamplerState, StratifiedState, StratifierChoice,
+    SamplerState, StratifiedState, StratifierChoice, TrackerState,
 };
 use serde::json::{FromJson, Json, JsonError, JsonResult, ToJson};
 
@@ -271,6 +271,53 @@ impl FromJson for EstimatorState {
     }
 }
 
+impl ToJson for TrackerState {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("alpha", self.alpha.to_json());
+        obj.set("count", self.count.to_json());
+        obj.set("sum_n", self.sum_n.to_json());
+        obj.set("sum_d", self.sum_d.to_json());
+        obj.set("sum_nn", self.sum_nn.to_json());
+        obj.set("sum_dd", self.sum_dd.to_json());
+        obj.set("sum_nd", self.sum_nd.to_json());
+        obj
+    }
+}
+
+impl FromJson for TrackerState {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        Ok(TrackerState {
+            alpha: field_f64(value, "alpha")?,
+            count: field_f64(value, "count")?,
+            sum_n: field_f64(value, "sum_n")?,
+            sum_d: field_f64(value, "sum_d")?,
+            sum_nn: field_f64(value, "sum_nn")?,
+            sum_dd: field_f64(value, "sum_dd")?,
+            sum_nd: field_f64(value, "sum_nd")?,
+        })
+    }
+}
+
+/// Serialize an optional tracker as an *explicit* `"tracker": null` when
+/// absent, so post-PR6 documents always carry the key and the absence is a
+/// deliberate statement rather than an omission.
+fn tracker_to_json(tracker: &Option<TrackerState>) -> Json {
+    match tracker {
+        Some(t) => t.to_json(),
+        None => Json::Null,
+    }
+}
+
+/// Parse the optional tracker: a missing key (pre-PR6 document) and an
+/// explicit `null` both mean "no variance history was captured".
+fn tracker_from_json(value: &Json) -> JsonResult<Option<TrackerState>> {
+    match value.get("tracker") {
+        None | Some(Json::Null) => Ok(None),
+        Some(t) => Ok(Some(TrackerState::from_json(t)?)),
+    }
+}
+
 impl ToJson for SamplerMethod {
     fn to_json(&self) -> Json {
         Json::String(self.as_str().to_string())
@@ -309,6 +356,7 @@ impl ToJson for OasisState {
         obj.set("estimator", self.estimator.to_json());
         obj.set("initial_f_guess", self.initial_f_guess.to_json());
         obj.set("current_proposal", self.current_proposal.to_json());
+        obj.set("tracker", tracker_to_json(&self.tracker));
         obj
     }
 }
@@ -326,6 +374,7 @@ impl FromJson for OasisState {
             estimator: EstimatorState::from_json(value.require("estimator")?)?,
             initial_f_guess: field_f64(value, "initial_f_guess")?,
             current_proposal: Vec::<f64>::from_json(value.require("current_proposal")?)?,
+            tracker: tracker_from_json(value)?,
         })
     }
 }
@@ -334,6 +383,7 @@ impl ToJson for PassiveState {
     fn to_json(&self) -> Json {
         let mut obj = Json::object();
         obj.set("estimator", self.estimator.to_json());
+        obj.set("tracker", tracker_to_json(&self.tracker));
         obj
     }
 }
@@ -342,6 +392,7 @@ impl FromJson for PassiveState {
     fn from_json(value: &Json) -> JsonResult<Self> {
         Ok(PassiveState {
             estimator: EstimatorState::from_json(value.require("estimator")?)?,
+            tracker: tracker_from_json(value)?,
         })
     }
 }
@@ -351,6 +402,7 @@ impl ToJson for ImportanceState {
         let mut obj = Json::object();
         obj.set("score_threshold", self.score_threshold.to_json());
         obj.set("estimator", self.estimator.to_json());
+        obj.set("tracker", tracker_to_json(&self.tracker));
         obj
     }
 }
@@ -360,6 +412,7 @@ impl FromJson for ImportanceState {
         Ok(ImportanceState {
             score_threshold: field_f64(value, "score_threshold")?,
             estimator: EstimatorState::from_json(value.require("estimator")?)?,
+            tracker: tracker_from_json(value)?,
         })
     }
 }
@@ -373,6 +426,7 @@ impl ToJson for StratifiedState {
         obj.set("true_positives", self.true_positives.to_json());
         obj.set("actual_positives", self.actual_positives.to_json());
         obj.set("iterations", self.iterations.to_json());
+        obj.set("tracker", tracker_to_json(&self.tracker));
         obj
     }
 }
@@ -386,6 +440,7 @@ impl FromJson for StratifiedState {
             true_positives: Vec::<f64>::from_json(value.require("true_positives")?)?,
             actual_positives: Vec::<f64>::from_json(value.require("actual_positives")?)?,
             iterations: value.require("iterations")?.as_usize()?,
+            tracker: tracker_from_json(value)?,
         })
     }
 }
@@ -429,7 +484,7 @@ impl FromJson for SamplerState {
 mod tests {
     use super::*;
     use crate::oracle::GroundTruthOracle;
-    use crate::samplers::{AnySampler, InteractiveSampler, OasisSampler, Sampler};
+    use crate::samplers::{AnySampler, InteractiveSampler, OasisSampler, Sampler, TrackedSampler};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -568,6 +623,54 @@ mod tests {
                 sampler.estimate().f_measure.to_bits(),
                 "{method}"
             );
+        }
+    }
+
+    #[test]
+    fn tracker_state_survives_json_and_pre_tracker_documents_restore_incomplete() {
+        let (pool, truth) = crate::test_fixtures::pool_and_truth(500, 27, 0.15);
+        for method in SamplerMethod::ALL {
+            let config = OasisConfig::default().with_strata_count(5);
+            let inner = AnySampler::build(method, &pool, &config).unwrap();
+            let mut tracked = TrackedSampler::new(inner, config.alpha);
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut oracle = GroundTruthOracle::new(truth.clone());
+            for _ in 0..50 {
+                tracked.step(&pool, &mut oracle, &mut rng).unwrap();
+            }
+
+            // Current documents carry the tracker sums and restore bit-exactly.
+            let text = tracked.state().to_json().render();
+            assert!(text.contains(r#""tracker":{"#), "{method}: {text}");
+            let parsed = SamplerState::from_json(&Json::parse(&text).unwrap()).unwrap();
+            let restored = TrackedSampler::<AnySampler>::from_state(&pool, parsed).unwrap();
+            assert!(restored.tracker_complete(), "{method}");
+            let before = tracked.confidence_interval(0.95).unwrap();
+            let after = restored.confidence_interval(0.95).unwrap();
+            assert_eq!(before.lower.to_bits(), after.lower.to_bits(), "{method}");
+            assert_eq!(before.upper.to_bits(), after.upper.to_bits(), "{method}");
+
+            // Pre-tracker documents (no "tracker" key) still restore, but the
+            // tracker is flagged incomplete and the interval is suppressed
+            // rather than silently reported from zeroed sums.
+            let mut legacy = tracked.state().to_json();
+            legacy.remove("tracker");
+            let parsed = SamplerState::from_json(&legacy).unwrap();
+            assert!(parsed.tracker().is_none(), "{method}");
+            let restored = TrackedSampler::<AnySampler>::from_state(&pool, parsed).unwrap();
+            assert!(!restored.tracker_complete(), "{method}");
+            assert!(restored.confidence_interval(0.95).is_none(), "{method}");
+            assert_eq!(
+                restored.estimate().f_measure.to_bits(),
+                tracked.estimate().f_measure.to_bits(),
+                "{method}: the estimate itself is unaffected"
+            );
+
+            // An incomplete tracker is never re-serialized as data: the
+            // document writes an explicit null so the flag survives further
+            // checkpoint cycles.
+            let reserialized = restored.state().to_json().render();
+            assert!(reserialized.contains(r#""tracker":null"#), "{method}");
         }
     }
 

@@ -11,7 +11,7 @@ use oasis::oracle::{GroundTruthOracle, Oracle};
 use oasis::pool::ScoredPool;
 use oasis::samplers::{
     AnySampler, InteractiveSampler, OasisConfig, OasisSampler, PassiveSampler, Sampler,
-    SamplerMethod, SamplerState, StratifiedSampler,
+    SamplerMethod, SamplerState, StratifiedSampler, TrackedSampler,
 };
 use oasis::strata::{CsfStratifier, EqualSizeStratifier, Stratifier};
 use proptest::prelude::*;
@@ -444,6 +444,68 @@ proptest! {
             let eb = restored.estimate();
             prop_assert_eq!(ea.f_measure.to_bits(), eb.f_measure.to_bits(), "{}", method);
             prop_assert_eq!(ea.iterations, eb.iterations, "{}", method);
+        }
+    }
+
+    /// Confidence intervals survive resume: for every method, the
+    /// `confidence_interval(0.95)` of a tracked sampler that is checkpointed
+    /// mid-run, serialized to JSON text, restored and continued is
+    /// bit-identical to the interval of a run that never stopped.
+    #[test]
+    fn confidence_interval_survives_checkpoint_restore_for_every_method(
+        (scores, predictions, truth) in pool_strategy(20, 120),
+        seed in any::<u64>(),
+        cut in 1usize..40,
+        tail in 2usize..30,
+    ) {
+        let pool = ScoredPool::new(scores, predictions).unwrap();
+        let config = OasisConfig::default().with_strata_count(4);
+        for method in SamplerMethod::ALL {
+            let inner = AnySampler::build(method, &pool, &config).unwrap();
+            let mut uninterrupted = TrackedSampler::new(inner, config.alpha);
+            let inner = AnySampler::build(method, &pool, &config).unwrap();
+            let mut resumed = TrackedSampler::new(inner, config.alpha);
+
+            // Both runs share one RNG stream per arm, seeded identically; the
+            // resumed arm crosses a JSON checkpoint boundary at `cut`.
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let mut oracle_a = GroundTruthOracle::new(truth.clone());
+            let mut oracle_b = GroundTruthOracle::new(truth.clone());
+            for _ in 0..cut {
+                uninterrupted.step(&pool, &mut oracle_a, &mut rng_a).unwrap();
+                resumed.step(&pool, &mut oracle_b, &mut rng_b).unwrap();
+            }
+
+            let text = resumed.state().to_json().render();
+            let parsed = SamplerState::from_json(&Json::parse(&text).unwrap()).unwrap();
+            let mut resumed = TrackedSampler::<AnySampler>::from_state(&pool, parsed).unwrap();
+            prop_assert!(resumed.tracker_complete(), "{}", method);
+
+            for _ in 0..tail {
+                uninterrupted.step(&pool, &mut oracle_a, &mut rng_a).unwrap();
+                resumed.step(&pool, &mut oracle_b, &mut rng_b).unwrap();
+            }
+            prop_assert_eq!(
+                uninterrupted.tracker().count(), resumed.tracker().count(), "{}", method
+            );
+            match (
+                uninterrupted.confidence_interval(0.95),
+                resumed.confidence_interval(0.95),
+            ) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.estimate.to_bits(), b.estimate.to_bits(), "{}", method);
+                    prop_assert_eq!(a.lower.to_bits(), b.lower.to_bits(), "{}", method);
+                    prop_assert_eq!(a.upper.to_bits(), b.upper.to_bits(), "{}", method);
+                    prop_assert_eq!(
+                        a.standard_error.to_bits(), b.standard_error.to_bits(), "{}", method
+                    );
+                }
+                (None, None) => {}
+                (a, b) => prop_assert!(
+                    false, "{}: interval definedness diverged: {:?} vs {:?}", method, a, b
+                ),
+            }
         }
     }
 }

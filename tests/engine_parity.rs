@@ -6,12 +6,13 @@
 use er_core::datasets::score_model::{DirectPoolConfig, DirectPoolModel};
 use oasis::oracle::GroundTruthOracle;
 use oasis::samplers::{AnySampler, OasisConfig, OasisSampler, Sampler, SamplerMethod};
-use oasis::Estimate;
+use oasis::{ConfidenceInterval, Estimate, TrackedSampler};
 use oasis_engine::server::serve_lines;
-use oasis_engine::{Engine, LabelSource, SessionJob};
+use oasis_engine::{Engine, FsCheckpointStore, LabelSource, SessionJob};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::Cursor;
+use std::sync::Arc;
 
 fn fixed_pool() -> (oasis::ScoredPool, Vec<bool>) {
     let config = DirectPoolConfig {
@@ -292,6 +293,170 @@ fn every_method_checkpoints_and_resumes_bitwise_over_the_wire() {
         assert_eq!(p, expected.precision.to_bits(), "{m}: P drifted");
         assert_eq!(r, expected.recall.to_bits(), "{m}: R drifted");
     }
+}
+
+/// Library reference that also carries the variance tracker, so the wire
+/// tests can compare confidence-interval bits — not just point estimates.
+fn tracked_library_run(
+    pool: &oasis::ScoredPool,
+    truth: &[bool],
+    seed: u64,
+    steps: usize,
+) -> (Estimate, ConfidenceInterval) {
+    let mut oracle = GroundTruthOracle::new(truth.to_vec());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = OasisConfig::default().with_strata_count(20);
+    let mut sampler = TrackedSampler::new(
+        AnySampler::build(SamplerMethod::Oasis, pool, &config).unwrap(),
+        config.alpha,
+    );
+    let estimate = sampler.run(pool, &mut oracle, &mut rng, steps).unwrap();
+    let interval = sampler.confidence_interval(0.95).unwrap();
+    (estimate, interval)
+}
+
+fn ci_bits_of(line: &str) -> (u64, u64, u64) {
+    let response = serde::json::Json::parse(line).unwrap();
+    let interval = response.require("confidence_interval").unwrap();
+    let lower = interval.require("lower").unwrap().as_f64().unwrap();
+    let upper = interval.require("upper").unwrap().as_f64().unwrap();
+    let se = interval
+        .require("standard_error")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    (lower.to_bits(), upper.to_bits(), se.to_bits())
+}
+
+#[test]
+fn kill_and_replay_through_a_shared_store_matches_an_uninterrupted_run() {
+    // The durability acceptance bar, driven entirely over the wire: serve one
+    // connection against a store-backed engine, durably checkpoint mid-run,
+    // keep stepping (those batches only reach the write-ahead log), then drop
+    // the engine without a final checkpoint — a crash.  A fresh engine over
+    // the same store directory must rebuild the session from
+    // `checkpoint + WAL suffix` and land bit-identically — estimate AND
+    // confidence interval — on an uninterrupted library run.
+    let (pool, truth) = fixed_pool();
+    let seed = 9090;
+    let (expected, expected_interval) = tracked_library_run(&pool, &truth, seed, 200);
+
+    let dir = std::env::temp_dir().join(format!("oasis-parity-kill-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let scores: Vec<String> = pool.scores().iter().map(|s| format!("{s:?}")).collect();
+    let load = format!(
+        r#"{{"cmd":"load_pool","pool":"p","scores":[{}],"predictions":{}}}"#,
+        scores.join(","),
+        render_bools(pool.predictions()),
+    );
+
+    // First incarnation: 120 steps, durable checkpoint, 80 more steps that
+    // live only in the WAL, then the engine is dropped mid-flight.
+    {
+        let store = Arc::new(FsCheckpointStore::open(&dir).unwrap());
+        let engine = Engine::new().with_store(store);
+        let script = format!(
+            concat!(
+                "{load}\n",
+                r#"{{"cmd":"create_session","session":"s","pool":"p","seed":{seed},"config":{{"strata_count":20}},"truth":{truth}}}"#,
+                "\n",
+                r#"{{"cmd":"step","session":"s","steps":120}}"#,
+                "\n",
+                r#"{{"cmd":"checkpoint_to","session":"s"}}"#,
+                "\n",
+                r#"{{"cmd":"step","session":"s","steps":80}}"#,
+                "\n",
+            ),
+            load = load,
+            seed = seed,
+            truth = render_bools(&truth),
+        );
+        let responses = run_script(&engine, &script);
+        for response in &responses {
+            assert!(response.contains(r#""ok":true"#), "{response}");
+        }
+        assert!(responses[3].contains(r#""wal_seq":"#), "{}", responses[3]);
+    }
+
+    // Second incarnation: same directory, fresh engine and pool load (pools
+    // are not durable — clients reload them).  `restore_from` replays the
+    // checkpoint plus the one logged step batch.
+    let store = Arc::new(FsCheckpointStore::open(&dir).unwrap());
+    let engine = Engine::new().with_store(store);
+    let script = format!(
+        concat!(
+            "{load}\n",
+            r#"{{"cmd":"restore_from","session":"s"}}"#,
+            "\n",
+            r#"{{"cmd":"estimate","session":"s"}}"#,
+            "\n",
+        ),
+        load = load,
+    );
+    let responses = run_script(&engine, &script);
+    assert!(
+        responses[1].contains(r#""restored":true"#) && responses[1].contains(r#""replayed":1"#),
+        "{}",
+        responses[1]
+    );
+    let (f, p, r) = estimate_bits_of(&responses[2]);
+    assert_eq!(f, expected.f_measure.to_bits(), "F drifted across replay");
+    assert_eq!(p, expected.precision.to_bits(), "P drifted across replay");
+    assert_eq!(r, expected.recall.to_bits(), "R drifted across replay");
+    assert!(responses[2].contains(r#""variance_tracked":true"#));
+    let (lower, upper, se) = ci_bits_of(&responses[2]);
+    assert_eq!(lower, expected_interval.lower.to_bits(), "CI lower drifted");
+    assert_eq!(upper, expected_interval.upper.to_bits(), "CI upper drifted");
+    assert_eq!(se, expected_interval.standard_error.to_bits());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_and_restore_failures_are_structured_wire_errors() {
+    // Durability failure modes must come back as `ok:false` protocol errors
+    // on a live connection — never a panic, never a dropped connection.
+    let dir =
+        std::env::temp_dir().join(format!("oasis-parity-store-errors-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(FsCheckpointStore::open(&dir).unwrap());
+    let engine = Engine::new().with_store(store);
+    let script = concat!(
+        r#"{"cmd":"load_pool","pool":"p","scores":[0.9,0.7,0.3,0.1],"predictions":[true,true,false,false]}"#,
+        "\n",
+        // Nothing stored under this id yet.
+        r#"{"cmd":"restore_from","session":"ghost"}"#,
+        "\n",
+        r#"{"cmd":"sessions"}"#,
+        "\n",
+    );
+    let responses = run_script(&engine, script);
+    assert_eq!(responses.len(), 3, "every request gets a response");
+    assert!(
+        responses[1].contains(r#""ok":false"#) && responses[1].contains("ghost"),
+        "{}",
+        responses[1]
+    );
+    assert!(responses[2].contains(r#""ok":true"#), "{}", responses[2]);
+
+    // Without a store attached, both durability verbs are structured errors.
+    let bare = Engine::new();
+    let script = concat!(
+        r#"{"cmd":"checkpoint_to","session":"s"}"#,
+        "\n",
+        r#"{"cmd":"restore_from","session":"s"}"#,
+        "\n",
+    );
+    let responses = run_script(&bare, script);
+    for response in &responses {
+        assert!(
+            response.contains(r#""ok":false"#) && response.contains("store"),
+            "{response}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
