@@ -9,7 +9,8 @@ use er_core::datasets::DatasetProfile;
 use experiments::pools::direct_pool;
 use oasis::oracle::GroundTruthOracle;
 use oasis::samplers::{InteractiveSampler, OasisConfig, OasisSampler, SamplerMethod};
-use oasis_engine::{Engine, LabelSource, SessionJob};
+use oasis_engine::protocol::{dispatch, Request};
+use oasis_engine::{Engine, LabelSource, MetricsRegistry, SessionJob};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -128,5 +129,110 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_throughput, bench_propose_cdf_cache);
+/// An engine with one external (suspend/resume) session over the pool,
+/// either fully instrumented (the default registry) or with metrics
+/// disabled (every record an early-returning no-op).
+fn build_external_engine(pool: &experiments::pools::ExperimentPool, instrumented: bool) -> Engine {
+    let engine = if instrumented {
+        Engine::new()
+    } else {
+        Engine::new().with_metrics(MetricsRegistry::disabled())
+    };
+    engine.load_pool("cora", pool.pool.clone()).unwrap();
+    engine
+        .create_session(
+            "s",
+            "cora",
+            SamplerMethod::Oasis,
+            OasisConfig::default().with_strata_count(30),
+            2017,
+            LabelSource::external(pool.pool.len()),
+        )
+        .unwrap();
+    engine
+}
+
+/// Drive `rounds` batched propose→label round trips through the protocol
+/// dispatch path — the exact code the counters and latency timers live on.
+/// The session is long-lived across calls; `next_ticket` carries the ticket
+/// sequence forward.
+fn run_propose_label_rounds(engine: &Engine, rounds: usize, batch: usize, next_ticket: &mut u64) {
+    for _ in 0..rounds {
+        let outcome = dispatch(
+            engine,
+            Request::Propose {
+                session: "s".to_string(),
+                count: batch,
+            },
+        );
+        assert!(!outcome.shutdown);
+        let labels: Vec<(u64, bool)> = (*next_ticket..*next_ticket + batch as u64)
+            .map(|ticket| (ticket, true))
+            .collect();
+        *next_ticket += batch as u64;
+        dispatch(
+            engine,
+            Request::Label {
+                session: "s".to_string(),
+                labels,
+            },
+        );
+    }
+}
+
+/// Metrics overhead on the hot path: identical batched-proposal workloads
+/// against an instrumented engine and one whose registry is disabled.  The
+/// instrumentation budget is <2% — a few relaxed atomic adds and two clock
+/// reads per request, amortised over a whole proposal batch.  Both engines
+/// are built once and their sessions stay hot; the headline number
+/// alternates the two workloads so clock drift and cache effects cancel.
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let pool = direct_pool(&DatasetProfile::cora(), 0.05, true, 2017);
+    let batch = 256usize;
+    let rounds = 8usize;
+
+    let instrumented = build_external_engine(&pool, true);
+    let disabled = build_external_engine(&pool, false);
+    let mut tickets = [0u64; 2];
+
+    // One-off headline number for the PR description / CI log.
+    let mut timed = [0f64; 2];
+    for _ in 0..8 {
+        for (slot, engine) in [(0usize, &instrumented), (1usize, &disabled)] {
+            let start = std::time::Instant::now();
+            run_propose_label_rounds(engine, rounds, batch, &mut tickets[slot]);
+            timed[slot] += start.elapsed().as_secs_f64();
+        }
+    }
+    println!(
+        "metrics overhead: instrumented {:.4}s vs disabled {:.4}s -> {:+.2}%",
+        timed[0],
+        timed[1],
+        (timed[0] / timed[1] - 1.0) * 100.0
+    );
+
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.sample_size(10);
+    for (name, engine, slot) in [
+        ("instrumented", &instrumented, 0usize),
+        ("disabled", &disabled, 1usize),
+    ] {
+        let mut next_ticket = tickets[slot];
+        group.bench_function(BenchmarkId::new("batched_propose_label", name), |b| {
+            b.iter(|| {
+                run_propose_label_rounds(engine, rounds, batch, &mut next_ticket);
+                engine.session("s").unwrap().lock().estimate()
+            })
+        });
+        tickets[slot] = next_ticket;
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_throughput,
+    bench_propose_cdf_cache,
+    bench_metrics_overhead
+);
 criterion_main!(benches);

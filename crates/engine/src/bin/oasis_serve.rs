@@ -10,10 +10,11 @@
 //! oasis-serve --tcp 0.0.0.0:7171  # serve TCP, concurrent connections
 //! oasis-serve --store DIR         # durable sessions: checkpoints + WAL in DIR
 //! oasis-serve --store DIR --max-resident 64   # LRU-evict idle sessions to DIR
+//! oasis-serve --log-json          # JSONL events on stderr, one per request
 //! ```
 
-use oasis_engine::server::{serve_lines, serve_tcp};
-use oasis_engine::{Engine, FsCheckpointStore};
+use oasis_engine::server::{serve_lines_with_log, serve_tcp_with_log};
+use oasis_engine::{Engine, EventLog, FsCheckpointStore, LogFormat};
 use std::io::{BufReader, Write as _};
 use std::sync::Arc;
 
@@ -26,15 +27,31 @@ fn main() {
              oasis-serve --tcp ADDR     serve TCP on ADDR (e.g. 127.0.0.1:7171)\n  \
              oasis-serve --store DIR    durable sessions: checkpoints + write-ahead\n\
              \x20                            log in DIR, replayed across restarts\n  \
-             oasis-serve --max-resident N   with --store: LRU-evict idle sessions\n\n\
+             oasis-serve --max-resident N   with --store: LRU-evict idle sessions\n  \
+             oasis-serve --log-json     structured JSONL events on stderr (one per\n\
+             \x20                            request: verb, session, latency, outcome)\n\n\
              Commands: load_pool, create_session, propose, label, step,\n\
              run_budget, estimate, checkpoint, restore, checkpoint_to,\n\
-             restore_from, sessions, delete_session, shutdown.\n\n\
+             restore_from, sessions, delete_session, metrics, diagnostics,\n\
+             shutdown.\n\n\
              create_session's optional \"method\" field selects the sampler:\n\
              \"oasis\" (default), \"passive\", \"importance\", \"stratified\"."
         );
         return;
     }
+
+    // The log format is resolved before strict parsing so even usage errors
+    // flow through the structured log when --log-json is given.
+    let format = if args.iter().any(|a| a == "--log-json") {
+        LogFormat::Json
+    } else {
+        LogFormat::Text
+    };
+    let log = EventLog::stderr(format);
+    let usage_error = |message: &str| -> ! {
+        log.message(message);
+        std::process::exit(2);
+    };
 
     // Strict argument parsing: a typo'd flag must not silently fall back to
     // stdio mode (which would sit blocked on stdin with no diagnostic).
@@ -44,47 +61,35 @@ fn main() {
     let mut rest = args[1..].iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
+            "--log-json" => {}
             "--tcp" => match rest.next() {
                 Some(addr) => tcp_addr = Some(addr.clone()),
-                None => {
-                    eprintln!("oasis-serve: --tcp requires an address (e.g. --tcp 127.0.0.1:7171)");
-                    std::process::exit(2);
-                }
+                None => usage_error("--tcp requires an address (e.g. --tcp 127.0.0.1:7171)"),
             },
             "--store" => match rest.next() {
                 Some(dir) => store_dir = Some(dir.clone()),
-                None => {
-                    eprintln!("oasis-serve: --store requires a directory path");
-                    std::process::exit(2);
-                }
+                None => usage_error("--store requires a directory path"),
             },
             "--max-resident" => match rest.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n > 0 => max_resident = Some(n),
-                _ => {
-                    eprintln!("oasis-serve: --max-resident requires a positive integer");
-                    std::process::exit(2);
-                }
+                _ => usage_error("--max-resident requires a positive integer"),
             },
-            other => {
-                eprintln!("oasis-serve: unknown argument {other:?} (try --help)");
-                std::process::exit(2);
-            }
+            other => usage_error(&format!("unknown argument {other:?} (try --help)")),
         }
     }
     if max_resident.is_some() && store_dir.is_none() {
-        eprintln!("oasis-serve: --max-resident requires --store (evicted sessions need a store)");
-        std::process::exit(2);
+        usage_error("--max-resident requires --store (evicted sessions need a store)");
     }
 
     let mut engine = Engine::new();
     if let Some(dir) = store_dir {
         match FsCheckpointStore::open(&dir) {
             Ok(store) => {
-                eprintln!("oasis-serve: durable store at {dir}");
+                log.message(&format!("durable store at {dir}"));
                 engine = engine.with_store(Arc::new(store));
             }
             Err(error) => {
-                eprintln!("oasis-serve: cannot open store: {error}");
+                log.message(&format!("cannot open store: {error}"));
                 std::process::exit(1);
             }
         }
@@ -94,20 +99,25 @@ fn main() {
     }
     let outcome = match tcp_addr {
         Some(addr) => {
-            eprintln!("oasis-serve: listening on {addr}");
-            serve_tcp(&engine, &addr)
+            log.message(&format!("listening on {addr}"));
+            serve_tcp_with_log(&engine, &addr, Some(&log))
         }
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
             let mut writer = stdout.lock();
-            let served = serve_lines(&engine, BufReader::new(stdin.lock()), &mut writer);
+            let served = serve_lines_with_log(
+                &engine,
+                BufReader::new(stdin.lock()),
+                &mut writer,
+                Some(&log),
+            );
             writer.flush().and(served.map(|_| ()))
         }
     };
 
     if let Err(error) = outcome {
-        eprintln!("oasis-serve: transport error: {error}");
+        log.message(&format!("transport error: {error}"));
         std::process::exit(1);
     }
 }

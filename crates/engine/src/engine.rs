@@ -9,6 +9,7 @@
 
 use crate::checkpoint::SessionCheckpoint;
 use crate::error::{EngineError, EngineResult};
+use crate::metrics::{Counter, MetricsRegistry};
 use crate::session::{LabelSource, Session};
 use crate::store::{parse_envelope, render_envelope, CheckpointStore};
 use crate::wal::{self, WalEntry, WalRecord};
@@ -100,6 +101,7 @@ pub struct Engine {
     meta: Mutex<HashMap<String, SessionMeta>>,
     max_resident: Option<usize>,
     clock: AtomicU64,
+    metrics: MetricsRegistry,
 }
 
 impl Engine {
@@ -123,6 +125,21 @@ impl Engine {
     pub fn with_max_resident(mut self, cap: usize) -> Self {
         self.max_resident = Some(cap.max(1));
         self
+    }
+
+    /// Replace the metrics registry — pass [`MetricsRegistry::disabled`] for
+    /// an uninstrumented engine (the overhead-bench baseline) or a registry
+    /// on a [`ManualClock`](crate::metrics::ManualClock) for deterministic
+    /// latency tests.  The default engine is instrumented on the monotonic
+    /// clock.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The engine's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The attached store, if any.
@@ -213,8 +230,11 @@ impl Engine {
     /// base checkpoint first so the WAL always has something to replay onto.
     fn register(&self, session_id: String, session: Session) -> EngineResult<()> {
         if let Some(store) = &self.store {
+            let timer = self.metrics.timer();
             store.put_checkpoint(&session_id, &render_envelope(&session.checkpoint(), 0))?;
             store.truncate_wal(&session_id)?;
+            self.metrics.incr(Counter::CheckpointWrite);
+            self.metrics.record("checkpoint.write", timer);
         }
         let handle = Arc::new(Mutex::new(session));
         {
@@ -253,7 +273,10 @@ impl Engine {
         // keep them outside the write lock (same pattern as create_session).
         let mut checkpoint = checkpoint;
         checkpoint.session_id = session_id.clone();
+        let timer = self.metrics.timer();
         let session = Session::restore(checkpoint, pool)?;
+        self.metrics.incr(Counter::CheckpointRestore);
+        self.metrics.record("checkpoint.restore", timer);
         self.register(session_id, session)
     }
 
@@ -285,6 +308,7 @@ impl Engine {
         let Some(store) = self.store.clone() else {
             return Err(unknown());
         };
+        let timer = self.metrics.timer();
         let Some(document) = store.load_checkpoint(id)? else {
             return Err(unknown());
         };
@@ -297,6 +321,10 @@ impl Engine {
             records.push(WalRecord::parse(&line)?);
         }
         let applied = wal::replay(&mut session, &records, wal_seq)?;
+        self.metrics.incr(Counter::Rehydration);
+        self.metrics.incr(Counter::CheckpointRestore);
+        self.metrics.add(Counter::WalReplay, applied as u64);
+        self.metrics.record("rehydrate", timer);
 
         let handle = Arc::new(Mutex::new(session));
         {
@@ -357,8 +385,11 @@ impl Engine {
         let mut meta = self.meta.lock();
         let slot = meta.entry(id.to_string()).or_default();
         let wal_seq = slot.wal_seq;
+        let timer = self.metrics.timer();
         store.put_checkpoint(id, &render_envelope(&session.checkpoint(), wal_seq))?;
         store.truncate_wal(id)?;
+        self.metrics.incr(Counter::CheckpointWrite);
+        self.metrics.record("checkpoint.write", timer);
         slot.dirty = false;
         Ok(wal_seq)
     }
@@ -377,7 +408,10 @@ impl Engine {
                 seq: slot.wal_seq,
                 entry,
             };
+            let timer = self.metrics.timer();
             store.append_wal(session_id, &record.render())?;
+            self.metrics.incr(Counter::WalAppend);
+            self.metrics.record("wal.append", timer);
             slot.wal_seq += 1;
         }
         slot.dirty = true;
@@ -410,6 +444,7 @@ impl Engine {
             };
             self.checkpoint_to(&victim)?;
             self.sessions.write().remove(&victim);
+            self.metrics.incr(Counter::Eviction);
             // Meta stays: its wal_seq matches the envelope watermark, so
             // appends after rehydration continue the same sequence.
         }

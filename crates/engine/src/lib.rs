@@ -37,7 +37,14 @@
 //!   ([`protocol`]) over stdin/stdout or TCP ([`server`]): `load_pool`,
 //!   `create_session` (with a `method` field), `propose`, `label`, `step`,
 //!   `run_budget`, `estimate`, `checkpoint`, `restore`, `checkpoint_to`,
-//!   `restore_from`, `sessions`, `delete_session`, `shutdown`.
+//!   `restore_from`, `sessions`, `delete_session`, `metrics`,
+//!   `diagnostics`, `shutdown`.
+//! * **Observability** ([`metrics`], [`log`]) — a [`MetricsRegistry`] of
+//!   atomic counters and log-bucketed latency histograms instrumented at
+//!   every hot path, a per-session ground-truth-free
+//!   [`diagnostics`](Session::diagnostics) report (ESS, weight variance,
+//!   label allocation), and a structured JSONL [`EventLog`]
+//!   (`oasis-serve --log-json`).
 //!
 //! ## Quick example
 //!
@@ -80,6 +87,8 @@
 pub mod checkpoint;
 mod engine;
 pub mod error;
+pub mod log;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 mod session;
@@ -89,6 +98,8 @@ pub mod wal;
 pub use checkpoint::{pool_fingerprint, OracleCheckpoint, SessionCheckpoint, CHECKPOINT_FORMAT};
 pub use engine::{Engine, SessionJob, SessionOverview};
 pub use error::{EngineError, EngineResult};
+pub use log::{EventLog, LogFormat};
+pub use metrics::{Clock, Counter, LatencyHistogram, ManualClock, MetricsRegistry, MonotonicClock};
 pub use session::{LabelSource, Session, Ticket};
 pub use store::{CheckpointStore, FsCheckpointStore, STORE_FORMAT};
 pub use wal::{WalEntry, WalRecord};

@@ -21,6 +21,8 @@
 //! | `restore_from` | `session` | rebuild from the store: checkpoint + WAL replay |
 //! | `sessions` | — | list sessions with per-session metadata |
 //! | `delete_session` | `session` | drop a session (and its store entry) |
+//! | `metrics` | — | global counters + latency histograms (see [`crate::metrics`]) |
+//! | `diagnostics` | `session` | ground-truth-free sampler health (ESS, weight variance, allocation) |
 //! | `shutdown` | — | acknowledge and stop serving |
 //!
 //! `create_session`'s `method` selects the sampling method — `"oasis"`
@@ -32,6 +34,7 @@
 use crate::checkpoint::SessionCheckpoint;
 use crate::engine::Engine;
 use crate::error::{EngineError, EngineResult};
+use crate::metrics::Counter;
 use crate::session::{LabelSource, Session, Ticket};
 use crate::wal::WalEntry;
 use oasis::{GroundTruthOracle, OasisConfig, SamplerMethod, ScoredPool};
@@ -125,6 +128,13 @@ pub enum Request {
     Sessions,
     /// Delete a session.
     DeleteSession {
+        /// Session id.
+        session: String,
+    },
+    /// Report the engine-wide metrics snapshot.
+    Metrics,
+    /// Report one session's ground-truth-free sampler diagnostics.
+    Diagnostics {
         /// Session id.
         session: String,
     },
@@ -246,8 +256,55 @@ impl Request {
             "delete_session" => Ok(Request::DeleteSession {
                 session: string_field(&value, "session")?,
             }),
+            "metrics" => Ok(Request::Metrics),
+            "diagnostics" => Ok(Request::Diagnostics {
+                session: string_field(&value, "session")?,
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(EngineError::Protocol(format!("unknown cmd {other:?}"))),
+        }
+    }
+
+    /// The wire name of this request's command (for the event log).
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::LoadPool { .. } => "load_pool",
+            Request::CreateSession { .. } => "create_session",
+            Request::Propose { .. } => "propose",
+            Request::Label { .. } => "label",
+            Request::Step { .. } => "step",
+            Request::RunBudget { .. } => "run_budget",
+            Request::Estimate { .. } => "estimate",
+            Request::Checkpoint { .. } => "checkpoint",
+            Request::Restore { .. } => "restore",
+            Request::CheckpointTo { .. } => "checkpoint_to",
+            Request::RestoreFrom { .. } => "restore_from",
+            Request::Sessions => "sessions",
+            Request::DeleteSession { .. } => "delete_session",
+            Request::Metrics => "metrics",
+            Request::Diagnostics { .. } => "diagnostics",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// The session this request addresses, if any (for the event log).
+    pub fn session_id(&self) -> Option<&str> {
+        match self {
+            Request::CreateSession { session, .. }
+            | Request::Propose { session, .. }
+            | Request::Label { session, .. }
+            | Request::Step { session, .. }
+            | Request::RunBudget { session, .. }
+            | Request::Estimate { session }
+            | Request::Checkpoint { session }
+            | Request::Restore { session, .. }
+            | Request::CheckpointTo { session }
+            | Request::RestoreFrom { session }
+            | Request::DeleteSession { session }
+            | Request::Diagnostics { session } => Some(session),
+            Request::LoadPool { .. } | Request::Sessions | Request::Metrics | Request::Shutdown => {
+                None
+            }
         }
     }
 }
@@ -355,15 +412,23 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
         // Every mutating arm below logs its request to the write-ahead log
         // *after* taking the session lock (so sequence numbers match
         // application order) and *before* mutating (so a crash mid-request
-        // replays deterministically — see `crate::wal`).
+        // replays deterministically — see `crate::wal`).  Each arm also
+        // times the mutation into a per-method latency histogram
+        // (`"<verb>.<method>"`) and bumps the matching global counter.
         Request::Propose { session, count } => {
+            let timer = engine.metrics().timer();
             let handle = engine.session(&session)?;
             let mut guard = handle.lock();
             engine.log_wal(&session, WalEntry::Propose { count })?;
             let tickets = guard.propose(count)?;
+            engine.metrics().add(Counter::Propose, tickets.len() as u64);
+            engine
+                .metrics()
+                .record(&format!("propose.{}", guard.method().as_str()), timer);
             tickets_response(&guard, &tickets)
         }
         Request::Label { session, labels } => {
+            let timer = engine.metrics().timer();
             let handle = engine.session(&session)?;
             let mut guard = handle.lock();
             engine.log_wal(
@@ -373,15 +438,24 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
                 },
             )?;
             let applied = guard.apply_labels(&labels)?;
+            engine.metrics().add(Counter::Label, applied as u64);
+            engine
+                .metrics()
+                .record(&format!("label.{}", guard.method().as_str()), timer);
             let mut obj = estimate_response(&guard);
             obj.set("applied", applied.to_json());
             obj
         }
         Request::Step { session, steps } => {
+            let timer = engine.metrics().timer();
             let handle = engine.session(&session)?;
             let mut guard = handle.lock();
             engine.log_wal(&session, WalEntry::Step { steps })?;
             guard.step(steps)?;
+            engine.metrics().add(Counter::Step, steps as u64);
+            engine
+                .metrics()
+                .record(&format!("step.{}", guard.method().as_str()), timer);
             estimate_response(&guard)
         }
         Request::RunBudget {
@@ -389,6 +463,7 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
             budget,
             max_steps,
         } => {
+            let timer = engine.metrics().timer();
             let handle = engine.session(&session)?;
             let mut guard = handle.lock();
             engine.log_wal(
@@ -399,6 +474,10 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
                 },
             )?;
             guard.run_until_budget(budget, max_steps)?;
+            engine.metrics().incr(Counter::RunBudget);
+            engine
+                .metrics()
+                .record(&format!("run_budget.{}", guard.method().as_str()), timer);
             estimate_response(&guard)
         }
         Request::Estimate { session } => {
@@ -479,6 +558,25 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
             obj.set("deleted", Json::Bool(true));
             obj
         }
+        Request::Metrics => {
+            // Counters live in engine-process memory only: they reset on
+            // restart and are *not* persisted through checkpoints or the
+            // WAL (replay after `restore_from` re-counts the replayed
+            // entries).  Clients wanting durable totals must scrape them.
+            let mut obj = ok_response();
+            obj.set("metrics", engine.metrics().snapshot());
+            obj
+        }
+        Request::Diagnostics { session } => {
+            let handle = engine.session(&session)?;
+            let guard = handle.lock();
+            let mut obj = ok_response();
+            obj.set("session", Json::String(session));
+            obj.set("method", guard.method().to_json());
+            obj.set("labels_consumed", guard.labels_consumed().to_json());
+            obj.set("diagnostics", guard.diagnostics().to_json());
+            obj
+        }
         Request::Shutdown => {
             let mut obj = ok_response();
             obj.set("shutdown", Json::Bool(true));
@@ -515,10 +613,32 @@ mod tests {
             r#"{"cmd":"restore_from","session":"s"}"#,
             r#"{"cmd":"sessions"}"#,
             r#"{"cmd":"delete_session","session":"s"}"#,
+            r#"{"cmd":"metrics"}"#,
+            r#"{"cmd":"diagnostics","session":"s"}"#,
             r#"{"cmd":"shutdown"}"#,
         ];
         for line in lines {
             Request::parse(line).unwrap_or_else(|e| panic!("failed to parse {line}: {e}"));
+        }
+    }
+
+    #[test]
+    fn verb_and_session_id_cover_every_command() {
+        let lines = [
+            (r#"{"cmd":"propose","session":"s"}"#, "propose", Some("s")),
+            (r#"{"cmd":"sessions"}"#, "sessions", None),
+            (r#"{"cmd":"metrics"}"#, "metrics", None),
+            (
+                r#"{"cmd":"diagnostics","session":"d"}"#,
+                "diagnostics",
+                Some("d"),
+            ),
+            (r#"{"cmd":"shutdown"}"#, "shutdown", None),
+        ];
+        for (line, verb, session) in lines {
+            let request = Request::parse(line).unwrap();
+            assert_eq!(request.verb(), verb, "{line}");
+            assert_eq!(request.session_id(), session, "{line}");
         }
     }
 
@@ -617,6 +737,44 @@ mod tests {
                 "{method}: {rendered}"
             );
         }
+    }
+
+    #[test]
+    fn metrics_and_diagnostics_report_over_dispatch() {
+        let engine = Engine::new();
+        let pool = Request::parse(
+            r#"{"cmd":"load_pool","pool":"p","scores":[0.95,0.9,0.8,0.6,0.4,0.2,0.15,0.1],"predictions":[true,true,true,true,false,false,false,false]}"#,
+        )
+        .unwrap();
+        dispatch(&engine, pool);
+        let create = r#"{"cmd":"create_session","session":"s","pool":"p","seed":3,"config":{"strata_count":3},"truth":[true,true,false,true,false,false,false,false]}"#;
+        dispatch(&engine, Request::parse(create).unwrap());
+        dispatch(
+            &engine,
+            Request::parse(r#"{"cmd":"step","session":"s","steps":25}"#).unwrap(),
+        );
+
+        let rendered = dispatch(&engine, Request::Metrics).response.render();
+        assert!(rendered.contains(r#""ok":true"#), "{rendered}");
+        // Counters are u64s, so they render as decimal strings on the wire.
+        assert!(rendered.contains(r#""step":"25""#), "{rendered}");
+        assert!(rendered.contains(r#""latency_us""#), "{rendered}");
+        assert!(rendered.contains(r#""step.oasis""#), "{rendered}");
+
+        let rendered = dispatch(
+            &engine,
+            Request::parse(r#"{"cmd":"diagnostics","session":"s"}"#).unwrap(),
+        )
+        .response
+        .render();
+        assert!(rendered.contains(r#""ok":true"#), "{rendered}");
+        assert!(rendered.contains(r#""method":"oasis""#), "{rendered}");
+        assert!(
+            rendered.contains(r#""effective_sample_size":"#),
+            "{rendered}"
+        );
+        assert!(rendered.contains(r#""stratum_labels":["#), "{rendered}");
+        assert!(rendered.contains(r#""instrumental":["#), "{rendered}");
     }
 
     #[test]

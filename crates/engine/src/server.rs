@@ -5,14 +5,21 @@
 //! in TCP mode.  TCP connections are handled on vendored-crossbeam scoped
 //! threads sharing one [`Engine`], so concurrent clients can drive disjoint
 //! sessions in parallel (per-session locks serialise conflicting access).
+//!
+//! Every entry point has a `_with_log` variant accepting an [`EventLog`];
+//! with [`LogFormat::Json`](crate::log::LogFormat::Json) each request emits
+//! one structured event (verb, session, latency, outcome) — see
+//! [`crate::log`].  The log-free variants keep the original behaviour.
 
 use crate::engine::Engine;
 use crate::error::EngineError;
+use crate::log::EventLog;
 use crate::protocol::{dispatch, error_response, Dispatch, Request};
+use serde::json::Json;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest request line either serving loop will buffer.  Checkpoint
 /// documents for large pools are megabytes, so the cap is generous — but it
@@ -60,19 +67,54 @@ fn fill_line<R: BufRead>(reader: &mut R, line: &mut Vec<u8>) -> std::io::Result<
     }
 }
 
-/// Render the response for one raw request line (`None` for blank lines).
-fn handle_line(engine: &Engine, raw: &[u8]) -> Option<Dispatch> {
+/// Route an operational message through the event log when one is attached,
+/// or straight to stderr in the legacy format otherwise.
+fn log_message(log: Option<&EventLog>, text: &str) {
+    match log {
+        Some(log) => log.message(text),
+        None => eprintln!("oasis-serve: {text}"),
+    }
+}
+
+/// Render the response for one raw request line (`None` for blank lines),
+/// emitting one structured event per request when a log is attached.
+fn handle_line(engine: &Engine, raw: &[u8], log: Option<&EventLog>) -> Option<Dispatch> {
     let text = String::from_utf8_lossy(raw);
     let trimmed = text.trim();
     if trimmed.is_empty() {
         return None;
     }
+    let started = Instant::now();
     Some(match Request::parse(trimmed) {
-        Ok(request) => dispatch(engine, request),
-        Err(error) => Dispatch {
-            response: error_response(&error),
-            shutdown: false,
-        },
+        Ok(request) => {
+            let verb = request.verb();
+            let session = request.session_id().map(str::to_string);
+            let outcome = dispatch(engine, request);
+            if let Some(log) = log {
+                let ok = matches!(outcome.response.get("ok"), Some(Json::Bool(true)));
+                log.request(
+                    verb,
+                    session.as_deref(),
+                    started.elapsed().as_micros() as u64,
+                    ok,
+                );
+            }
+            outcome
+        }
+        Err(error) => {
+            if let Some(log) = log {
+                log.request(
+                    "parse_error",
+                    None,
+                    started.elapsed().as_micros() as u64,
+                    false,
+                );
+            }
+            Dispatch {
+                response: error_response(&error),
+                shutdown: false,
+            }
+        }
     })
 }
 
@@ -101,8 +143,21 @@ fn line_too_long_response() -> serde::json::Json {
 /// Only I/O failures on the transport itself.
 pub fn serve_lines<R: BufRead, W: Write>(
     engine: &Engine,
+    reader: R,
+    writer: &mut W,
+) -> std::io::Result<bool> {
+    serve_lines_with_log(engine, reader, writer, None)
+}
+
+/// [`serve_lines`] with an attached [`EventLog`] for per-request events.
+///
+/// # Errors
+/// Only I/O failures on the transport itself.
+pub fn serve_lines_with_log<R: BufRead, W: Write>(
+    engine: &Engine,
     mut reader: R,
     writer: &mut W,
+    log: Option<&EventLog>,
 ) -> std::io::Result<bool> {
     let mut line = Vec::new();
     let mut discarding = false;
@@ -113,7 +168,7 @@ pub fn serve_lines<R: BufRead, W: Write>(
                 let at_eof = line.last() != Some(&b'\n');
                 if discarding {
                     discarding = false;
-                } else if let Some(outcome) = handle_line(engine, &line) {
+                } else if let Some(outcome) = handle_line(engine, &line, log) {
                     write_response(writer, &outcome.response)?;
                     if outcome.shutdown {
                         return Ok(true);
@@ -147,6 +202,18 @@ pub fn serve_tcp(engine: &Engine, addr: &str) -> std::io::Result<()> {
     serve_listener(engine, TcpListener::bind(addr)?)
 }
 
+/// [`serve_tcp`] with an attached [`EventLog`] for per-request events.
+///
+/// # Errors
+/// Socket bind/accept failures.
+pub fn serve_tcp_with_log(
+    engine: &Engine,
+    addr: &str,
+    log: Option<&EventLog>,
+) -> std::io::Result<()> {
+    serve_listener_with_log(engine, TcpListener::bind(addr)?, log)
+}
+
 /// How often an idle TCP connection handler wakes up to check the stop flag.
 const STOP_POLL_INTERVAL: Duration = Duration::from_millis(100);
 
@@ -154,7 +221,12 @@ const STOP_POLL_INTERVAL: Duration = Duration::from_millis(100);
 /// `shutdown`.  Unlike [`serve_lines`], reads are interrupted every
 /// [`STOP_POLL_INTERVAL`] so the handler notices a shutdown initiated on
 /// *another* connection and hangs up instead of blocking forever.
-fn serve_tcp_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) -> bool {
+fn serve_tcp_connection(
+    engine: &Engine,
+    stream: TcpStream,
+    stop: &AtomicBool,
+    log: Option<&EventLog>,
+) -> bool {
     if stream.set_read_timeout(Some(STOP_POLL_INTERVAL)).is_err() {
         return false;
     }
@@ -183,7 +255,7 @@ fn serve_tcp_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) -
                     line.clear();
                     continue;
                 }
-                let outcome = match handle_line(engine, &line) {
+                let outcome = match handle_line(engine, &line, log) {
                     Some(outcome) => outcome,
                     None => {
                         line.clear();
@@ -224,6 +296,19 @@ fn serve_tcp_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) -
 /// skipped so one flaky connect cannot tear down every other client's
 /// session.
 pub fn serve_listener(engine: &Engine, listener: TcpListener) -> std::io::Result<()> {
+    serve_listener_with_log(engine, listener, None)
+}
+
+/// [`serve_listener`] with an attached [`EventLog`] for per-request events.
+///
+/// # Errors
+/// Only listener-setup failures; per-connection accept errors are logged
+/// and skipped.
+pub fn serve_listener_with_log(
+    engine: &Engine,
+    listener: TcpListener,
+    log: Option<&EventLog>,
+) -> std::io::Result<()> {
     let local = listener.local_addr()?;
     let stop = AtomicBool::new(false);
     crossbeam::thread::scope(|scope| -> std::io::Result<()> {
@@ -234,13 +319,13 @@ pub fn serve_listener(engine: &Engine, listener: TcpListener) -> std::io::Result
             let stream = match stream {
                 Ok(stream) => stream,
                 Err(error) => {
-                    eprintln!("oasis-serve: accept error (connection skipped): {error}");
+                    log_message(log, &format!("accept error (connection skipped): {error}"));
                     continue;
                 }
             };
             let stop = &stop;
             scope.spawn(move |_| {
-                if serve_tcp_connection(engine, stream, stop) {
+                if serve_tcp_connection(engine, stream, stop, log) {
                     stop.store(true, Ordering::SeqCst);
                     // Unblock the accept loop so the listener notices the
                     // shutdown flag.  When bound to an unspecified address
@@ -259,9 +344,12 @@ pub fn serve_listener(engine: &Engine, listener: TcpListener) -> std::io::Result
                         });
                     }
                     if let Err(error) = TcpStream::connect(wake) {
-                        eprintln!(
-                            "oasis-serve: shutdown wake-up connect to {wake} failed ({error}); \
-                             the listener will close on the next incoming connection"
+                        log_message(
+                            log,
+                            &format!(
+                                "shutdown wake-up connect to {wake} failed ({error}); \
+                                 the listener will close on the next incoming connection"
+                            ),
                         );
                     }
                 }
@@ -401,6 +489,64 @@ mod tests {
         assert!(lines[0].contains(r#""ok":false"#));
         assert!(lines[0].contains("exceeds"));
         assert!(lines[1].contains(r#""ok":true"#));
+    }
+
+    #[test]
+    fn json_log_emits_one_request_event_per_line() {
+        use crate::log::LogFormat;
+        use parking_lot::Mutex;
+        use std::sync::Arc;
+
+        #[derive(Clone, Default)]
+        struct Buffer(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buffer {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let engine = Engine::new();
+        let buffer = Buffer::default();
+        let log = EventLog::to_writer(LogFormat::Json, Box::new(buffer.clone()));
+        let script = concat!(
+            r#"{"cmd":"load_pool","pool":"p","scores":[0.9,0.1],"predictions":[true,false]}"#,
+            "\n",
+            "garbage\n",
+            r#"{"cmd":"estimate","session":"ghost"}"#,
+            "\n",
+        );
+        let mut output = Vec::new();
+        serve_lines_with_log(
+            &engine,
+            Cursor::new(script.to_string()),
+            &mut output,
+            Some(&log),
+        )
+        .unwrap();
+
+        let events = String::from_utf8(buffer.0.lock().clone()).unwrap();
+        let lines: Vec<&str> = events.lines().collect();
+        assert_eq!(lines.len(), 3, "{events}");
+        let ok = Json::parse(lines[0]).unwrap();
+        assert_eq!(ok.require("verb").unwrap().as_str().unwrap(), "load_pool");
+        assert!(ok.require("ok").unwrap().as_bool().unwrap());
+        assert!(matches!(ok.require("session").unwrap(), Json::Null));
+        let parse_error = Json::parse(lines[1]).unwrap();
+        assert_eq!(
+            parse_error.require("verb").unwrap().as_str().unwrap(),
+            "parse_error"
+        );
+        assert!(!parse_error.require("ok").unwrap().as_bool().unwrap());
+        let failed = Json::parse(lines[2]).unwrap();
+        assert_eq!(
+            failed.require("session").unwrap().as_str().unwrap(),
+            "ghost"
+        );
+        assert!(!failed.require("ok").unwrap().as_bool().unwrap());
     }
 
     #[test]

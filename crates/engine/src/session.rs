@@ -24,7 +24,7 @@ use crate::checkpoint::{OracleCheckpoint, SessionCheckpoint};
 use crate::error::{EngineError, EngineResult};
 use oasis::{
     AnySampler, ConfidenceInterval, Estimate, GroundTruthOracle, InteractiveSampler, OasisConfig,
-    Oracle, Proposal, SamplerMethod, ScoredPool, TrackedSampler,
+    Oracle, Proposal, SamplerDiagnostics, SamplerMethod, ScoredPool, TrackedSampler,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -146,10 +146,18 @@ impl Session {
         self.sampler.estimate()
     }
 
-    /// The underlying sampler (method-specific diagnostics live behind the
-    /// [`AnySampler`] dispatcher, e.g. [`AnySampler::as_oasis`]).
+    /// The underlying sampler (method-specific introspection lives behind
+    /// the [`AnySampler`] dispatcher, e.g. [`AnySampler::as_oasis`]).
     pub fn sampler(&self) -> &AnySampler {
         self.sampler.inner()
+    }
+
+    /// Ground-truth-free sampler health diagnostics — ESS, weight variance,
+    /// per-stratum label allocation, instrumental distribution, CDF-rebuild
+    /// count — method-agnostic via
+    /// [`InteractiveSampler::diagnostics`](oasis::InteractiveSampler::diagnostics).
+    pub fn diagnostics(&self) -> SamplerDiagnostics {
+        self.sampler.diagnostics()
     }
 
     /// A normal-approximation confidence interval on the F-measure at the

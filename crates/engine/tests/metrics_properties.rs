@@ -1,0 +1,125 @@
+//! Property-based tests of the latency histogram's structural guarantees:
+//! bucket boundaries, the 2× quantile error bound, and merge associativity.
+
+use oasis_engine::LatencyHistogram;
+use proptest::prelude::*;
+
+/// Strategy: latency samples spanning the full dynamic range, biased toward
+/// the small values real request latencies live in.  (The vendored proptest
+/// has no `prop_oneof!`, so a selector byte picks the regime by hand.)
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((any::<u64>(), 0u32..8), 0..200).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(raw, mode)| match mode {
+                0..=3 => raw % 1_000,
+                4..=6 => 1_000 + raw % 10_000_000,
+                _ => raw,
+            })
+            .collect()
+    })
+}
+
+fn build(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The true order statistic the histogram approximates: the smallest value
+/// with at least `ceil(q * n)` samples at or below it.
+fn exact_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_value_lands_in_a_bucket_that_contains_it(value in any::<u64>()) {
+        let index = LatencyHistogram::bucket_index(value);
+        prop_assert!(value <= LatencyHistogram::bucket_upper_bound(index));
+        if index > 0 {
+            // The value is too big for the previous bucket — buckets tile
+            // the range with no overlap.
+            prop_assert!(value > LatencyHistogram::bucket_upper_bound(index - 1));
+        }
+    }
+
+    #[test]
+    fn bucket_upper_bounds_double(index in 1usize..62) {
+        let lower = LatencyHistogram::bucket_upper_bound(index - 1);
+        let upper = LatencyHistogram::bucket_upper_bound(index);
+        // [2^(i-1), 2^i - 1]: each bucket's span is one power of two.
+        prop_assert_eq!(upper, 2 * lower + 1);
+    }
+
+    #[test]
+    fn quantile_is_within_2x_of_the_true_order_statistic(
+        raw in samples(),
+        q in 0.01f64..=1.0,
+    ) {
+        // The 2× guarantee is documented for values below 2^62 — the
+        // saturating tail bucket spans more than one doubling.  Real
+        // microsecond latencies sit ~12 orders of magnitude below the cap.
+        let values: Vec<u64> = raw.into_iter().map(|v| v % (1u64 << 62)).collect();
+        prop_assume!(!values.is_empty());
+        let h = build(&values);
+        let estimate = h.quantile(q);
+        let truth = exact_quantile(&values, q);
+        prop_assert!(estimate >= truth, "estimate {estimate} < true quantile {truth}");
+        prop_assert!(
+            estimate <= truth.saturating_mul(2),
+            "estimate {estimate} > 2 × true quantile {truth}"
+        );
+    }
+
+    #[test]
+    fn count_sum_max_are_exact(values in samples()) {
+        let h = build(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let sum: u64 = values.iter().fold(0u64, |acc, &v| acc.saturating_add(v));
+        prop_assert_eq!(h.sum(), sum);
+        prop_assert_eq!(h.max(), values.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in samples(),
+        b in samples(),
+        c in samples(),
+    ) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        // b ⊕ a == a ⊕ b
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // And merging equals recording the concatenation directly.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &build(&all));
+    }
+}

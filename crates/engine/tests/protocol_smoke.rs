@@ -75,12 +75,21 @@ fn kill_and_replay_smoke_script_reproduces_the_golden_estimate_and_interval() {
         let text = String::from_utf8(output).unwrap();
         assert_eq!(
             text.lines().count(),
-            11,
+            12,
             "one response per request:\n{text}"
         );
         for line in text.lines() {
             assert!(line.contains(r#""ok":true"#), "failed response: {line}");
         }
+        // The closing metrics request sees the durable work: 5 + 3 proposals,
+        // one WAL append per mutating request, and four checkpoint writes —
+        // each create_session registers an initial durable checkpoint, plus
+        // the two explicit checkpoint_to requests (u64 counters render as
+        // decimal strings on the wire).
+        let metrics = text.lines().last().unwrap();
+        assert!(metrics.contains(r#""propose":"8""#), "{metrics}");
+        assert!(metrics.contains(r#""wal_append":"6""#), "{metrics}");
+        assert!(metrics.contains(r#""checkpoint_write":"4""#), "{metrics}");
     }
 
     // Phase 2: a fresh engine over the same directory replays
@@ -91,7 +100,7 @@ fn kill_and_replay_smoke_script_reproduces_the_golden_estimate_and_interval() {
     assert!(shutdown, "the restart script ends with a shutdown command");
     let text = String::from_utf8(output).unwrap();
     let lines: Vec<&str> = text.lines().collect();
-    assert_eq!(lines.len(), 7, "one response per request:\n{text}");
+    assert_eq!(lines.len(), 8, "one response per request:\n{text}");
     for line in &lines {
         assert!(line.contains(r#""ok":true"#), "failed response: {line}");
     }
@@ -115,6 +124,17 @@ fn kill_and_replay_smoke_script_reproduces_the_golden_estimate_and_interval() {
         lines[3]
     );
     assert!(lines[5].contains(r#""detail":["#), "{}", lines[5]);
+    // Counters reset with the process — the restarted engine's metrics show
+    // only the replay (WAL entries re-applied, checkpoints restored), not
+    // the pre-kill request counts.
+    assert!(lines[6].contains(r#""wal_append":"0""#), "{}", lines[6]);
+    assert!(lines[6].contains(r#""wal_replay":"3""#), "{}", lines[6]);
+    assert!(
+        lines[6].contains(r#""checkpoint_restore":"2""#),
+        "{}",
+        lines[6]
+    );
+    assert!(lines[6].contains(r#""rehydration":"2""#), "{}", lines[6]);
 
     // Parity: a never-crashed engine over the identical command stream must
     // produce byte-identical estimate lines — replay adds nothing and loses
@@ -138,11 +158,11 @@ fn kill_and_replay_smoke_script_reproduces_the_golden_estimate_and_interval() {
     let text = String::from_utf8(output).unwrap();
     let reference_lines: Vec<&str> = text.lines().collect();
     assert_eq!(
-        reference_lines[11], lines[3],
+        reference_lines[12], lines[3],
         "d1 estimate differs from never-crashed run"
     );
     assert_eq!(
-        reference_lines[12], lines[4],
+        reference_lines[13], lines[4],
         "d2 estimate differs from never-crashed run"
     );
 

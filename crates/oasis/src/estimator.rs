@@ -73,6 +73,12 @@ pub struct AisEstimator {
     weighted_actual: f64,
     /// Σ w — total weight (for the sample-average normalisation).
     total_weight: f64,
+    /// Σ w² — second moment of the weights, feeding the ground-truth-free
+    /// effective-sample-size diagnostic.  `None` when the weight history is
+    /// unknown: the estimator was rebuilt from a snapshot written before the
+    /// second moment was tracked, so reporting a fabricated ESS would be
+    /// worse than reporting none.
+    weight_sq: Option<f64>,
     iterations: usize,
 }
 
@@ -85,6 +91,7 @@ impl AisEstimator {
             weighted_predicted: 0.0,
             weighted_actual: 0.0,
             total_weight: 0.0,
+            weight_sq: Some(0.0),
             iterations: 0,
         }
     }
@@ -95,8 +102,11 @@ impl AisEstimator {
     }
 
     /// Rebuild an estimator from a previously captured snapshot: the four
-    /// weighted sums returned by [`AisEstimator::sums`] plus the iteration
-    /// count.  The restored accumulator continues bit-for-bit.
+    /// weighted sums returned by [`AisEstimator::sums`], the optional weight
+    /// second moment (`None` for snapshots written before it was tracked —
+    /// the ESS diagnostic then stays unavailable rather than fabricated),
+    /// plus the iteration count.  The restored accumulator continues
+    /// bit-for-bit.
     ///
     /// # Errors
     /// [`Error::InvalidParameter`] if `alpha` lies outside `[0, 1]` or any
@@ -109,6 +119,7 @@ impl AisEstimator {
         weighted_predicted: f64,
         weighted_actual: f64,
         total_weight: f64,
+        weight_sq: Option<f64>,
         iterations: usize,
     ) -> Result<Self> {
         if !(0.0..=1.0).contains(&alpha) || alpha.is_nan() {
@@ -134,12 +145,21 @@ impl AisEstimator {
                 ),
             });
         }
+        if let Some(sq) = weight_sq {
+            if !sq.is_finite() || sq < 0.0 {
+                return Err(Error::InvalidParameter {
+                    name: "weight_sq",
+                    message: format!("must be finite and non-negative, got {sq}"),
+                });
+            }
+        }
         Ok(AisEstimator {
             alpha,
             weighted_tp,
             weighted_predicted,
             weighted_actual,
             total_weight,
+            weight_sq,
             iterations,
         })
     }
@@ -153,6 +173,9 @@ impl AisEstimator {
         self.weighted_predicted += weight * l_hat;
         self.weighted_actual += weight * l;
         self.total_weight += weight;
+        if let Some(sq) = self.weight_sq.as_mut() {
+            *sq += weight * weight;
+        }
         self.iterations += 1;
     }
 
@@ -211,6 +234,35 @@ impl AisEstimator {
             self.weighted_actual,
             self.total_weight,
         )
+    }
+
+    /// The accumulated weight second moment `Σ w²`, or `None` when the
+    /// estimator was restored from a snapshot that predates its tracking.
+    pub fn weight_sq(&self) -> Option<f64> {
+        self.weight_sq
+    }
+
+    /// Kish effective sample size of the importance weights,
+    /// `(Σ w)² / Σ w²` — a ground-truth-free convergence proxy (Delyon &
+    /// Portier): it equals the iteration count under unit weights and shrinks
+    /// as the weights grow uneven.  `None` before any observation, or when
+    /// the weight history is unknown (see [`AisEstimator::weight_sq`]).
+    pub fn effective_sample_size(&self) -> Option<f64> {
+        let sq = self.weight_sq?;
+        if sq > 0.0 {
+            Some(self.total_weight * self.total_weight / sq)
+        } else {
+            None
+        }
+    }
+
+    /// Normalized variance of the importance weights,
+    /// `Var(w) / mean(w)² = n·Σw²/(Σw)² − 1` — zero under unit weights,
+    /// growing with weight imbalance.  `None` whenever
+    /// [`AisEstimator::effective_sample_size`] is.
+    pub fn normalized_weight_variance(&self) -> Option<f64> {
+        let ess = self.effective_sample_size()?;
+        Some(self.iterations as f64 / ess - 1.0)
     }
 }
 
@@ -298,6 +350,47 @@ mod tests {
         assert!((prec.f_measure().unwrap() - 0.5).abs() < 1e-12);
         assert!((rec.f_measure().unwrap() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(prec.alpha(), 1.0);
+    }
+
+    #[test]
+    fn ess_equals_iterations_under_unit_weights() {
+        let mut est = AisEstimator::new(0.5);
+        assert_eq!(est.effective_sample_size(), None);
+        for i in 0..40 {
+            est.observe(1.0, i % 3 == 0, i % 2 == 0);
+        }
+        assert_eq!(est.effective_sample_size(), Some(40.0));
+        assert_eq!(est.normalized_weight_variance(), Some(0.0));
+    }
+
+    #[test]
+    fn ess_shrinks_with_uneven_weights() {
+        // Two observations with weights (1, 9): ESS = 100/82 ≈ 1.22 < 2.
+        let mut est = AisEstimator::new(0.5);
+        est.observe(1.0, true, true);
+        est.observe(9.0, false, false);
+        let ess = est.effective_sample_size().unwrap();
+        assert!((ess - 100.0 / 82.0).abs() < 1e-12);
+        assert!(ess > 0.0 && ess < 2.0);
+        // Normalized weight variance = n/ESS − 1 = 2·82/100 − 1 = 0.64.
+        let cv2 = est.normalized_weight_variance().unwrap();
+        assert!((cv2 - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshots_without_a_weight_history_report_no_ess() {
+        // A pre-observability snapshot restores without Σw²: the estimate is
+        // exact but the ESS stays unavailable, before and after continuing.
+        let mut est = AisEstimator::from_parts(0.5, 2.0, 3.0, 2.0, 5.0, None, 4).unwrap();
+        assert_eq!(est.weight_sq(), None);
+        assert_eq!(est.effective_sample_size(), None);
+        est.observe(1.0, true, true);
+        assert_eq!(est.effective_sample_size(), None);
+        assert!(est.f_measure().is_some());
+        // A corrupt second moment is rejected like every other sum.
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            assert!(AisEstimator::from_parts(0.5, 0.0, 0.0, 0.0, 0.0, Some(bad), 0).is_err());
+        }
     }
 
     #[test]

@@ -87,8 +87,8 @@ pub use pool::ScoredPool;
 pub use samplers::{
     AnySampler, CategoricalCdf, EstimatorState, ImportanceSampler, ImportanceState,
     InteractiveSampler, OasisConfig, OasisSampler, OasisState, PassiveSampler, PassiveState,
-    Proposal, Sampler, SamplerMethod, SamplerState, StratifiedSampler, StratifiedState,
-    TrackedSampler, TrackerState,
+    Proposal, Sampler, SamplerDiagnostics, SamplerMethod, SamplerState, StratifiedSampler,
+    StratifiedState, TrackedSampler, TrackerState,
 };
 pub use strata::{CsfStratifier, EqualSizeStratifier, Strata, Stratifier};
 

@@ -10,7 +10,7 @@
 use super::state::{SamplerMethod, SamplerState};
 use super::{
     ImportanceSampler, InteractiveSampler, OasisConfig, OasisSampler, PassiveSampler, Proposal,
-    Sampler, StratifiedSampler,
+    Sampler, SamplerDiagnostics, StratifiedSampler,
 };
 use crate::error::Result;
 use crate::estimator::Estimate;
@@ -18,6 +18,11 @@ use crate::pool::ScoredPool;
 use rand::Rng;
 
 /// Enum dispatcher over the concrete sampler types.
+// The OASIS variant is a few hundred bytes bigger than the baselines
+// (posterior tallies + cached proposal CDF).  Samplers are few and
+// long-lived — one per session, never moved on the propose/apply hot
+// path — so boxing the variant would buy nothing but indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum AnySampler {
     /// Passive sampler.
@@ -121,6 +126,10 @@ impl InteractiveSampler for AnySampler {
 
     fn strata_len(&self) -> usize {
         dispatch!(self, s => s.strata_len())
+    }
+
+    fn diagnostics(&self) -> SamplerDiagnostics {
+        dispatch!(self, s => s.diagnostics())
     }
 
     fn state(&self) -> SamplerState {

@@ -16,7 +16,10 @@
 //! binary search ([`CategoricalCdf`]).
 
 use super::state::{EstimatorState, ImportanceState, SamplerMethod, SamplerState};
-use super::{CategoricalCdf, InteractiveSampler, Proposal, Sampler};
+use super::{
+    unstratified_diagnostics, CategoricalCdf, InteractiveSampler, Proposal, Sampler,
+    SamplerDiagnostics,
+};
 use crate::error::{Error, Result};
 use crate::estimator::{AisEstimator, Estimate};
 use crate::instrumental::pointwise_optimal;
@@ -157,6 +160,10 @@ impl InteractiveSampler for ImportanceSampler {
 
     fn method(&self) -> SamplerMethod {
         SamplerMethod::Importance
+    }
+
+    fn diagnostics(&self) -> SamplerDiagnostics {
+        unstratified_diagnostics(SamplerMethod::Importance, &self.estimator)
     }
 
     fn state(&self) -> SamplerState {

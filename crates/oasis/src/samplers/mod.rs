@@ -69,10 +69,70 @@ pub use state::{
 pub use stratified::StratifiedSampler;
 
 use crate::error::Result;
-use crate::estimator::Estimate;
+use crate::estimator::{AisEstimator, Estimate};
 use crate::oracle::Oracle;
 use crate::pool::ScoredPool;
 use rand::Rng;
+
+/// Diagnostics for an unstratified, AIS-estimated sampler: a single stratum
+/// holds every label and all the instrumental mass, and weight health comes
+/// straight off the estimator.  Shared by [`PassiveSampler`] and
+/// [`ImportanceSampler`].
+pub(crate) fn unstratified_diagnostics(
+    method: SamplerMethod,
+    estimator: &AisEstimator,
+) -> SamplerDiagnostics {
+    SamplerDiagnostics {
+        method,
+        iterations: estimator.iterations(),
+        effective_sample_size: estimator.effective_sample_size(),
+        normalized_weight_variance: estimator.normalized_weight_variance(),
+        stratum_labels: vec![estimator.iterations() as f64],
+        instrumental: vec![1.0],
+        cdf_rebuilds: 0,
+    }
+}
+
+/// Ground-truth-free diagnostics of a sampler run, reportable live from any
+/// method — unlike the oracle-referenced tools in [`crate::diagnostics`],
+/// nothing here needs the hidden truth, so a serving layer can export these
+/// for dashboards while labels are still being collected.
+///
+/// Captured by [`InteractiveSampler::diagnostics`] for every sampler, so
+/// drivers (sessions, the wire protocol) stay method-agnostic: static
+/// samplers report degenerate-but-honest values (unit-weight ESS equals the
+/// iteration count; unstratified samplers report a single stratum holding
+/// all mass) rather than being excluded.
+///
+/// All values are pure functions of the sampler's serialized state, so
+/// diagnostics are bit-stable across a checkpoint/restore round trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplerDiagnostics {
+    /// The reporting sampler's method tag.
+    pub method: SamplerMethod,
+    /// Sampling iterations folded into the estimator (label applications,
+    /// not distinct items).
+    pub iterations: usize,
+    /// Kish effective sample size of the importance weights,
+    /// `(Σw)²/Σw²` — the Delyon & Portier-style convergence proxy.  In
+    /// `(0, iterations]` once a label has been applied; `None` before any
+    /// observation or when the weight history predates its tracking.
+    pub effective_sample_size: Option<f64>,
+    /// Normalized weight variance `Var(w)/mean(w)²` (zero under unit
+    /// weights); `None` exactly when `effective_sample_size` is.
+    pub normalized_weight_variance: Option<f64>,
+    /// Labels applied per stratum so far (one entry per stratum; a single
+    /// entry holding every label for unstratified samplers).
+    pub stratum_labels: Vec<f64>,
+    /// The *current* instrumental distribution over the same strata — what
+    /// the sampler would draw from next.  Comparing against the label
+    /// allocation shows how far the realized allocation lags the adaptive
+    /// target.
+    pub instrumental: Vec<f64>,
+    /// How many times an instrumental-distribution CDF has been refit
+    /// (OASIS's cache-miss count; 0 forever for static methods).
+    pub cdf_rebuilds: u64,
+}
 
 /// The record of a single sampling iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -149,6 +209,13 @@ pub trait InteractiveSampler {
     fn strata_len(&self) -> usize {
         1
     }
+
+    /// Ground-truth-free diagnostics of the run so far (see
+    /// [`SamplerDiagnostics`]).  Every method reports: adaptive samplers
+    /// expose their live instrumental distribution and weight health,
+    /// static ones their degenerate equivalents — so drivers never need to
+    /// downcast to a concrete sampler type.
+    fn diagnostics(&self) -> SamplerDiagnostics;
 
     /// Capture the full serializable state of the sampler for
     /// checkpointing, tagged with its method.
@@ -347,6 +414,10 @@ impl<S: InteractiveSampler> InteractiveSampler for TrackedSampler<S> {
 
     fn strata_len(&self) -> usize {
         self.inner.strata_len()
+    }
+
+    fn diagnostics(&self) -> SamplerDiagnostics {
+        self.inner.diagnostics()
     }
 
     fn state(&self) -> SamplerState {

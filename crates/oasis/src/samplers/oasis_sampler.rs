@@ -1,7 +1,7 @@
 //! The OASIS sampler — the paper's contribution (Algorithms 2 and 3).
 
 use super::state::{EstimatorState, OasisState, SamplerMethod, SamplerState};
-use super::{InteractiveSampler, Sampler};
+use super::{InteractiveSampler, Sampler, SamplerDiagnostics};
 use crate::bayes::BetaBernoulliModel;
 use crate::error::{Error, Result};
 use crate::estimator::{AisEstimator, Estimate};
@@ -238,6 +238,13 @@ pub struct OasisSampler {
     /// intervening labels reuse the cached CDF instead of paying the O(K)
     /// refit per draw.  Transient: not part of [`SamplerState`].
     proposal_dirty: bool,
+    /// How many times the instrumental distribution (and its CDF) has been
+    /// refit — the cache-miss count behind the batched-proposal win, exposed
+    /// through [`InteractiveSampler::diagnostics`].  Serialized with the
+    /// state so diagnostics stay stable across checkpoint/restore; note a
+    /// restored sampler refits once on its next proposal (the cache itself
+    /// is transient), which counts.
+    cdf_rebuilds: u64,
 }
 
 impl OasisSampler {
@@ -272,6 +279,7 @@ impl OasisSampler {
             current_proposal: vec![1.0 / k as f64; k],
             cdf_scratch: Vec::new(),
             proposal_dirty: true,
+            cdf_rebuilds: 0,
         })
     }
 
@@ -338,7 +346,15 @@ impl OasisSampler {
             self.current_proposal = self.compute_proposal();
             super::fill_cumulative(&self.current_proposal, &mut self.cdf_scratch);
             self.proposal_dirty = false;
+            self.cdf_rebuilds += 1;
         }
+    }
+
+    /// How many times the instrumental distribution and its CDF have been
+    /// refit so far (the cache-miss count; see
+    /// [`InteractiveSampler::propose_batch`] for why batches pay one).
+    pub fn cdf_rebuilds(&self) -> u64 {
+        self.cdf_rebuilds
     }
 
     /// Draw one proposal from the (already refreshed) cached distribution.
@@ -368,6 +384,7 @@ impl OasisSampler {
         estimator: AisEstimator,
         initial_f_guess: f64,
         current_proposal: Vec<f64>,
+        cdf_rebuilds: u64,
     ) -> Result<Self> {
         config.validate()?;
         let k = strata.len();
@@ -390,6 +407,7 @@ impl OasisSampler {
             current_proposal,
             cdf_scratch: Vec::new(),
             proposal_dirty: true,
+            cdf_rebuilds,
         })
     }
 }
@@ -451,6 +469,29 @@ impl InteractiveSampler for OasisSampler {
         self.strata.len()
     }
 
+    /// Ground-truth-free health report: ESS and weight variance from the AIS
+    /// estimator's running sums, per-stratum label counts from the posterior's
+    /// observation tallies, and the instrumental distribution of the most
+    /// recent step — all pure functions of the serialized state, so the
+    /// report is bit-stable across checkpoint/restore.
+    fn diagnostics(&self) -> SamplerDiagnostics {
+        let (_, _, observed_matches, observed_non_matches) = self.model.snapshot();
+        let stratum_labels = observed_matches
+            .iter()
+            .zip(observed_non_matches.iter())
+            .map(|(&m, &n)| m + n)
+            .collect();
+        SamplerDiagnostics {
+            method: SamplerMethod::Oasis,
+            iterations: self.estimator.iterations(),
+            effective_sample_size: self.estimator.effective_sample_size(),
+            normalized_weight_variance: self.estimator.normalized_weight_variance(),
+            stratum_labels,
+            instrumental: self.current_proposal.clone(),
+            cdf_rebuilds: self.cdf_rebuilds,
+        }
+    }
+
     /// Capture the full serializable state (strata, posterior, estimator
     /// sums, initialisation products); see [`OasisState`].
     fn state(&self) -> SamplerState {
@@ -467,6 +508,7 @@ impl InteractiveSampler for OasisSampler {
             estimator: EstimatorState::capture(&self.estimator),
             initial_f_guess: self.initial_f_guess,
             current_proposal: self.current_proposal.clone(),
+            cdf_rebuilds: self.cdf_rebuilds,
             tracker: None,
         })
     }

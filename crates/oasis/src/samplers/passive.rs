@@ -1,7 +1,7 @@
 //! Passive (uniform i.i.d.) sampling — the baseline of Section 6.2.
 
 use super::state::{EstimatorState, PassiveState, SamplerMethod, SamplerState};
-use super::{InteractiveSampler, Proposal, Sampler};
+use super::{unstratified_diagnostics, InteractiveSampler, Proposal, Sampler, SamplerDiagnostics};
 use crate::error::Result;
 use crate::estimator::{AisEstimator, Estimate};
 use crate::pool::ScoredPool;
@@ -61,6 +61,10 @@ impl InteractiveSampler for PassiveSampler {
 
     fn method(&self) -> SamplerMethod {
         SamplerMethod::Passive
+    }
+
+    fn diagnostics(&self) -> SamplerDiagnostics {
+        unstratified_diagnostics(SamplerMethod::Passive, &self.estimator)
     }
 
     fn state(&self) -> SamplerState {

@@ -109,6 +109,10 @@ pub struct EstimatorState {
     pub weighted_actual: f64,
     /// Σ w — total weight.
     pub total_weight: f64,
+    /// Σ w² — the weight second moment behind the ground-truth-free ESS
+    /// diagnostic.  `None` for snapshots written before it was tracked; such
+    /// documents restore exactly but report no ESS (never a fabricated one).
+    pub weight_sq: Option<f64>,
     /// Number of observations folded in.
     pub iterations: usize,
 }
@@ -123,6 +127,7 @@ impl EstimatorState {
             weighted_predicted,
             weighted_actual,
             total_weight,
+            weight_sq: estimator.weight_sq(),
             iterations: estimator.iterations(),
         }
     }
@@ -138,6 +143,7 @@ impl EstimatorState {
             self.weighted_predicted,
             self.weighted_actual,
             self.total_weight,
+            self.weight_sq,
             self.iterations,
         )
     }
@@ -256,6 +262,9 @@ pub struct OasisState {
     pub initial_f_guess: f64,
     /// The instrumental distribution used at the most recent step.
     pub current_proposal: Vec<f64>,
+    /// How many times the instrumental CDF had been refit when the state was
+    /// captured (0 for documents written before the counter existed).
+    pub cdf_rebuilds: u64,
     /// Variance-tracker sums, when captured through a
     /// [`super::TrackedSampler`]; `None` for bare samplers and pre-tracker
     /// documents.
@@ -291,6 +300,7 @@ impl OasisState {
             self.estimator.rebuild()?,
             self.initial_f_guess,
             self.current_proposal,
+            self.cdf_rebuilds,
         )
     }
 }

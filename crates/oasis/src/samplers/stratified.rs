@@ -2,7 +2,7 @@
 //! "Stratified" baseline of Section 6.2.
 
 use super::state::{SamplerMethod, SamplerState, StratifiedState};
-use super::{CategoricalCdf, InteractiveSampler, Proposal, Sampler};
+use super::{CategoricalCdf, InteractiveSampler, Proposal, Sampler, SamplerDiagnostics};
 use crate::error::Result;
 use crate::estimator::Estimate;
 use crate::pool::ScoredPool;
@@ -176,6 +176,26 @@ impl InteractiveSampler for StratifiedSampler {
 
     fn strata_len(&self) -> usize {
         self.strata.len()
+    }
+
+    /// Every draw carries weight 1, so the effective sample size equals the
+    /// iteration count exactly and the normalized weight variance is zero;
+    /// the proportional proposal never changes, so no CDF rebuilds occur.
+    fn diagnostics(&self) -> SamplerDiagnostics {
+        let (ess, variance) = if self.iterations > 0 {
+            (Some(self.iterations as f64), Some(0.0))
+        } else {
+            (None, None)
+        };
+        SamplerDiagnostics {
+            method: SamplerMethod::Stratified,
+            iterations: self.iterations,
+            effective_sample_size: ess,
+            normalized_weight_variance: variance,
+            stratum_labels: self.tallies.iter().map(|t| t.samples).collect(),
+            instrumental: self.strata.weights().to_vec(),
+            cdf_rebuilds: 0,
+        }
     }
 
     fn state(&self) -> SamplerState {

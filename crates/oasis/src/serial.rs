@@ -24,8 +24,8 @@ use crate::diagnostics::OracleReference;
 use crate::estimator::Estimate;
 use crate::measures::{ConfusionCounts, Measures};
 use crate::samplers::{
-    EstimatorState, ImportanceState, OasisConfig, OasisState, PassiveState, SamplerMethod,
-    SamplerState, StratifiedState, StratifierChoice, TrackerState,
+    EstimatorState, ImportanceState, OasisConfig, OasisState, PassiveState, SamplerDiagnostics,
+    SamplerMethod, SamplerState, StratifiedState, StratifierChoice, TrackerState,
 };
 use serde::json::{FromJson, Json, JsonError, JsonResult, ToJson};
 
@@ -253,6 +253,10 @@ impl ToJson for EstimatorState {
         obj.set("weighted_predicted", self.weighted_predicted.to_json());
         obj.set("weighted_actual", self.weighted_actual.to_json());
         obj.set("total_weight", self.total_weight.to_json());
+        // Explicit null when the Σw² history is unknown (a snapshot restored
+        // from a pre-diagnostics document), mirroring the tracker convention:
+        // post-PR7 documents always carry the key.
+        obj.set("weight_sq", self.weight_sq.to_json());
         obj.set("iterations", self.iterations.to_json());
         obj
     }
@@ -266,6 +270,12 @@ impl FromJson for EstimatorState {
             weighted_predicted: field_f64(value, "weighted_predicted")?,
             weighted_actual: field_f64(value, "weighted_actual")?,
             total_weight: field_f64(value, "total_weight")?,
+            // Missing key (pre-PR7 document) and explicit null both mean "no
+            // Σw² history": the estimator restores exactly but reports no ESS.
+            weight_sq: match value.get("weight_sq") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_f64()?),
+            },
             iterations: value.require("iterations")?.as_usize()?,
         })
     }
@@ -356,6 +366,7 @@ impl ToJson for OasisState {
         obj.set("estimator", self.estimator.to_json());
         obj.set("initial_f_guess", self.initial_f_guess.to_json());
         obj.set("current_proposal", self.current_proposal.to_json());
+        obj.set("cdf_rebuilds", self.cdf_rebuilds.to_json());
         obj.set("tracker", tracker_to_json(&self.tracker));
         obj
     }
@@ -374,6 +385,11 @@ impl FromJson for OasisState {
             estimator: EstimatorState::from_json(value.require("estimator")?)?,
             initial_f_guess: field_f64(value, "initial_f_guess")?,
             current_proposal: Vec::<f64>::from_json(value.require("current_proposal")?)?,
+            // Pre-PR7 documents carry no rebuild counter; start from zero.
+            cdf_rebuilds: match value.get("cdf_rebuilds") {
+                None => 0,
+                Some(v) => v.as_u64()?,
+            },
             tracker: tracker_from_json(value)?,
         })
     }
@@ -441,6 +457,50 @@ impl FromJson for StratifiedState {
             actual_positives: Vec::<f64>::from_json(value.require("actual_positives")?)?,
             iterations: value.require("iterations")?.as_usize()?,
             tracker: tracker_from_json(value)?,
+        })
+    }
+}
+
+impl ToJson for SamplerDiagnostics {
+    /// Wire encoding of the health report.  Optional statistics (undefined
+    /// before the first label, or unknown for snapshots restored from
+    /// pre-diagnostics documents) serialize as explicit `null`s so consumers
+    /// can tell "not yet defined" apart from a dropped field.
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("method", self.method.to_json());
+        obj.set("iterations", self.iterations.to_json());
+        obj.set(
+            "effective_sample_size",
+            self.effective_sample_size.to_json(),
+        );
+        obj.set(
+            "normalized_weight_variance",
+            self.normalized_weight_variance.to_json(),
+        );
+        obj.set("stratum_labels", self.stratum_labels.to_json());
+        obj.set("instrumental", self.instrumental.to_json());
+        obj.set("cdf_rebuilds", self.cdf_rebuilds.to_json());
+        obj
+    }
+}
+
+impl FromJson for SamplerDiagnostics {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        let optional_f64 = |key: &str| -> JsonResult<Option<f64>> {
+            match value.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => Ok(Some(v.as_f64()?)),
+            }
+        };
+        Ok(SamplerDiagnostics {
+            method: SamplerMethod::from_json(value.require("method")?)?,
+            iterations: value.require("iterations")?.as_usize()?,
+            effective_sample_size: optional_f64("effective_sample_size")?,
+            normalized_weight_variance: optional_f64("normalized_weight_variance")?,
+            stratum_labels: Vec::<f64>::from_json(value.require("stratum_labels")?)?,
+            instrumental: Vec::<f64>::from_json(value.require("instrumental")?)?,
+            cdf_rebuilds: value.require("cdf_rebuilds")?.as_u64()?,
         })
     }
 }
