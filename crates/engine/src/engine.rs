@@ -71,6 +71,9 @@ pub struct SessionOverview {
     /// The sampling method, or `None` for a stored-but-evicted session
     /// (reading it would mean rehydrating the whole checkpoint).
     pub method: Option<SamplerMethod>,
+    /// Number of pool shards the session's sampler runs over (1 for flat
+    /// samplers), if resident.
+    pub shards: Option<usize>,
     /// Pending (proposed but unlabelled) ticket count, if resident.
     pub pending: Option<usize>,
     /// Distinct labels consumed, if resident.
@@ -195,6 +198,28 @@ impl Engine {
         seed: u64,
         source: LabelSource,
     ) -> EngineResult<()> {
+        self.create_session_sharded(session_id, pool_id, method, config, None, seed, source)
+    }
+
+    /// Create a session like [`Engine::create_session`], optionally sharding
+    /// the pool into `shards` partitions with per-shard strata and samplers
+    /// (see [`Session::new_sharded`]).  The session still speaks every
+    /// protocol verb unchanged; only proposal routing differs.
+    ///
+    /// # Errors
+    /// As [`Engine::create_session`], plus rejection of `Some(0)` or more
+    /// shards than pool items.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_session_sharded(
+        &self,
+        session_id: impl Into<String>,
+        pool_id: &str,
+        method: SamplerMethod,
+        config: OasisConfig,
+        shards: Option<usize>,
+        seed: u64,
+        source: LabelSource,
+    ) -> EngineResult<()> {
         let session_id = session_id.into();
         let pool = self.pool(pool_id)?;
         // Fail fast on an obvious duplicate, but do the expensive sampler
@@ -204,15 +229,19 @@ impl Engine {
             return Err(EngineError::DuplicateId(session_id));
         }
         self.reject_stored_duplicate(&session_id)?;
-        let session = Session::new(
+        let session = Session::new_sharded(
             session_id.clone(),
             pool_id,
             pool,
             method,
             config,
+            shards,
             seed,
             source,
         )?;
+        if shards.is_some() {
+            self.metrics.incr(Counter::ShardedSession);
+        }
         self.register(session_id, session)
     }
 
@@ -276,6 +305,9 @@ impl Engine {
         let timer = self.metrics.timer();
         let session = Session::restore(checkpoint, pool)?;
         self.metrics.incr(Counter::CheckpointRestore);
+        if session.shard_count() > 1 {
+            self.metrics.incr(Counter::ShardedSession);
+        }
         self.metrics.record("checkpoint.restore", timer);
         self.register(session_id, session)
     }
@@ -323,6 +355,9 @@ impl Engine {
         let applied = wal::replay(&mut session, &records, wal_seq)?;
         self.metrics.incr(Counter::Rehydration);
         self.metrics.incr(Counter::CheckpointRestore);
+        if session.shard_count() > 1 {
+            self.metrics.incr(Counter::ShardedSession);
+        }
         self.metrics.add(Counter::WalReplay, applied as u64);
         self.metrics.record("rehydrate", timer);
 
@@ -478,6 +513,7 @@ impl Engine {
                         SessionOverview {
                             id,
                             method: Some(session.method()),
+                            shards: Some(session.shard_count()),
                             pending: Some(session.pending_count()),
                             labels_consumed: Some(session.labels_consumed()),
                             dirty,
@@ -487,6 +523,7 @@ impl Engine {
                     None => SessionOverview {
                         id,
                         method: None,
+                        shards: None,
                         pending: None,
                         labels_consumed: None,
                         dirty,
@@ -562,7 +599,8 @@ impl Engine {
     fn run_job(&self, job: &SessionJob) -> EngineResult<Estimate> {
         let session = self.session(job.session_id())?;
         let mut session = session.lock();
-        match job {
+        let before = session.estimate().iterations;
+        let outcome = match job {
             SessionJob::Steps { steps, .. } => {
                 self.log_wal(job.session_id(), WalEntry::Step { steps: *steps })?;
                 session.step(*steps)
@@ -579,7 +617,14 @@ impl Engine {
                 )?;
                 session.run_until_budget(*budget, *max_steps)
             }
+        };
+        if session.shard_count() > 1 {
+            if let Ok(estimate) = &outcome {
+                self.metrics
+                    .add(Counter::ShardRoute, (estimate.iterations - before) as u64);
+            }
         }
+        outcome
     }
 }
 

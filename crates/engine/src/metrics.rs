@@ -114,11 +114,16 @@ pub enum Counter {
     Eviction,
     /// Sessions rehydrated from the store.
     Rehydration,
+    /// Sessions created (or restored) with a sharded pool.
+    ShardedSession,
+    /// Proposals routed through a shard of a sharded session (each one a
+    /// Fenwick-tree draw over the shard masses).
+    ShardRoute,
 }
 
 impl Counter {
     /// Every counter, in wire order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 12] = [
         Counter::Propose,
         Counter::Label,
         Counter::Step,
@@ -129,6 +134,8 @@ impl Counter {
         Counter::WalReplay,
         Counter::Eviction,
         Counter::Rehydration,
+        Counter::ShardedSession,
+        Counter::ShardRoute,
     ];
 
     /// The stable wire name.
@@ -144,6 +151,8 @@ impl Counter {
             Counter::WalReplay => "wal_replay",
             Counter::Eviction => "eviction",
             Counter::Rehydration => "rehydration",
+            Counter::ShardedSession => "sharded_session",
+            Counter::ShardRoute => "shard_route",
         }
     }
 

@@ -9,7 +9,7 @@
 //! | `cmd` | fields | effect |
 //! |---|---|---|
 //! | `load_pool` | `pool`, `scores[]`, `predictions[]` | register a shared pool |
-//! | `create_session` | `session`, `pool`, `seed`, `method`?, `config{}`?, `truth[]`? | new session; `truth` attaches an in-process oracle |
+//! | `create_session` | `session`, `pool`, `seed`, `method`?, `config{}`?, `shards`?, `truth[]`? | new session; `truth` attaches an in-process oracle |
 //! | `propose` | `session`, `count`? | draw items to label; returns tickets |
 //! | `label` | `session`, `labels[{ticket,label}]` | resume with a label batch |
 //! | `step` | `session`, `steps` | run full iterations (needs `truth`) |
@@ -30,6 +30,13 @@
 //! `"passive"`, `"importance"` or `"stratified"` — so all of the paper's
 //! comparison methods run behind the same wire commands.  An unknown method
 //! is a structured `"ok": false` protocol error, never a dropped connection.
+//!
+//! `create_session`'s optional `shards` partitions the pool into that many
+//! shards, each with its own strata and inner sampler, routed through one
+//! Fenwick tree of shard masses (see [`oasis::ShardedSampler`]) — the merged
+//! estimate is the exact AIS estimate, and `shards: 1` is bit-identical to
+//! an unsharded session on the same seed.  `shards: 0` is a protocol error;
+//! omitting the field builds the classic flat sampler.
 
 use crate::checkpoint::SessionCheckpoint;
 use crate::engine::Engine;
@@ -64,6 +71,9 @@ pub enum Request {
         method: SamplerMethod,
         /// Sampler configuration (defaults for missing keys).
         config: OasisConfig,
+        /// Optional shard count: partition the pool into this many shards,
+        /// each with its own strata and inner sampler (`None` = flat).
+        shards: Option<usize>,
         /// Optional hidden ground truth, enabling `step`/`run_budget`.
         truth: Option<Vec<bool>>,
     },
@@ -188,6 +198,18 @@ impl Request {
                 config: match value.get("config") {
                     Some(config) => OasisConfig::from_json(config)?,
                     None => OasisConfig::default(),
+                },
+                shards: match value.get("shards") {
+                    Some(shards) => {
+                        let shards = shards.as_usize()?;
+                        if shards == 0 {
+                            return Err(EngineError::Protocol(
+                                "shards must be at least 1".to_string(),
+                            ));
+                        }
+                        Some(shards)
+                    }
+                    None => None,
                 },
                 truth: match value.get("truth") {
                     Some(truth) => Some(Vec::<bool>::from_json(truth)?),
@@ -393,6 +415,7 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
             seed,
             method,
             config,
+            shards,
             truth,
         } => {
             let source = match truth {
@@ -402,11 +425,14 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
                     LabelSource::external(pool_len)
                 }
             };
-            engine.create_session(&session, &pool, method, config, seed, source)?;
+            engine.create_session_sharded(&session, &pool, method, config, shards, seed, source)?;
             let mut obj = ok_response();
             obj.set("session", Json::String(session));
             obj.set("method", method.to_json());
             obj.set("seed", seed.to_json());
+            if let Some(shards) = shards {
+                obj.set("shards", shards.to_json());
+            }
             obj
         }
         // Every mutating arm below logs its request to the write-ahead log
@@ -422,6 +448,11 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
             engine.log_wal(&session, WalEntry::Propose { count })?;
             let tickets = guard.propose(count)?;
             engine.metrics().add(Counter::Propose, tickets.len() as u64);
+            if guard.shard_count() > 1 {
+                engine
+                    .metrics()
+                    .add(Counter::ShardRoute, tickets.len() as u64);
+            }
             engine
                 .metrics()
                 .record(&format!("propose.{}", guard.method().as_str()), timer);
@@ -453,6 +484,9 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
             engine.log_wal(&session, WalEntry::Step { steps })?;
             guard.step(steps)?;
             engine.metrics().add(Counter::Step, steps as u64);
+            if guard.shard_count() > 1 {
+                engine.metrics().add(Counter::ShardRoute, steps as u64);
+            }
             engine
                 .metrics()
                 .record(&format!("step.{}", guard.method().as_str()), timer);
@@ -473,8 +507,14 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
                     max_steps,
                 },
             )?;
-            guard.run_until_budget(budget, max_steps)?;
+            let before = guard.estimate().iterations;
+            let estimate = guard.run_until_budget(budget, max_steps)?;
             engine.metrics().incr(Counter::RunBudget);
+            if guard.shard_count() > 1 {
+                engine
+                    .metrics()
+                    .add(Counter::ShardRoute, (estimate.iterations - before) as u64);
+            }
             engine
                 .metrics()
                 .record(&format!("run_budget.{}", guard.method().as_str()), timer);
@@ -536,6 +576,9 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
                     entry.set("session", Json::String(overview.id));
                     if let Some(method) = overview.method {
                         entry.set("method", method.to_json());
+                    }
+                    if let Some(shards) = overview.shards {
+                        entry.set("shards", shards.to_json());
                     }
                     if let Some(pending) = overview.pending {
                         entry.set("pending", pending.to_json());

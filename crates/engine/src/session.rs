@@ -101,8 +101,37 @@ impl Session {
         seed: u64,
         source: LabelSource,
     ) -> EngineResult<Self> {
+        Session::new_sharded(id, pool_id, pool, method, config, None, seed, source)
+    }
+
+    /// Create a session like [`Session::new`], optionally sharding the pool
+    /// into `shards` partitions, each with its own strata and inner sampler
+    /// (see [`oasis::ShardedSampler`]).  `None` (and `Some(1)` up to the
+    /// shard-selection draw) behaves exactly like the flat constructor;
+    /// shard `s` seeds its own RNG from `seed.wrapping_add(s)`, while the
+    /// session RNG (seeded from `seed`) is consumed only for shard
+    /// selection.
+    ///
+    /// # Errors
+    /// As [`Session::new`], plus rejection of `Some(0)` and of more shards
+    /// than pool items.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_sharded(
+        id: impl Into<String>,
+        pool_id: impl Into<String>,
+        pool: Arc<ScoredPool>,
+        method: SamplerMethod,
+        config: OasisConfig,
+        shards: Option<usize>,
+        seed: u64,
+        source: LabelSource,
+    ) -> EngineResult<Self> {
         validate_source(&source, pool.len())?;
-        let sampler = TrackedSampler::new(AnySampler::build(method, &pool, &config)?, config.alpha);
+        let sampler = match shards {
+            Some(k) => AnySampler::build_sharded(method, &pool, &config, k, seed)?,
+            None => AnySampler::build(method, &pool, &config)?,
+        };
+        let sampler = TrackedSampler::new(sampler, config.alpha);
         Ok(Session {
             id: id.into(),
             pool_id: pool_id.into(),
@@ -146,10 +175,17 @@ impl Session {
         self.sampler.estimate()
     }
 
-    /// The underlying sampler (method-specific introspection lives behind
-    /// the [`AnySampler`] dispatcher, e.g. [`AnySampler::as_oasis`]).
+    /// The underlying sampler (method-agnostic introspection lives on the
+    /// [`InteractiveSampler`] trait, e.g.
+    /// [`instrumental_snapshot`](InteractiveSampler::instrumental_snapshot)).
     pub fn sampler(&self) -> &AnySampler {
         self.sampler.inner()
+    }
+
+    /// Number of pool shards the session's sampler runs over (1 for a flat,
+    /// unsharded sampler).
+    pub fn shard_count(&self) -> usize {
+        self.sampler.inner().shard_count()
     }
 
     /// Ground-truth-free sampler health diagnostics — ESS, weight variance,

@@ -176,8 +176,13 @@ fn encode_id(id: &str) -> String {
     out
 }
 
-/// Invert [`encode_id`].  Returns `None` on stray `%` escapes (a file the
-/// store did not write).
+/// Invert [`encode_id`], accepting only *canonical* encodings — the exact
+/// strings `encode_id` emits.  Returns `None` on stray `%` escapes, and on
+/// well-formed but non-canonical ones: lowercase hex (`%2f`) or escapes of
+/// pass-through bytes (`%61` for `a`).  Without that check two distinct file
+/// names could decode to the same session id, and a crafted file dropped
+/// into the store directory could alias — and via `list_sessions` shadow —
+/// a legitimate shard-qualified id like `sess/shard-3`.
 fn decode_id(encoded: &str) -> Option<String> {
     let bytes = encoded.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
@@ -192,7 +197,9 @@ fn decode_id(encoded: &str) -> Option<String> {
             i += 1;
         }
     }
-    String::from_utf8(out).ok()
+    let id = String::from_utf8(out).ok()?;
+    // Round-trip audit: the only decodable names are the ones we write.
+    (encode_id(&id) == encoded).then_some(id)
 }
 
 fn io_err(action: &str, path: &Path, e: std::io::Error) -> EngineError {
@@ -313,6 +320,23 @@ mod tests {
         encoded.sort();
         encoded.dedup();
         assert_eq!(encoded.len(), ids.len(), "distinct ids must not collide");
+    }
+
+    #[test]
+    fn shard_qualified_ids_round_trip_and_reject_aliases() {
+        // Shard-qualified session ids contain a path separator; it must be
+        // percent-encoded on disk and survive the round trip exactly.
+        let id = "sess/shard-3";
+        let enc = encode_id(id);
+        assert_eq!(enc, "sess%2Fshard-3");
+        assert_eq!(decode_id(&enc).as_deref(), Some(id));
+
+        // Non-canonical spellings of the same name must NOT decode: they
+        // would alias the legitimate file under a different stem.
+        assert_eq!(decode_id("sess%2fshard-3"), None, "lowercase hex");
+        assert_eq!(decode_id("%73ess%2Fshard-3"), None, "overlong escape");
+        assert_eq!(decode_id("sess%2"), None, "truncated escape");
+        assert_eq!(decode_id("sess%zz"), None, "bad hex digits");
     }
 
     #[test]

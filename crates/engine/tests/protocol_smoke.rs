@@ -13,14 +13,17 @@ const DURABLE_BEFORE_KILL: &str = include_str!("smoke/durable-before-kill.jsonl"
 const DURABLE_AFTER_RESTART: &str = include_str!("smoke/durable-after-restart.jsonl");
 
 /// Golden estimates for the smoke sessions — one OASIS, one passive, one
-/// stratified session over the same pool, seed and step count (the pool +
-/// seed are fixed, all arithmetic is deterministic IEEE-754 — no libm in the
-/// calibrated-score path — so these are stable across platforms).  One
-/// golden per method pins the whole method-dispatch path: sampler
-/// construction, the propose/apply state machine, and the estimator.
+/// stratified and one sharded-OASIS session over the same pool, seed and
+/// step count (the pool + seed are fixed, all arithmetic is deterministic
+/// IEEE-754 — no libm in the calibrated-score path — so these are stable
+/// across platforms).  One golden per method pins the whole method-dispatch
+/// path: sampler construction, the propose/apply state machine, and the
+/// estimator; the sharded golden additionally pins shard routing and the
+/// exact-merge estimator.
 const GOLDEN_OASIS_FRAGMENT: &str = r#""f_measure":0.8605922932779813"#;
 const GOLDEN_PASSIVE_FRAGMENT: &str = r#""f_measure":0.8524590163934426"#;
 const GOLDEN_STRATIFIED_FRAGMENT: &str = r#""f_measure":0.8864468864468864"#;
+const GOLDEN_SHARDED_FRAGMENT: &str = r#""f_measure":0.9313493268593968"#;
 
 #[test]
 fn scripted_smoke_session_reproduces_the_golden_estimate_lines() {
@@ -31,14 +34,20 @@ fn scripted_smoke_session_reproduces_the_golden_estimate_lines() {
 
     let text = String::from_utf8(output).unwrap();
     let lines: Vec<&str> = text.lines().collect();
-    assert_eq!(lines.len(), 11, "one response per request:\n{text}");
+    assert_eq!(lines.len(), 14, "one response per request:\n{text}");
     for line in &lines {
         assert!(line.contains(r#""ok":true"#), "failed response: {line}");
     }
+    assert!(
+        lines[10].contains(r#""shards":2"#),
+        "s4's create response echoes its shard count: {}",
+        lines[10]
+    );
     for (estimate_line, method, golden) in [
         (lines[3], "oasis", GOLDEN_OASIS_FRAGMENT),
         (lines[6], "passive", GOLDEN_PASSIVE_FRAGMENT),
         (lines[9], "stratified", GOLDEN_STRATIFIED_FRAGMENT),
+        (lines[12], "oasis", GOLDEN_SHARDED_FRAGMENT),
     ] {
         assert!(
             estimate_line.contains(golden),

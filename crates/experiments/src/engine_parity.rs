@@ -10,6 +10,8 @@
 //! checks both properties for the full [`Method::parity_lineup`] — passive,
 //! importance, stratified and OASIS — on a cora-profile pool, and reports
 //! engine throughput (steps/second across the worker pool) as a bonus.
+//! Since the sharding subsystem each row also verifies K=1 parity: a
+//! single-shard session must reproduce the flat library run bit-for-bit.
 
 use crate::methods::{AnySampler, Method};
 use crate::pools::{direct_pool, ExperimentPool};
@@ -67,6 +69,9 @@ pub struct ParityRow {
     /// Whether an interrupt→checkpoint→restore→resume run of the same
     /// session agrees bit-for-bit with the uninterrupted one.
     pub checkpoint_identical: bool,
+    /// Whether a single-shard (`shards: 1`) session agrees bit-for-bit with
+    /// the flat library run — the K=1 parity the sharding subsystem pins.
+    pub sharded_identical: bool,
 }
 
 /// The full parity report.
@@ -91,7 +96,7 @@ impl EngineParity {
     pub fn all_identical(&self) -> bool {
         self.rows
             .iter()
-            .all(|r| r.bit_identical && r.checkpoint_identical)
+            .all(|r| r.bit_identical && r.checkpoint_identical && r.sharded_identical)
     }
 
     /// Render as a plain-text table.
@@ -103,6 +108,7 @@ impl EngineParity {
             "Engine F",
             "Bit-identical",
             "Checkpoint-identical",
+            "Sharded-identical",
         ]);
         for row in &self.rows {
             table.add_row(vec![
@@ -112,6 +118,7 @@ impl EngineParity {
                 fmt_float(row.engine_f, 12),
                 row.bit_identical.to_string(),
                 row.checkpoint_identical.to_string(),
+                row.sharded_identical.to_string(),
             ]);
         }
         format!(
@@ -180,6 +187,34 @@ fn checkpointed_run(
     estimate
 }
 
+/// Run the same configuration as a single-shard (`shards: 1`) session: one
+/// shard spans the whole pool with weight 1.0 and shard 0 reuses the session
+/// seed, so the sharded topology must reproduce the flat run bit-for-bit.
+fn sharded_run(
+    engine: &Engine,
+    pool: &ExperimentPool,
+    method: &Method,
+    seed: u64,
+    steps: usize,
+) -> oasis::Estimate {
+    let session_id = format!("shard-{}-{seed}", method.sampler_method());
+    engine
+        .create_session_sharded(
+            &session_id,
+            "cora",
+            method.sampler_method(),
+            method.engine_config(0.5, 0.0),
+            Some(1),
+            seed,
+            LabelSource::GroundTruth(GroundTruthOracle::new(pool.truth.clone())),
+        )
+        .expect("sharded session");
+    let handle = engine.session(&session_id).expect("exists");
+    let estimate = handle.lock().step(steps).expect("sharded run");
+    engine.delete_session(&session_id).expect("cleanup");
+    estimate
+}
+
 /// Run the parity experiment across the full method line-up.
 pub fn run(config: &EngineParityConfig) -> EngineParity {
     let pool = direct_pool(&DatasetProfile::cora(), config.scale, true, config.seed);
@@ -242,6 +277,10 @@ pub fn run(config: &EngineParityConfig) -> EngineParity {
             let checkpoint_identical = resumed.f_measure.to_bits() == reference.f_measure.to_bits()
                 && resumed.precision.to_bits() == reference.precision.to_bits()
                 && resumed.recall.to_bits() == reference.recall.to_bits();
+            let sharded = sharded_run(&engine, &pool, method, *seed, config.steps);
+            let sharded_identical = sharded.f_measure.to_bits() == reference.f_measure.to_bits()
+                && sharded.precision.to_bits() == reference.precision.to_bits()
+                && sharded.recall.to_bits() == reference.recall.to_bits();
             ParityRow {
                 method: method.label(),
                 seed: *seed,
@@ -249,6 +288,7 @@ pub fn run(config: &EngineParityConfig) -> EngineParity {
                 engine_f: estimate.f_measure,
                 bit_identical,
                 checkpoint_identical,
+                sharded_identical,
             }
         })
         .collect();

@@ -215,11 +215,19 @@ mod tests {
     }
 
     #[test]
-    fn as_oasis_only_matches_oasis() {
+    fn instrumental_snapshot_is_method_agnostic() {
+        // Every method in the lineup exposes a per-stratum instrumental
+        // snapshot: one finite, non-negative mass per stratum.
         let (pool, _) = tiny_pool();
-        let oasis = Method::oasis(4).build(&pool, 0.5, 0.5).unwrap();
-        assert!(oasis.as_oasis().is_some());
-        let passive = Method::Passive.build(&pool, 0.5, 0.5).unwrap();
-        assert!(passive.as_oasis().is_none());
+        for method in Method::parity_lineup() {
+            let sampler = method.build(&pool, 0.5, 0.5).unwrap();
+            let snapshot = sampler.instrumental_snapshot();
+            assert_eq!(snapshot.len(), sampler.strata_len(), "{}", method.label());
+            assert!(
+                snapshot.iter().all(|w| w.is_finite() && *w >= 0.0),
+                "{}: {snapshot:?}",
+                method.label()
+            );
+        }
     }
 }

@@ -79,6 +79,46 @@ pub fn stratified_optimal(
     }
 }
 
+/// The *un-normalised total mass* of the stratified asymptotically optimal
+/// instrumental distribution — the normalising constant `Z` that
+/// [`stratified_optimal`] divides by.  Inputs are as for
+/// [`stratified_optimal`].
+///
+/// A sharded sampler uses this as a scalar summary of how much proposal mass
+/// a shard's current posterior "wants": shard-selection weights proportional
+/// to `ω_shard · Z_shard` approximate the cross-shard optimal allocation
+/// while staying O(K_strata) to recompute per label.  Returns `0.0` in the
+/// degenerate all-zero case (callers fall back to the shard weight alone,
+/// mirroring [`stratified_optimal`]'s fallback to the stratum weights).
+pub fn stratified_optimal_mass(
+    weights: &[f64],
+    mean_predictions: &[f64],
+    pi_estimates: &[f64],
+    f_estimate: f64,
+    alpha: f64,
+) -> f64 {
+    debug_assert_eq!(weights.len(), mean_predictions.len());
+    debug_assert_eq!(weights.len(), pi_estimates.len());
+    let f = f_estimate.clamp(0.0, 1.0);
+    let total: f64 = weights
+        .iter()
+        .zip(mean_predictions.iter())
+        .zip(pi_estimates.iter())
+        .map(|((&w, &lambda), &pi)| {
+            let pi = pi.clamp(0.0, 1.0);
+            let negative_branch = (1.0 - alpha) * (1.0 - lambda) * f * pi.sqrt();
+            let positive_branch =
+                lambda * (alpha * alpha * f * f * (1.0 - pi) + (1.0 - f) * (1.0 - f) * pi).sqrt();
+            w * (negative_branch + positive_branch)
+        })
+        .sum();
+    if total.is_finite() {
+        total
+    } else {
+        0.0
+    }
+}
+
 /// Mix a target distribution with the underlying distribution:
 /// `q = ε·p + (1 − ε)·q*` (paper Eqn. 6/12).  Both inputs must already be
 /// normalised; the output is normalised by construction.
@@ -189,6 +229,39 @@ mod tests {
         let v = stratified_optimal(&weights, &[0.0, 0.0], &[0.2, 0.3], 0.0, 0.5);
         assert!((v[0] - 0.25).abs() < 1e-12);
         assert!((v[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stratified_optimal_mass_is_the_normalising_constant() {
+        let weights = [0.7, 0.2, 0.1];
+        let lambdas = [0.0, 0.5, 1.0];
+        let pis = [0.01, 0.4, 0.95];
+        let z = stratified_optimal_mass(&weights, &lambdas, &pis, 0.6, 0.5);
+        assert!(z > 0.0);
+        // Dividing the raw per-stratum masses by Z reproduces the
+        // normalised distribution bit-for-bit (same arithmetic order).
+        let v = stratified_optimal(&weights, &lambdas, &pis, 0.6, 0.5);
+        let raw: Vec<f64> = weights
+            .iter()
+            .zip(lambdas.iter())
+            .zip(pis.iter())
+            .map(|((&w, &lambda), &pi)| {
+                let f: f64 = 0.6;
+                let alpha = 0.5;
+                let neg = (1.0 - alpha) * (1.0 - lambda) * f * pi.sqrt();
+                let pos = lambda
+                    * (alpha * alpha * f * f * (1.0 - pi) + (1.0 - f) * (1.0 - f) * pi).sqrt();
+                w * (neg + pos)
+            })
+            .collect();
+        for (norm, r) in v.iter().zip(raw.iter()) {
+            assert_eq!(norm.to_bits(), (r / z).to_bits());
+        }
+        // Degenerate case: zero mass, not NaN.
+        assert_eq!(
+            stratified_optimal_mass(&weights, &[0.0; 3], &pis, 0.0, 0.5),
+            0.0
+        );
     }
 
     #[test]

@@ -85,10 +85,10 @@ pub use measures::{ConfusionCounts, Measures};
 pub use oracle::{GroundTruthOracle, NoisyOracle, Oracle};
 pub use pool::ScoredPool;
 pub use samplers::{
-    AnySampler, CategoricalCdf, EstimatorState, ImportanceSampler, ImportanceState,
+    AnySampler, CategoricalCdf, EstimatorState, FenwickTree, ImportanceSampler, ImportanceState,
     InteractiveSampler, OasisConfig, OasisSampler, OasisState, PassiveSampler, PassiveState,
-    Proposal, Sampler, SamplerDiagnostics, SamplerMethod, SamplerState, StratifiedSampler,
-    StratifiedState, TrackedSampler, TrackerState,
+    Proposal, Sampler, SamplerDiagnostics, SamplerMethod, SamplerState, ShardedPool,
+    ShardedSampler, ShardedState, StratifiedSampler, StratifiedState, TrackedSampler, TrackerState,
 };
 pub use strata::{CsfStratifier, EqualSizeStratifier, Strata, Stratifier};
 

@@ -7,6 +7,7 @@
 //! value, construct one from a [`SamplerMethod`] tag, and round-trip it
 //! through the method-tagged [`SamplerState`].
 
+use super::sharding::ShardedSampler;
 use super::state::{SamplerMethod, SamplerState};
 use super::{
     ImportanceSampler, InteractiveSampler, OasisConfig, OasisSampler, PassiveSampler, Proposal,
@@ -33,10 +34,13 @@ pub enum AnySampler {
     Importance(ImportanceSampler),
     /// OASIS sampler.
     Oasis(OasisSampler),
+    /// Sharded ensemble of any of the above (one inner sampler per shard);
+    /// see [`ShardedSampler`].
+    Sharded(ShardedSampler),
 }
 
 /// One `match` arm per variant, delegating an expression to the inner
-/// sampler — keeps the trait impl below free of 4× repetition.
+/// sampler — keeps the trait impl below free of 5× repetition.
 macro_rules! dispatch {
     ($self:expr, $inner:ident => $body:expr) => {
         match $self {
@@ -44,6 +48,7 @@ macro_rules! dispatch {
             AnySampler::Stratified($inner) => $body,
             AnySampler::Importance($inner) => $body,
             AnySampler::Oasis($inner) => $body,
+            AnySampler::Sharded($inner) => $body,
         }
     };
 }
@@ -84,12 +89,31 @@ impl AnySampler {
         })
     }
 
-    /// Access the inner OASIS sampler, if this is one (used by the
-    /// convergence diagnostics of Figure 4).
-    pub fn as_oasis(&self) -> Option<&OasisSampler> {
+    /// Build a sharded sampler: `pool` partitioned into `shards` contiguous
+    /// shards, one fresh `method` sampler per shard (see
+    /// [`ShardedSampler::new`] for the seed discipline).  `shards == 1` is
+    /// valid and bit-identical to the flat [`AnySampler::build`] sampler.
+    ///
+    /// # Errors
+    /// Invalid shard count, invalid config, or any inner constructor
+    /// failure.
+    pub fn build_sharded(
+        method: SamplerMethod,
+        pool: &ScoredPool,
+        config: &OasisConfig,
+        shards: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        Ok(AnySampler::Sharded(ShardedSampler::new(
+            method, pool, config, shards, seed,
+        )?))
+    }
+
+    /// Number of shards the sampler runs over — `1` for every flat sampler.
+    pub fn shard_count(&self) -> usize {
         match self {
-            AnySampler::Oasis(s) => Some(s),
-            _ => None,
+            AnySampler::Sharded(s) => s.shard_count(),
+            _ => 1,
         }
     }
 }
@@ -132,12 +156,27 @@ impl InteractiveSampler for AnySampler {
         dispatch!(self, s => s.diagnostics())
     }
 
+    fn instrumental_snapshot(&self) -> Vec<f64> {
+        dispatch!(self, s => s.instrumental_snapshot())
+    }
+
+    fn proposal_mass(&self) -> f64 {
+        dispatch!(self, s => s.proposal_mass())
+    }
+
     fn state(&self) -> SamplerState {
         dispatch!(self, s => s.state())
     }
 
-    /// Rebuild whichever sampler the state's method tag names.
+    /// Rebuild whichever sampler the state's method tag names.  The sharded
+    /// topology is matched on the variant first — its `method()` reports the
+    /// *inner* method, so tag dispatch alone would mis-route it.
     fn from_state(pool: &ScoredPool, state: SamplerState) -> Result<Self> {
+        if let SamplerState::Sharded(_) = &state {
+            return Ok(AnySampler::Sharded(ShardedSampler::from_state(
+                pool, state,
+            )?));
+        }
         Ok(match state.method() {
             SamplerMethod::Passive => AnySampler::Passive(PassiveSampler::from_state(pool, state)?),
             SamplerMethod::Stratified => {
@@ -204,6 +243,7 @@ mod tests {
                     AnySampler::Stratified(s) => s.step(&pool, &mut oracle_raw, &mut rng_raw),
                     AnySampler::Importance(s) => s.step(&pool, &mut oracle_raw, &mut rng_raw),
                     AnySampler::Oasis(s) => s.step(&pool, &mut oracle_raw, &mut rng_raw),
+                    AnySampler::Sharded(s) => s.step(&pool, &mut oracle_raw, &mut rng_raw),
                 }
                 .unwrap();
                 assert_eq!(a.item, b.item, "{method}");
@@ -250,11 +290,51 @@ mod tests {
     }
 
     #[test]
-    fn as_oasis_only_matches_oasis() {
+    fn instrumental_snapshot_is_method_agnostic() {
+        // Every method reports a live instrumental distribution over its
+        // strata — the method-agnostic replacement for downcasting to the
+        // OASIS sampler.
         let (pool, _) = pool_and_truth(100, 4);
-        let oasis = AnySampler::build(SamplerMethod::Oasis, &pool, &config()).unwrap();
-        assert!(oasis.as_oasis().is_some());
-        let passive = AnySampler::build(SamplerMethod::Passive, &pool, &config()).unwrap();
-        assert!(passive.as_oasis().is_none());
+        for method in SamplerMethod::ALL {
+            let sampler = AnySampler::build(method, &pool, &config()).unwrap();
+            let snapshot = sampler.instrumental_snapshot();
+            assert_eq!(snapshot.len(), sampler.strata_len(), "{method}");
+            assert!(
+                snapshot.iter().all(|&p| p.is_finite() && p >= 0.0),
+                "{method}"
+            );
+            assert!(
+                (snapshot.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+                "{method}"
+            );
+            // The snapshot is exactly what diagnostics expose.
+            assert_eq!(snapshot, sampler.diagnostics().instrumental, "{method}");
+        }
+    }
+
+    #[test]
+    fn sharded_build_round_trips_through_the_enum() {
+        let (pool, truth) = pool_and_truth(400, 5);
+        let mut sampler =
+            AnySampler::build_sharded(SamplerMethod::Oasis, &pool, &config(), 4, 17).unwrap();
+        assert_eq!(sampler.shard_count(), 4);
+        assert_eq!(sampler.method(), SamplerMethod::Oasis);
+        let flat = AnySampler::build(SamplerMethod::Oasis, &pool, &config()).unwrap();
+        assert_eq!(flat.shard_count(), 1);
+
+        let mut rng = StdRng::seed_from_u64(18);
+        let mut oracle = GroundTruthOracle::new(truth);
+        for _ in 0..120 {
+            sampler.step(&pool, &mut oracle, &mut rng).unwrap();
+        }
+        let state = sampler.state();
+        // The tag reports the inner method; the variant carries the topology.
+        assert_eq!(state.method(), SamplerMethod::Oasis);
+        let restored = AnySampler::from_state(&pool, state).unwrap();
+        assert_eq!(restored.shard_count(), 4);
+        assert_eq!(
+            restored.estimate().f_measure.to_bits(),
+            sampler.estimate().f_measure.to_bits()
+        );
     }
 }

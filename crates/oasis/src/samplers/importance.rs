@@ -96,6 +96,11 @@ impl ImportanceSampler {
         &self.proposal
     }
 
+    /// The AIS estimator's running sums — read by the sharded merge.
+    pub(crate) fn estimator(&self) -> &AisEstimator {
+        &self.estimator
+    }
+
     /// Assemble a sampler from a restored estimator, recomputing the static
     /// proposal from the pool (a pure deterministic function of the scores,
     /// so the recomputation is bit-exact); shared by

@@ -47,24 +47,35 @@
 //! | [`ImportanceSampler`] | `importance` | static pointwise optimal (scores as probabilities) | AIS (Eqn. 3) | no |
 //! | [`OasisSampler`] | `oasis` | ε-greedy stratified optimal, refit each iteration | AIS (Eqn. 3) | yes |
 //!
-//! [`AnySampler`] dispatches over the four concrete types behind one value,
-//! and the method-tagged [`SamplerState`] serializes any of them for
+//! [`AnySampler`] dispatches over the concrete types behind one value, and
+//! the method-tagged [`SamplerState`] serializes any of them for
 //! exact-resume checkpointing.
+//!
+//! On top of the concrete methods sits the sharding layer ([`ShardedPool`] /
+//! [`ShardedSampler`]): a partition of the pool into K contiguous shards,
+//! one inner sampler per shard, exposed as a single `InteractiveSampler`
+//! whose estimate is the *exact* merged AIS estimate.  Shard selection runs
+//! on an incremental [`FenwickTree`] so the per-label proposal cost is
+//! O(log K) instead of an O(N) CDF rebuild.
 
 mod any;
+mod fenwick;
 mod importance;
 mod oasis_sampler;
 mod passive;
+mod sharding;
 mod state;
 mod stratified;
 
 pub use any::AnySampler;
+pub use fenwick::FenwickTree;
 pub use importance::ImportanceSampler;
 pub use oasis_sampler::{OasisConfig, OasisSampler, Proposal, StratifierChoice};
 pub use passive::PassiveSampler;
+pub use sharding::{ShardedPool, ShardedSampler};
 pub use state::{
     EstimatorState, ImportanceState, OasisState, PassiveState, SamplerMethod, SamplerState,
-    StratifiedState, TrackerState,
+    ShardedState, StratifiedState, TrackerState,
 };
 pub use stratified::StratifiedSampler;
 
@@ -216,6 +227,29 @@ pub trait InteractiveSampler {
     /// static ones their degenerate equivalents — so drivers never need to
     /// downcast to a concrete sampler type.
     fn diagnostics(&self) -> SamplerDiagnostics;
+
+    /// The *current* instrumental distribution over the sampler's strata —
+    /// what the next proposal would draw from.  Method-agnostic (every
+    /// sampler has one: OASIS its ε-greedy adaptive proposal, stratified the
+    /// static stratum weights, unstratified samplers a single entry holding
+    /// all mass), so merged/sharded diagnostics never special-case a
+    /// concrete sampler type.  Defaults to the diagnostics' instrumental
+    /// vector.
+    fn instrumental_snapshot(&self) -> Vec<f64> {
+        self.diagnostics().instrumental
+    }
+
+    /// A scalar summary of how much un-normalised proposal mass the sampler
+    /// currently "wants" — the normalising constant of its instrumental
+    /// distribution before mixing/normalisation.  A sharded driver
+    /// multiplies this by the shard's pool weight to steer shard selection;
+    /// any positive value keeps the merged estimator unbiased (the shard
+    /// weight is divided back out), so static samplers simply report the
+    /// neutral `1.0`.  Must be a pure function of the serialized state and
+    /// strictly positive and finite.
+    fn proposal_mass(&self) -> f64 {
+        1.0
+    }
 
     /// Capture the full serializable state of the sampler for
     /// checkpointing, tagged with its method.
@@ -418,6 +452,14 @@ impl<S: InteractiveSampler> InteractiveSampler for TrackedSampler<S> {
 
     fn diagnostics(&self) -> SamplerDiagnostics {
         self.inner.diagnostics()
+    }
+
+    fn instrumental_snapshot(&self) -> Vec<f64> {
+        self.inner.instrumental_snapshot()
+    }
+
+    fn proposal_mass(&self) -> f64 {
+        self.inner.proposal_mass()
     }
 
     fn state(&self) -> SamplerState {

@@ -5,7 +5,7 @@ use super::{InteractiveSampler, Sampler, SamplerDiagnostics};
 use crate::bayes::BetaBernoulliModel;
 use crate::error::{Error, Result};
 use crate::estimator::{AisEstimator, Estimate};
-use crate::instrumental::{epsilon_greedy, stratified_optimal};
+use crate::instrumental::{epsilon_greedy, stratified_optimal, stratified_optimal_mass};
 use crate::pool::ScoredPool;
 use crate::samplers::importance::logistic;
 use crate::strata::{CsfStratifier, EqualSizeStratifier, Strata, Stratifier};
@@ -375,6 +375,11 @@ impl OasisSampler {
         }
     }
 
+    /// The AIS estimator's running sums — read by the sharded merge.
+    pub(crate) fn estimator(&self) -> &AisEstimator {
+        &self.estimator
+    }
+
     /// Assemble a sampler from restored components; shared by
     /// [`OasisState::rebuild`].
     pub(super) fn from_parts(
@@ -455,6 +460,30 @@ impl InteractiveSampler for OasisSampler {
 
     fn estimate(&self) -> Estimate {
         self.estimator.estimate()
+    }
+
+    /// The un-normalised total mass of the current stratified-optimal
+    /// instrumental distribution — a pure function of the posterior and the
+    /// running estimate, recomputed in O(K) without touching the cached
+    /// proposal.  A sharded driver uses it to steer shard selection toward
+    /// the shards whose strata currently want the most sampling effort.
+    fn proposal_mass(&self) -> f64 {
+        let pi = self.model.posterior_means();
+        let mass = stratified_optimal_mass(
+            self.strata.weights(),
+            self.strata.mean_predictions(),
+            &pi,
+            self.working_f_estimate(),
+            self.config.alpha,
+        );
+        if mass > 0.0 {
+            mass
+        } else {
+            // Degenerate posterior (no predicted positives and F̂ = 0):
+            // fall back to the neutral unit mass, mirroring
+            // `stratified_optimal`'s fallback to the stratum weights.
+            1.0
+        }
     }
 
     fn name(&self) -> &'static str {

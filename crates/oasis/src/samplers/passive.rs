@@ -32,6 +32,11 @@ impl PassiveSampler {
     pub(super) fn from_parts(estimator: AisEstimator) -> Self {
         PassiveSampler { estimator }
     }
+
+    /// The AIS estimator's running sums — read by the sharded merge.
+    pub(crate) fn estimator(&self) -> &AisEstimator {
+        &self.estimator
+    }
 }
 
 impl InteractiveSampler for PassiveSampler {

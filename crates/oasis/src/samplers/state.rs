@@ -445,6 +445,34 @@ impl StratifiedState {
     }
 }
 
+/// Full serializable state of a [`ShardedSampler`](super::ShardedSampler):
+/// the inner method tag, one [`SamplerState`] per shard (in shard order), and
+/// the per-shard RNG streams.
+///
+/// Unlike the flat sampler states, the sharded sampler *owns* its per-shard
+/// generators (the caller's RNG only selects shards), so those streams are
+/// part of the resumable state: `shard_rngs[i]` holds the four
+/// [`rand::rngs::StdRng`] state words of shard `i`.  The shard partition
+/// itself is not stored — it is the canonical contiguous split of the pool
+/// into `shards.len()` pieces, recomputed exactly on rebuild.
+///
+/// The rebuild path lives next to the sampler in
+/// [`super::sharding`]; this type is plain data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedState {
+    /// The method every shard runs (shards are homogeneous).
+    pub method: SamplerMethod,
+    /// Per-shard RNG state words, in shard order.
+    pub shard_rngs: Vec<[u64; 4]>,
+    /// Per-shard sampler states, in shard order.  Each is a flat (non-sharded)
+    /// state; inner trackers are unused — the session-level tracker rides in
+    /// `tracker` below.
+    pub shards: Vec<SamplerState>,
+    /// Variance-tracker sums, when captured through a
+    /// [`super::TrackedSampler`].
+    pub tracker: Option<TrackerState>,
+}
+
 /// Method-tagged serializable sampler state — the type that makes sessions,
 /// checkpoints and the wire protocol method-agnostic.
 ///
@@ -465,16 +493,26 @@ pub enum SamplerState {
     Importance(ImportanceState),
     /// State of a [`StratifiedSampler`].
     Stratified(StratifiedState),
+    /// State of a [`ShardedSampler`](super::ShardedSampler) — a vector of
+    /// per-shard states plus per-shard RNG streams.
+    Sharded(ShardedState),
 }
 
 impl SamplerState {
     /// The method tag.
+    ///
+    /// A sharded state reports the method its *shards* run — sharding is an
+    /// execution topology, not a sampling method, so sessions and the wire
+    /// protocol keep echoing `"oasis"` (or whichever) for sharded runs.
+    /// Restore paths that need to distinguish the topology match on the
+    /// [`SamplerState::Sharded`] variant itself.
     pub fn method(&self) -> SamplerMethod {
         match self {
             SamplerState::Oasis(_) => SamplerMethod::Oasis,
             SamplerState::Passive(_) => SamplerMethod::Passive,
             SamplerState::Importance(_) => SamplerMethod::Importance,
             SamplerState::Stratified(_) => SamplerMethod::Stratified,
+            SamplerState::Sharded(s) => s.method,
         }
     }
 
@@ -485,6 +523,7 @@ impl SamplerState {
             SamplerState::Passive(s) => s.estimator.alpha,
             SamplerState::Importance(s) => s.estimator.alpha,
             SamplerState::Stratified(s) => s.alpha,
+            SamplerState::Sharded(s) => s.shards.first().map_or(f64::NAN, SamplerState::alpha),
         }
     }
 
@@ -497,6 +536,7 @@ impl SamplerState {
             SamplerState::Passive(s) => s.estimator.iterations,
             SamplerState::Importance(s) => s.estimator.iterations,
             SamplerState::Stratified(s) => s.iterations,
+            SamplerState::Sharded(s) => s.shards.iter().map(SamplerState::iterations).sum(),
         }
     }
 
@@ -507,6 +547,7 @@ impl SamplerState {
             SamplerState::Passive(s) => s.tracker.as_ref(),
             SamplerState::Importance(s) => s.tracker.as_ref(),
             SamplerState::Stratified(s) => s.tracker.as_ref(),
+            SamplerState::Sharded(s) => s.tracker.as_ref(),
         }
     }
 
@@ -517,6 +558,16 @@ impl SamplerState {
             SamplerState::Passive(s) => s.tracker = tracker,
             SamplerState::Importance(s) => s.tracker = tracker,
             SamplerState::Stratified(s) => s.tracker = tracker,
+            SamplerState::Sharded(s) => s.tracker = tracker,
+        }
+    }
+
+    /// How the state describes itself in mismatch errors: the method tag,
+    /// with the sharded topology spelled out.
+    fn tag_description(&self) -> String {
+        match self {
+            SamplerState::Sharded(s) => format!("sharded {:?}", s.method.as_str()),
+            other => format!("{:?}", other.method().as_str()),
         }
     }
 
@@ -526,8 +577,8 @@ impl SamplerState {
         Error::InvalidParameter {
             name: "state",
             message: format!(
-                "state is tagged {:?} but the sampler is {:?}",
-                self.method().as_str(),
+                "state is tagged {} but the sampler is {:?}",
+                self.tag_description(),
                 expected.as_str()
             ),
         }

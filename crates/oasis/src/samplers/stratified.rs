@@ -96,7 +96,13 @@ impl StratifiedSampler {
         Ok(sampler)
     }
 
-    fn stratified_estimate(&self) -> Estimate {
+    /// The transferred-mass sums the stratified estimator is built from:
+    /// `(Σ_k |P_k|·tp_k/n_k, Σ_k |P_k|·λ_k, Σ_k |P_k|·act_k/n_k, any
+    /// observed stratum)`.  All three sums are in *absolute item counts*
+    /// (stratum sizes, not weights), so sums from disjoint sub-pools add
+    /// exactly — this is what lets a sharded run merge per-shard stratified
+    /// estimates without bias (see `ShardedSampler`).
+    pub(crate) fn mass_sums(&self) -> (f64, f64, f64, bool) {
         let mut est_tp = 0.0;
         let mut est_actual = 0.0;
         let mut est_predicted = 0.0;
@@ -111,29 +117,62 @@ impl StratifiedSampler {
                 est_actual += size * tally.actual_positives / tally.samples;
             }
         }
-        let denom = self.alpha * est_predicted + (1.0 - self.alpha) * est_actual;
-        let f_measure = if any_observed_stratum && denom > 0.0 {
-            est_tp / denom
-        } else {
-            f64::NAN
-        };
-        let precision = if any_observed_stratum && est_predicted > 0.0 {
-            est_tp / est_predicted
-        } else {
-            f64::NAN
-        };
-        let recall = if any_observed_stratum && est_actual > 0.0 {
-            est_tp / est_actual
-        } else {
-            f64::NAN
-        };
-        Estimate {
-            f_measure,
-            precision,
-            recall,
-            alpha: self.alpha,
-            iterations: self.iterations,
-        }
+        (est_tp, est_predicted, est_actual, any_observed_stratum)
+    }
+
+    /// Labels folded in so far — read by the sharded merge alongside
+    /// [`StratifiedSampler::mass_sums`].
+    pub(crate) fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    fn stratified_estimate(&self) -> Estimate {
+        let (est_tp, est_predicted, est_actual, any_observed_stratum) = self.mass_sums();
+        finish_stratified_estimate(
+            self.alpha,
+            est_tp,
+            est_predicted,
+            est_actual,
+            any_observed_stratum,
+            self.iterations,
+        )
+    }
+}
+
+/// Turn transferred-mass sums into an [`Estimate`] — the single place the
+/// stratified estimator's final arithmetic lives, shared by
+/// [`StratifiedSampler`] and the sharded merge so a one-shard sharded run is
+/// bit-identical to the unsharded sampler.
+pub(crate) fn finish_stratified_estimate(
+    alpha: f64,
+    est_tp: f64,
+    est_predicted: f64,
+    est_actual: f64,
+    any_observed_stratum: bool,
+    iterations: usize,
+) -> Estimate {
+    let denom = alpha * est_predicted + (1.0 - alpha) * est_actual;
+    let f_measure = if any_observed_stratum && denom > 0.0 {
+        est_tp / denom
+    } else {
+        f64::NAN
+    };
+    let precision = if any_observed_stratum && est_predicted > 0.0 {
+        est_tp / est_predicted
+    } else {
+        f64::NAN
+    };
+    let recall = if any_observed_stratum && est_actual > 0.0 {
+        est_tp / est_actual
+    } else {
+        f64::NAN
+    };
+    Estimate {
+        f_measure,
+        precision,
+        recall,
+        alpha,
+        iterations,
     }
 }
 

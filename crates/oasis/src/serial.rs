@@ -25,7 +25,7 @@ use crate::estimator::Estimate;
 use crate::measures::{ConfusionCounts, Measures};
 use crate::samplers::{
     EstimatorState, ImportanceState, OasisConfig, OasisState, PassiveState, SamplerDiagnostics,
-    SamplerMethod, SamplerState, StratifiedState, StratifierChoice, TrackerState,
+    SamplerMethod, SamplerState, ShardedState, StratifiedState, StratifierChoice, TrackerState,
 };
 use serde::json::{FromJson, Json, JsonError, JsonResult, ToJson};
 
@@ -461,6 +461,53 @@ impl FromJson for StratifiedState {
     }
 }
 
+impl ToJson for ShardedState {
+    /// Encoding of the sharded topology: the outer `"method"` tag is the
+    /// literal `"sharded"` (written by [`SamplerState::to_json`]), the inner
+    /// per-shard method rides in `"inner_method"`, and each entry of
+    /// `"shards"` is a complete tagged [`SamplerState`] document.  Per-shard
+    /// RNG streams serialize as 4-word arrays, the same words the engine
+    /// checkpoints for the session RNG.
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("inner_method", self.method.to_json());
+        obj.set(
+            "shard_rngs",
+            Json::Array(
+                self.shard_rngs
+                    .iter()
+                    .map(|words| words.to_vec().to_json())
+                    .collect(),
+            ),
+        );
+        obj.set(
+            "shards",
+            Json::Array(self.shards.iter().map(ToJson::to_json).collect()),
+        );
+        obj.set("tracker", tracker_to_json(&self.tracker));
+        obj
+    }
+}
+
+impl FromJson for ShardedState {
+    fn from_json(value: &Json) -> JsonResult<Self> {
+        let raw_rngs = Vec::<Vec<u64>>::from_json(value.require("shard_rngs")?)?;
+        let mut shard_rngs = Vec::with_capacity(raw_rngs.len());
+        for words in raw_rngs {
+            let words: [u64; 4] = words
+                .try_into()
+                .map_err(|_| JsonError::new("shard RNG state must hold exactly 4 words"))?;
+            shard_rngs.push(words);
+        }
+        Ok(ShardedState {
+            method: SamplerMethod::from_json(value.require("inner_method")?)?,
+            shard_rngs,
+            shards: Vec::<SamplerState>::from_json(value.require("shards")?)?,
+            tracker: tracker_from_json(value)?,
+        })
+    }
+}
+
 impl ToJson for SamplerDiagnostics {
     /// Wire encoding of the health report.  Optional statistics (undefined
     /// before the first label, or unknown for snapshots restored from
@@ -507,12 +554,20 @@ impl FromJson for SamplerDiagnostics {
 
 impl ToJson for SamplerState {
     /// Flat encoding: the variant payload's fields plus a `"method"` tag.
+    /// The sharded topology writes the literal tag `"sharded"` — its
+    /// [`SamplerState::method`] reports the *inner* method, which rides in
+    /// the payload's `"inner_method"` field instead.
     fn to_json(&self) -> Json {
         let mut obj = match self {
             SamplerState::Oasis(s) => s.to_json(),
             SamplerState::Passive(s) => s.to_json(),
             SamplerState::Importance(s) => s.to_json(),
             SamplerState::Stratified(s) => s.to_json(),
+            SamplerState::Sharded(s) => {
+                let mut obj = s.to_json();
+                obj.set("method", Json::String("sharded".to_string()));
+                return obj;
+            }
         };
         obj.set("method", self.method().to_json());
         obj
@@ -521,10 +576,16 @@ impl ToJson for SamplerState {
 
 impl FromJson for SamplerState {
     /// A missing `"method"` field means a pre-redesign document, which could
-    /// only describe an OASIS sampler.
+    /// only describe an OASIS sampler.  The `"sharded"` tag is checked
+    /// before the method names — it marks a topology, not a method.
     fn from_json(value: &Json) -> JsonResult<Self> {
         let method = match value.get("method") {
-            Some(tag) => SamplerMethod::from_json(tag)?,
+            Some(tag) => {
+                if tag.as_str()? == "sharded" {
+                    return Ok(SamplerState::Sharded(ShardedState::from_json(value)?));
+                }
+                SamplerMethod::from_json(tag)?
+            }
             None => SamplerMethod::Oasis,
         };
         Ok(match method {
@@ -731,6 +792,46 @@ mod tests {
             // checkpoint cycles.
             let reserialized = restored.state().to_json().render();
             assert!(reserialized.contains(r#""tracker":null"#), "{method}");
+        }
+    }
+
+    #[test]
+    fn sharded_state_round_trips_with_its_topology_tag() {
+        let (pool, truth) = crate::test_fixtures::pool_and_truth(600, 31, 0.15);
+        for method in SamplerMethod::ALL {
+            let config = OasisConfig::default().with_strata_count(5);
+            let inner = AnySampler::build_sharded(method, &pool, &config, 3, 77).unwrap();
+            let mut tracked = TrackedSampler::new(inner, config.alpha);
+            let mut rng = StdRng::seed_from_u64(32);
+            let mut oracle = GroundTruthOracle::new(truth.clone());
+            for _ in 0..90 {
+                tracked.step(&pool, &mut oracle, &mut rng).unwrap();
+            }
+            let state = tracked.state();
+            let text = state.to_json().render();
+            assert!(text.contains(r#""method":"sharded""#), "{method}: {text}");
+            assert!(
+                text.contains(&format!(r#""inner_method":"{}""#, method.as_str())),
+                "{method}: {text}"
+            );
+            let parsed = SamplerState::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(parsed, state, "{method}: JSON round trip must be exact");
+            let restored = TrackedSampler::<AnySampler>::from_state(&pool, parsed).unwrap();
+            assert_eq!(restored.inner().shard_count(), 3, "{method}");
+            assert_eq!(
+                restored.estimate().f_measure.to_bits(),
+                tracked.estimate().f_measure.to_bits(),
+                "{method}"
+            );
+            let before = tracked.confidence_interval(0.95).unwrap();
+            let after = restored.confidence_interval(0.95).unwrap();
+            assert_eq!(before.lower.to_bits(), after.lower.to_bits(), "{method}");
+            assert_eq!(before.upper.to_bits(), after.upper.to_bits(), "{method}");
+
+            // Corrupt RNG word counts are rejected at the JSON layer.
+            let mut doc = state.to_json();
+            doc.set("shard_rngs", Json::parse("[[1,2,3]]").unwrap());
+            assert!(SamplerState::from_json(&doc).is_err(), "{method}");
         }
     }
 
