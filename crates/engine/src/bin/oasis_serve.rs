@@ -11,10 +11,12 @@
 //! oasis-serve --store DIR         # durable sessions: checkpoints + WAL in DIR
 //! oasis-serve --store DIR --max-resident 64   # LRU-evict idle sessions to DIR
 //! oasis-serve --log-json          # JSONL events on stderr, one per request
+//! oasis-serve --auth-token TOKEN  # require {"cmd":"auth","token":TOKEN} first
+//! oasis-serve --rate-limit N      # cap each session at N requests/second
 //! ```
 
-use oasis_engine::server::{serve_lines_with_log, serve_tcp_with_log};
-use oasis_engine::{Engine, EventLog, FsCheckpointStore, LogFormat};
+use oasis_engine::server::{serve_lines_guarded, serve_tcp_guarded};
+use oasis_engine::{ClientPolicy, Engine, EventLog, FsCheckpointStore, LogFormat};
 use std::io::{BufReader, Write as _};
 use std::sync::Arc;
 
@@ -29,13 +31,19 @@ fn main() {
              \x20                            log in DIR, replayed across restarts\n  \
              oasis-serve --max-resident N   with --store: LRU-evict idle sessions\n  \
              oasis-serve --log-json     structured JSONL events on stderr (one per\n\
-             \x20                            request: verb, session, latency, outcome)\n\n\
+             \x20                            request: verb, session, latency, outcome)\n  \
+             oasis-serve --auth-token TOKEN   reject requests until the connection\n\
+             \x20                            sends {{\"cmd\":\"auth\",\"token\":TOKEN}}\n  \
+             oasis-serve --rate-limit N per-session request cap (N per second);\n\
+             \x20                            excess gets a structured \"throttled\" error\n\n\
              Commands: load_pool, create_session, propose, label, step,\n\
              run_budget, estimate, checkpoint, restore, checkpoint_to,\n\
-             restore_from, sessions, delete_session, metrics, diagnostics,\n\
-             shutdown.\n\n\
+             restore_from, expire_leases, auth, sessions, delete_session,\n\
+             metrics, diagnostics, shutdown.\n\n\
              create_session's optional \"method\" field selects the sampler:\n\
-             \"oasis\" (default), \"passive\", \"importance\", \"stratified\"."
+             \"oasis\" (default), \"passive\", \"importance\", \"stratified\".\n\
+             Its optional \"lease_timeout_us\" and \"max_pending\" fields bound\n\
+             outstanding propose tickets (see the protocol docs)."
         );
         return;
     }
@@ -58,6 +66,8 @@ fn main() {
     let mut tcp_addr: Option<String> = None;
     let mut store_dir: Option<String> = None;
     let mut max_resident: Option<usize> = None;
+    let mut auth_token: Option<String> = None;
+    let mut rate_limit: Option<u64> = None;
     let mut rest = args[1..].iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -74,12 +84,35 @@ fn main() {
                 Some(n) if n > 0 => max_resident = Some(n),
                 _ => usage_error("--max-resident requires a positive integer"),
             },
+            "--auth-token" => match rest.next() {
+                Some(token) if !token.is_empty() => auth_token = Some(token.clone()),
+                _ => usage_error("--auth-token requires a non-empty token"),
+            },
+            "--rate-limit" => match rest.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n > 0 => rate_limit = Some(n),
+                _ => usage_error("--rate-limit requires a positive integer (requests/second)"),
+            },
             other => usage_error(&format!("unknown argument {other:?} (try --help)")),
         }
     }
     if max_resident.is_some() && store_dir.is_none() {
         usage_error("--max-resident requires --store (evicted sessions need a store)");
     }
+
+    let policy = if auth_token.is_some() || rate_limit.is_some() {
+        let mut policy = ClientPolicy::new();
+        if let Some(token) = auth_token {
+            log.message("auth token required");
+            policy = policy.with_auth_token(token);
+        }
+        if let Some(rate) = rate_limit {
+            log.message(&format!("rate limit: {rate} requests/second per session"));
+            policy = policy.with_rate_limit(rate);
+        }
+        Some(policy)
+    } else {
+        None
+    };
 
     let mut engine = Engine::new();
     if let Some(dir) = store_dir {
@@ -100,17 +133,18 @@ fn main() {
     let outcome = match tcp_addr {
         Some(addr) => {
             log.message(&format!("listening on {addr}"));
-            serve_tcp_with_log(&engine, &addr, Some(&log))
+            serve_tcp_guarded(&engine, &addr, Some(&log), policy.as_ref())
         }
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
             let mut writer = stdout.lock();
-            let served = serve_lines_with_log(
+            let served = serve_lines_guarded(
                 &engine,
                 BufReader::new(stdin.lock()),
                 &mut writer,
                 Some(&log),
+                policy.as_ref(),
             );
             writer.flush().and(served.map(|_| ()))
         }

@@ -14,7 +14,7 @@
 //! refuses to resume against a pool that does not match.
 
 use crate::error::EngineResult;
-use crate::session::Ticket;
+use crate::session::{SessionLimits, Ticket};
 use oasis::samplers::SamplerState;
 use oasis::{Proposal, ScoredPool};
 use serde::json::{FromJson, Json, JsonError, JsonResult, ToJson};
@@ -83,6 +83,11 @@ pub struct SessionCheckpoint {
     pub pending: Vec<Ticket>,
     /// The next ticket id to issue.
     pub next_ticket: u64,
+    /// Robustness limits (lease timeout, pending cap); defaults on
+    /// documents written before lease support.
+    pub limits: SessionLimits,
+    /// The session's logical lease clock (0 on pre-lease documents).
+    pub lease_now_us: u64,
     /// Oracle/budget state.
     pub oracle: OracleCheckpoint,
 }
@@ -111,6 +116,9 @@ impl ToJson for Ticket {
         obj.set("stratum", self.proposal.stratum.to_json());
         obj.set("prediction", self.proposal.prediction.to_json());
         obj.set("weight", self.proposal.weight.to_json());
+        if self.issued_at_us != 0 {
+            obj.set("issued_at_us", self.issued_at_us.to_json());
+        }
         obj
     }
 }
@@ -124,6 +132,10 @@ impl FromJson for Ticket {
                 stratum: value.require("stratum")?.as_usize()?,
                 prediction: value.require("prediction")?.as_bool()?,
                 weight: value.require("weight")?.as_f64()?,
+            },
+            issued_at_us: match value.get("issued_at_us") {
+                Some(at) => at.as_u64()?,
+                None => 0,
             },
         })
     }
@@ -183,6 +195,17 @@ impl ToJson for SessionCheckpoint {
         obj.set("sampler", self.sampler.to_json());
         obj.set("pending", self.pending.to_json());
         obj.set("next_ticket", self.next_ticket.to_json());
+        // Lease state is only written when it diverges from the defaults, so
+        // lease-free sessions keep the pre-lease document shape.
+        if let Some(timeout) = self.limits.lease_timeout_us {
+            obj.set("lease_timeout_us", timeout.to_json());
+        }
+        if let Some(cap) = self.limits.max_pending {
+            obj.set("max_pending", cap.to_json());
+        }
+        if self.lease_now_us != 0 {
+            obj.set("lease_now_us", self.lease_now_us.to_json());
+        }
         obj.set("oracle", self.oracle.to_json());
         obj
     }
@@ -210,6 +233,20 @@ impl FromJson for SessionCheckpoint {
             sampler: SamplerState::from_json(value.require("sampler")?)?,
             pending: Vec::<Ticket>::from_json(value.require("pending")?)?,
             next_ticket: value.require("next_ticket")?.as_u64()?,
+            limits: SessionLimits {
+                lease_timeout_us: match value.get("lease_timeout_us") {
+                    Some(timeout) => Some(timeout.as_u64()?),
+                    None => None,
+                },
+                max_pending: match value.get("max_pending") {
+                    Some(cap) => Some(cap.as_usize()?),
+                    None => None,
+                },
+            },
+            lease_now_us: match value.get("lease_now_us") {
+                Some(now) => now.as_u64()?,
+                None => 0,
+            },
             oracle: OracleCheckpoint::from_json(value.require("oracle")?)?,
         })
     }

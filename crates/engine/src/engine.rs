@@ -9,8 +9,8 @@
 
 use crate::checkpoint::SessionCheckpoint;
 use crate::error::{EngineError, EngineResult};
-use crate::metrics::{Counter, MetricsRegistry};
-use crate::session::{LabelSource, Session};
+use crate::metrics::{Clock, Counter, MetricsRegistry, MonotonicClock};
+use crate::session::{LabelSource, Session, SessionLimits};
 use crate::store::{parse_envelope, render_envelope, CheckpointStore};
 use crate::wal::{self, WalEntry, WalRecord};
 use oasis::{Estimate, OasisConfig, SamplerMethod, ScoredPool};
@@ -18,6 +18,37 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Bounded, deterministic retry for transient store faults: up to
+/// `max_retries` extra attempts with doubling backoff from `base_delay`.
+/// No jitter — retry behaviour must be as reproducible as everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure.
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles each attempt.
+    pub base_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(1),
+        }
+    }
+}
+
+/// What a WAL replay did: how many records were applied, and whether a
+/// partial trailing record (crash mid-append) was truncated along the way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Records replayed on top of the checkpoint.
+    pub replayed: usize,
+    /// Whether a torn trailing WAL record was dropped and scrubbed.
+    pub truncated_tail: bool,
+}
 
 /// A unit of work for [`Engine::run_parallel`]: drive one session.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,7 +127,7 @@ pub struct SessionOverview {
 /// into checkpoint, and a restart — or an access to a session evicted under
 /// [`Engine::with_max_resident`] — rebuilds the exact pre-crash state by
 /// replaying `latest checkpoint + WAL suffix`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Engine {
     pools: RwLock<HashMap<String, Arc<ScoredPool>>>,
     sessions: RwLock<HashMap<String, Arc<Mutex<Session>>>>,
@@ -104,7 +135,25 @@ pub struct Engine {
     meta: Mutex<HashMap<String, SessionMeta>>,
     max_resident: Option<usize>,
     clock: AtomicU64,
-    metrics: MetricsRegistry,
+    metrics: Arc<MetricsRegistry>,
+    lease_clock: Arc<dyn Clock>,
+    retry: RetryPolicy,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine {
+            pools: RwLock::default(),
+            sessions: RwLock::default(),
+            store: None,
+            meta: Mutex::default(),
+            max_resident: None,
+            clock: AtomicU64::new(0),
+            metrics: Arc::new(MetricsRegistry::new()),
+            lease_clock: Arc::new(MonotonicClock::new()),
+            retry: RetryPolicy::default(),
+        }
+    }
 }
 
 impl Engine {
@@ -136,13 +185,69 @@ impl Engine {
     /// latency tests.  The default engine is instrumented on the monotonic
     /// clock.
     pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
-        self.metrics = metrics;
+        self.metrics = Arc::new(metrics);
+        self
+    }
+
+    /// Replace the clock lease deadlines are read from.  The default is the
+    /// process monotonic clock; tests pass a
+    /// [`ManualClock`](crate::metrics::ManualClock) to expire leases at will.
+    pub fn with_lease_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.lease_clock = clock;
+        self
+    }
+
+    /// Replace the transient-fault retry policy (see [`RetryPolicy`]).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
     /// The engine's metrics registry.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// A shareable handle to the metrics registry — hand this to a
+    /// [`FaultyStore`](crate::fault::FaultyStore) or a guard layer so their
+    /// counters land in the same snapshot.
+    pub fn metrics_handle(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The current lease-clock reading in microseconds.  The protocol layer
+    /// reads it once per propose on lease-enabled sessions and WAL-logs the
+    /// value, so replay expires exactly what the live run expired.
+    pub fn lease_now(&self) -> u64 {
+        self.lease_clock.now_micros()
+    }
+
+    /// Run `op`, retrying [`EngineError::StoreTransient`] failures under the
+    /// engine's [`RetryPolicy`] with deterministic doubling backoff.  An
+    /// exhausted budget promotes the fault to a permanent
+    /// [`EngineError::Store`]; any other error passes through untouched.
+    fn with_store_retry<T>(
+        &self,
+        what: &str,
+        mut op: impl FnMut() -> EngineResult<T>,
+    ) -> EngineResult<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Err(EngineError::StoreTransient(why)) if attempt < self.retry.max_retries => {
+                    self.metrics.incr(Counter::RetriedWrite);
+                    std::thread::sleep(self.retry.base_delay * (1u32 << attempt.min(16)));
+                    attempt += 1;
+                    let _ = why;
+                }
+                Err(EngineError::StoreTransient(why)) => {
+                    return Err(EngineError::Store(format!(
+                        "{what} failed after {attempt} retries: {why}"
+                    )));
+                }
+                other => return other,
+            }
+        }
     }
 
     /// The attached store, if any.
@@ -220,6 +325,36 @@ impl Engine {
         seed: u64,
         source: LabelSource,
     ) -> EngineResult<()> {
+        self.create_session_with_limits(
+            session_id,
+            pool_id,
+            method,
+            config,
+            shards,
+            seed,
+            source,
+            SessionLimits::default(),
+        )
+    }
+
+    /// Create a session like [`Engine::create_session_sharded`], additionally
+    /// applying robustness [`SessionLimits`]: a propose-lease timeout and/or
+    /// a pending-ticket cap.
+    ///
+    /// # Errors
+    /// As [`Engine::create_session_sharded`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_session_with_limits(
+        &self,
+        session_id: impl Into<String>,
+        pool_id: &str,
+        method: SamplerMethod,
+        config: OasisConfig,
+        shards: Option<usize>,
+        seed: u64,
+        source: LabelSource,
+        limits: SessionLimits,
+    ) -> EngineResult<()> {
         let session_id = session_id.into();
         let pool = self.pool(pool_id)?;
         // Fail fast on an obvious duplicate, but do the expensive sampler
@@ -229,7 +364,7 @@ impl Engine {
             return Err(EngineError::DuplicateId(session_id));
         }
         self.reject_stored_duplicate(&session_id)?;
-        let session = Session::new_sharded(
+        let session = Session::new_with_limits(
             session_id.clone(),
             pool_id,
             pool,
@@ -238,6 +373,7 @@ impl Engine {
             shards,
             seed,
             source,
+            limits,
         )?;
         if shards.is_some() {
             self.metrics.incr(Counter::ShardedSession);
@@ -260,8 +396,11 @@ impl Engine {
     fn register(&self, session_id: String, session: Session) -> EngineResult<()> {
         if let Some(store) = &self.store {
             let timer = self.metrics.timer();
-            store.put_checkpoint(&session_id, &render_envelope(&session.checkpoint(), 0))?;
-            store.truncate_wal(&session_id)?;
+            let document = render_envelope(&session.checkpoint(), 0);
+            self.with_store_retry("base checkpoint write", || {
+                store.put_checkpoint(&session_id, &document)
+            })?;
+            self.with_store_retry("base WAL truncate", || store.truncate_wal(&session_id))?;
             self.metrics.incr(Counter::CheckpointWrite);
             self.metrics.record("checkpoint.write", timer);
         }
@@ -326,6 +465,31 @@ impl Engine {
         self.rehydrate(id).map(|(handle, _)| handle)
     }
 
+    /// Drop a torn trailing record from a session's on-disk WAL: keep the
+    /// parseable prefix, truncate, and re-append it.  Best-effort — a store
+    /// that cannot even be scrubbed will surface its own error on the next
+    /// append, and replay tolerates the torn tail regardless.
+    fn scrub_wal_tail(&self, store: &Arc<dyn CheckpointStore>, session_id: &str) {
+        let Ok(lines) = store.read_wal(session_id) else {
+            return;
+        };
+        let good: Vec<&String> = lines
+            .iter()
+            .take_while(|line| WalRecord::parse(line).is_ok())
+            .collect();
+        if good.len() == lines.len() {
+            return;
+        }
+        if store.truncate_wal(session_id).is_err() {
+            return;
+        }
+        for line in good {
+            if store.append_wal(session_id, line).is_err() {
+                return;
+            }
+        }
+    }
+
     fn touch(&self, id: &str) {
         if let Some(slot) = self.meta.lock().get_mut(id) {
             slot.last_access = self.clock.fetch_add(1, Ordering::Relaxed);
@@ -334,25 +498,31 @@ impl Engine {
 
     /// Rebuild an evicted (or pre-restart) session from the store: restore
     /// the latest checkpoint, then replay the WAL suffix at or beyond its
-    /// watermark.  Returns the handle and the number of records replayed.
-    fn rehydrate(&self, id: &str) -> EngineResult<(Arc<Mutex<Session>>, usize)> {
+    /// watermark.  A partial trailing WAL record — the signature of a crash
+    /// mid-append — is dropped, scrubbed from disk, and reported; interior
+    /// corruption stays a hard error.  Returns the handle and a
+    /// [`ReplayReport`].
+    fn rehydrate(&self, id: &str) -> EngineResult<(Arc<Mutex<Session>>, ReplayReport)> {
         let unknown = || EngineError::UnknownSession(id.to_string());
         let Some(store) = self.store.clone() else {
             return Err(unknown());
         };
         let timer = self.metrics.timer();
-        let Some(document) = store.load_checkpoint(id)? else {
+        let Some(document) =
+            self.with_store_retry("checkpoint load", || store.load_checkpoint(id))?
+        else {
             return Err(unknown());
         };
         let (mut checkpoint, wal_seq) = parse_envelope(&document)?;
         checkpoint.session_id = id.to_string();
         let pool = self.pool(&checkpoint.pool_id)?;
         let mut session = Session::restore(checkpoint, pool)?;
-        let mut records = Vec::new();
-        for line in store.read_wal(id)? {
-            records.push(WalRecord::parse(&line)?);
+        let lines = self.with_store_retry("WAL read", || store.read_wal(id))?;
+        let outcome = wal::parse_lines(&lines)?;
+        if outcome.truncated_tail.is_some() {
+            self.scrub_wal_tail(&store, id);
         }
-        let applied = wal::replay(&mut session, &records, wal_seq)?;
+        let applied = wal::replay(&mut session, &outcome.records, wal_seq)?;
         self.metrics.incr(Counter::Rehydration);
         self.metrics.incr(Counter::CheckpointRestore);
         if session.shard_count() > 1 {
@@ -360,6 +530,10 @@ impl Engine {
         }
         self.metrics.add(Counter::WalReplay, applied as u64);
         self.metrics.record("rehydrate", timer);
+        let report = ReplayReport {
+            replayed: applied,
+            truncated_tail: outcome.truncated_tail.is_some(),
+        };
 
         let handle = Arc::new(Mutex::new(session));
         {
@@ -367,7 +541,13 @@ impl Engine {
             if let Some(existing) = sessions.get(id) {
                 // Lost a rehydration race; the winner's copy (and its meta,
                 // possibly already advanced by new WAL appends) is the truth.
-                return Ok((Arc::clone(existing), 0));
+                return Ok((
+                    Arc::clone(existing),
+                    ReplayReport {
+                        replayed: 0,
+                        truncated_tail: false,
+                    },
+                ));
             }
             sessions.insert(id.to_string(), Arc::clone(&handle));
             let mut meta = self.meta.lock();
@@ -377,18 +557,19 @@ impl Engine {
             slot.last_access = self.clock.fetch_add(1, Ordering::Relaxed);
         }
         self.enforce_resident_cap()?;
-        Ok((handle, applied))
+        Ok((handle, report))
     }
 
     /// Explicitly rehydrate a session from the store (the `restore_from`
-    /// protocol verb), returning the number of WAL records replayed on top
-    /// of its checkpoint.
+    /// protocol verb), returning a [`ReplayReport`]: how many WAL records
+    /// were replayed on top of the checkpoint and whether a torn trailing
+    /// record had to be truncated.
     ///
     /// # Errors
     /// [`EngineError::Store`] with no store attached or a corrupt entry;
     /// [`EngineError::UnknownSession`] if the store has no such session;
     /// [`EngineError::DuplicateId`] if it is already resident.
-    pub fn restore_from(&self, id: &str) -> EngineResult<usize> {
+    pub fn restore_from(&self, id: &str) -> EngineResult<ReplayReport> {
         if self.store.is_none() {
             return Err(EngineError::Store(
                 "no checkpoint store attached".to_string(),
@@ -397,7 +578,7 @@ impl Engine {
         if self.sessions.read().contains_key(id) {
             return Err(EngineError::DuplicateId(id.to_string()));
         }
-        self.rehydrate(id).map(|(_, applied)| applied)
+        self.rehydrate(id).map(|(_, report)| report)
     }
 
     /// Durably checkpoint a session: write the store envelope (checkpoint +
@@ -421,8 +602,9 @@ impl Engine {
         let slot = meta.entry(id.to_string()).or_default();
         let wal_seq = slot.wal_seq;
         let timer = self.metrics.timer();
-        store.put_checkpoint(id, &render_envelope(&session.checkpoint(), wal_seq))?;
-        store.truncate_wal(id)?;
+        let document = render_envelope(&session.checkpoint(), wal_seq);
+        self.with_store_retry("checkpoint write", || store.put_checkpoint(id, &document))?;
+        self.with_store_retry("WAL truncate", || store.truncate_wal(id))?;
         self.metrics.incr(Counter::CheckpointWrite);
         self.metrics.record("checkpoint.write", timer);
         slot.dirty = false;
@@ -443,8 +625,18 @@ impl Engine {
                 seq: slot.wal_seq,
                 entry,
             };
+            let line = record.render();
             let timer = self.metrics.timer();
-            store.append_wal(session_id, &record.render())?;
+            if let Err(err) =
+                self.with_store_retry("WAL append", || store.append_wal(session_id, &line))
+            {
+                // A failed append may still have put a torn prefix on disk
+                // (crash mid-write).  Scrub it now so later successful
+                // appends cannot bury it as interior corruption, which
+                // replay treats as fatal.
+                self.scrub_wal_tail(store, session_id);
+                return Err(err);
+            }
             self.metrics.incr(Counter::WalAppend);
             self.metrics.record("wal.append", timer);
             slot.wal_seq += 1;
@@ -826,7 +1018,9 @@ mod tests {
             crate::store::FsCheckpointStore::open(&dir).unwrap(),
         ) as Arc<dyn CheckpointStore>);
         revived.load_pool("p", pool).unwrap();
-        assert_eq!(revived.restore_from("s").unwrap(), 1, "one WAL record");
+        let report = revived.restore_from("s").unwrap();
+        assert_eq!(report.replayed, 1, "one WAL record");
+        assert!(!report.truncated_tail, "clean shutdown leaves no torn tail");
         let session = revived.session("s").unwrap();
         let session = session.lock();
         assert_eq!(
@@ -924,11 +1118,15 @@ mod tests {
             engine.restore_from("s"),
             Err(EngineError::DuplicateId(_))
         ));
-        // A corrupt WAL line under a good checkpoint is also structured.
+        // An *interior* corrupt WAL line under a good checkpoint is also
+        // structured — only a torn trailing line is forgiven (see below).
         engine.checkpoint_to("s").unwrap();
         engine.delete_session("s").unwrap();
         oracle_session(&engine, "s", &truth, 9);
         store.append_wal("s", "garbage").unwrap();
+        store
+            .append_wal("s", "{\"seq\":\"0\",\"op\":\"step\",\"steps\":1}")
+            .unwrap();
         let fresh = Engine::new().with_store(Arc::new(
             crate::store::FsCheckpointStore::open(&dir).unwrap(),
         ) as Arc<dyn CheckpointStore>);
@@ -938,6 +1136,93 @@ mod tests {
             fresh.restore_from("s"),
             Err(EngineError::Store(_))
         ));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_wal_record_is_truncated_and_scrubbed_on_rehydrate() {
+        let (dir, store) = scratch_store("torn-tail");
+        let (pool, truth) = pool_and_truth(500, 35);
+        {
+            let engine = durable_engine(&store);
+            engine.load_pool("p", pool.clone()).unwrap();
+            oracle_session(&engine, "s", &truth, 11);
+            engine.run_parallel(&steps_job("s", 60), 1).unwrap();
+        }
+        // Crash mid-append: half a record trails the log.
+        store.append_wal("s", "{\"seq\":\"1\",\"op\":\"st").unwrap();
+
+        let revived = durable_engine(&store);
+        revived.load_pool("p", pool).unwrap();
+        let report = revived.restore_from("s").unwrap();
+        assert_eq!(report.replayed, 1, "the intact record replays");
+        assert!(report.truncated_tail, "the torn tail is reported");
+        // The scrub removed the torn line from disk, so a second restart
+        // replays a clean log.
+        let lines = store.read_wal("s").unwrap();
+        assert!(
+            lines.iter().all(|l| WalRecord::parse(l).is_ok()),
+            "scrubbed WAL must be fully parseable: {lines:?}"
+        );
+        // And the revived session still serves traffic.
+        revived.run_parallel(&steps_job("s", 10), 1).unwrap();
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_store_faults_are_retried_and_counted() {
+        use crate::fault::{FaultKind, FaultyStore, StoreOp};
+        let (dir, inner) = scratch_store("retry");
+        let faulty = Arc::new(
+            FaultyStore::new(inner as Arc<dyn CheckpointStore>)
+                .with_fault(StoreOp::AppendWal, 0, FaultKind::Transient)
+                .with_fault(StoreOp::PutCheckpoint, 1, FaultKind::Transient),
+        );
+        let (pool, truth) = pool_and_truth(400, 36);
+        let engine = Engine::new()
+            .with_store(Arc::clone(&faulty) as Arc<dyn CheckpointStore>)
+            .with_retry_policy(RetryPolicy {
+                max_retries: 2,
+                base_delay: Duration::from_micros(10),
+            });
+        faulty.attach_metrics(engine.metrics_handle());
+        engine.load_pool("p", pool).unwrap();
+        oracle_session(&engine, "s", &truth, 13);
+        // Both the first WAL append and the checkpoint write hit a transient
+        // fault; the retry absorbs them invisibly.
+        engine.run_parallel(&steps_job("s", 20), 1).unwrap();
+        engine.checkpoint_to("s").unwrap();
+        assert_eq!(engine.metrics().counter(Counter::RetriedWrite), 2);
+        assert_eq!(engine.metrics().counter(Counter::FaultInjected), 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_retries_become_a_permanent_store_error() {
+        use crate::fault::{FaultKind, FaultyStore, StoreOp};
+        let (dir, inner) = scratch_store("exhaust");
+        let faulty = Arc::new(FaultyStore::new(inner as Arc<dyn CheckpointStore>));
+        // More consecutive transients than the policy tolerates.
+        for index in 0..4 {
+            faulty.fail_nth(StoreOp::AppendWal, index, FaultKind::Transient);
+        }
+        let (pool, truth) = pool_and_truth(300, 37);
+        let engine = Engine::new()
+            .with_store(Arc::clone(&faulty) as Arc<dyn CheckpointStore>)
+            .with_retry_policy(RetryPolicy {
+                max_retries: 2,
+                base_delay: Duration::from_micros(10),
+            });
+        engine.load_pool("p", pool).unwrap();
+        oracle_session(&engine, "s", &truth, 17);
+        let err = engine.run_parallel(&steps_job("s", 5), 1).unwrap_err();
+        assert!(matches!(err, EngineError::Store(_)), "{err}");
+        assert!(err.to_string().contains("after 2 retries"), "{err}");
+        // The engine is not wedged: the faults are spent, traffic resumes.
+        engine.run_parallel(&steps_job("s", 5), 1).unwrap();
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -33,6 +33,18 @@ pub enum EngineError {
     /// A durable checkpoint store failure: I/O, a missing or corrupt entry,
     /// or a write-ahead log that cannot be replayed.
     Store(String),
+    /// A store failure that is expected to succeed on retry (a transient
+    /// I/O error).  The engine retries these with bounded backoff before
+    /// promoting them to a permanent [`EngineError::Store`].
+    StoreTransient(String),
+    /// The connection has not presented the configured auth token.
+    Unauthorized(String),
+    /// The session exceeded its configured request rate; the client should
+    /// back off and retry.
+    Throttled(String),
+    /// The request would grow a bounded queue (e.g. pending tickets) past
+    /// its cap; the client must drain it first.
+    Backpressure(String),
 }
 
 impl fmt::Display for EngineError {
@@ -52,6 +64,36 @@ impl fmt::Display for EngineError {
             EngineError::CheckpointMismatch(why) => write!(f, "checkpoint mismatch: {why}"),
             EngineError::Protocol(why) => write!(f, "bad request: {why}"),
             EngineError::Store(why) => write!(f, "store error: {why}"),
+            EngineError::StoreTransient(why) => write!(f, "transient store error: {why}"),
+            EngineError::Unauthorized(why) => write!(f, "unauthorized: {why}"),
+            EngineError::Throttled(why) => write!(f, "throttled: {why}"),
+            EngineError::Backpressure(why) => write!(f, "backpressure: {why}"),
+        }
+    }
+}
+
+impl EngineError {
+    /// A stable machine-readable tag for the error family, surfaced as the
+    /// `kind` field of `ok:false` protocol responses so clients can branch
+    /// without parsing prose.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineError::Sampler(_) => "sampler",
+            EngineError::Json(_) => "json",
+            EngineError::UnknownPool(_) => "unknown_pool",
+            EngineError::UnknownSession(_) => "unknown_session",
+            EngineError::DuplicateId(_) => "duplicate_id",
+            EngineError::UnknownTicket(_) => "unknown_ticket",
+            EngineError::DuplicateTicket(_) => "duplicate_ticket",
+            EngineError::WrongLabelSource(_) => "wrong_label_source",
+            EngineError::InvalidLabelSource(_) => "invalid_label_source",
+            EngineError::CheckpointMismatch(_) => "checkpoint_mismatch",
+            EngineError::Protocol(_) => "protocol",
+            EngineError::Store(_) => "store",
+            EngineError::StoreTransient(_) => "store_transient",
+            EngineError::Unauthorized(_) => "unauthorized",
+            EngineError::Throttled(_) => "throttled",
+            EngineError::Backpressure(_) => "backpressure",
         }
     }
 }

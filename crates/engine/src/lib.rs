@@ -39,6 +39,15 @@
 //!   `run_budget`, `estimate`, `checkpoint`, `restore`, `checkpoint_to`,
 //!   `restore_from`, `sessions`, `delete_session`, `metrics`,
 //!   `diagnostics`, `shutdown`.
+//! * **Robustness** ([`guard`], [`fault`]) — propose-lease timeouts and
+//!   pending-ticket caps ([`SessionLimits`]) reclaim tickets from vanished
+//!   clients deterministically (the lease clock is WAL-logged, so replay
+//!   expires exactly what the live run expired); a connection guard
+//!   ([`ClientPolicy`]) screens untrusted clients with auth tokens and
+//!   per-session rate limits; transient store faults are retried with
+//!   bounded backoff ([`RetryPolicy`]) and torn trailing WAL records are
+//!   truncated-and-scrubbed on replay.  [`FaultyStore`] injects scripted
+//!   faults to rehearse all of it.
 //! * **Observability** ([`metrics`], [`log`]) — a [`MetricsRegistry`] of
 //!   atomic counters and log-bucketed latency histograms instrumented at
 //!   every hot path, a per-session ground-truth-free
@@ -87,6 +96,8 @@
 pub mod checkpoint;
 mod engine;
 pub mod error;
+pub mod fault;
+pub mod guard;
 pub mod log;
 pub mod metrics;
 pub mod protocol;
@@ -96,13 +107,15 @@ pub mod store;
 pub mod wal;
 
 pub use checkpoint::{pool_fingerprint, OracleCheckpoint, SessionCheckpoint, CHECKPOINT_FORMAT};
-pub use engine::{Engine, SessionJob, SessionOverview};
+pub use engine::{Engine, ReplayReport, RetryPolicy, SessionJob, SessionOverview};
 pub use error::{EngineError, EngineResult};
+pub use fault::{FaultKind, FaultyStore, StoreOp};
+pub use guard::{ClientPolicy, ConnState};
 pub use log::{EventLog, LogFormat};
 pub use metrics::{Clock, Counter, LatencyHistogram, ManualClock, MetricsRegistry, MonotonicClock};
-pub use session::{LabelSource, Session, Ticket};
+pub use session::{LabelSource, Session, SessionLimits, Ticket};
 pub use store::{CheckpointStore, FsCheckpointStore, STORE_FORMAT};
-pub use wal::{WalEntry, WalRecord};
+pub use wal::{WalEntry, WalParseOutcome, WalRecord};
 
 #[cfg(test)]
 pub(crate) mod test_support {

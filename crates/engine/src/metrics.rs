@@ -119,11 +119,19 @@ pub enum Counter {
     /// Proposals routed through a shard of a sharded session (each one a
     /// Fenwick-tree draw over the shard masses).
     ShardRoute,
+    /// Pending tickets dropped because their propose lease expired.
+    LeaseExpiry,
+    /// Requests rejected by a per-session rate limit.
+    Throttle,
+    /// Store writes retried after a transient fault.
+    RetriedWrite,
+    /// Faults injected by a scripted [`crate::fault::FaultyStore`].
+    FaultInjected,
 }
 
 impl Counter {
     /// Every counter, in wire order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 16] = [
         Counter::Propose,
         Counter::Label,
         Counter::Step,
@@ -136,6 +144,10 @@ impl Counter {
         Counter::Rehydration,
         Counter::ShardedSession,
         Counter::ShardRoute,
+        Counter::LeaseExpiry,
+        Counter::Throttle,
+        Counter::RetriedWrite,
+        Counter::FaultInjected,
     ];
 
     /// The stable wire name.
@@ -153,6 +165,10 @@ impl Counter {
             Counter::Rehydration => "rehydration",
             Counter::ShardedSession => "sharded_session",
             Counter::ShardRoute => "shard_route",
+            Counter::LeaseExpiry => "lease_expiry",
+            Counter::Throttle => "throttle",
+            Counter::RetriedWrite => "retried_write",
+            Counter::FaultInjected => "fault_injected",
         }
     }
 

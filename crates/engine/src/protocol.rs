@@ -19,6 +19,8 @@
 //! | `restore` | `session`, `checkpoint{}` | rebuild a session from a checkpoint |
 //! | `checkpoint_to` | `session` | durably checkpoint into the attached store |
 //! | `restore_from` | `session` | rebuild from the store: checkpoint + WAL replay |
+//! | `expire_leases` | `session` | force the overdue-lease sweep now |
+//! | `auth` | `token` | present a client token (enforced by the server guard) |
 //! | `sessions` | — | list sessions with per-session metadata |
 //! | `delete_session` | `session` | drop a session (and its store entry) |
 //! | `metrics` | — | global counters + latency histograms (see [`crate::metrics`]) |
@@ -31,6 +33,15 @@
 //! comparison methods run behind the same wire commands.  An unknown method
 //! is a structured `"ok": false` protocol error, never a dropped connection.
 //!
+//! `create_session`'s optional `lease_timeout_us` puts every proposed ticket
+//! on a lease against the engine's logical lease clock: tickets older than
+//! the timeout are reclaimed on the next `propose` (or an explicit
+//! `expire_leases`), their late labels rejected.  The clock reading is
+//! WAL-logged with the propose, so replay expires exactly what the live run
+//! expired.  `max_pending` bounds the outstanding-ticket queue; a propose
+//! that would exceed it fails with a `backpressure` error *before* touching
+//! the sampler, so the rejected request is invisible to replay.
+//!
 //! `create_session`'s optional `shards` partitions the pool into that many
 //! shards, each with its own strata and inner sampler, routed through one
 //! Fenwick tree of shard masses (see [`oasis::ShardedSampler`]) — the merged
@@ -42,7 +53,7 @@ use crate::checkpoint::SessionCheckpoint;
 use crate::engine::Engine;
 use crate::error::{EngineError, EngineResult};
 use crate::metrics::Counter;
-use crate::session::{LabelSource, Session, Ticket};
+use crate::session::{LabelSource, Session, SessionLimits, Ticket};
 use crate::wal::WalEntry;
 use oasis::{GroundTruthOracle, OasisConfig, SamplerMethod, ScoredPool};
 use serde::json::{FromJson, Json, ToJson};
@@ -76,6 +87,9 @@ pub enum Request {
         shards: Option<usize>,
         /// Optional hidden ground truth, enabling `step`/`run_budget`.
         truth: Option<Vec<bool>>,
+        /// Robustness limits: propose-lease timeout and pending-ticket cap
+        /// (both off by default, preserving legacy wire behaviour).
+        limits: SessionLimits,
     },
     /// Draw `count` items to label.
     Propose {
@@ -133,6 +147,18 @@ pub enum Request {
     RestoreFrom {
         /// Session id.
         session: String,
+    },
+    /// Expire overdue propose leases now (usually they expire lazily on the
+    /// next propose; this forces the sweep, e.g. after a client vanished).
+    ExpireLeases {
+        /// Session id.
+        session: String,
+    },
+    /// Present a client auth token.  Enforcement lives in the server's
+    /// connection guard; with no guard configured this is an accepted no-op.
+    Auth {
+        /// The presented token.
+        token: String,
     },
     /// List live sessions.
     Sessions,
@@ -215,6 +241,32 @@ impl Request {
                     Some(truth) => Some(Vec::<bool>::from_json(truth)?),
                     None => None,
                 },
+                limits: SessionLimits {
+                    lease_timeout_us: match value.get("lease_timeout_us") {
+                        Some(timeout) => {
+                            let timeout = timeout.as_u64()?;
+                            if timeout == 0 {
+                                return Err(EngineError::Protocol(
+                                    "lease_timeout_us must be at least 1".to_string(),
+                                ));
+                            }
+                            Some(timeout)
+                        }
+                        None => None,
+                    },
+                    max_pending: match value.get("max_pending") {
+                        Some(cap) => {
+                            let cap = cap.as_usize()?;
+                            if cap == 0 {
+                                return Err(EngineError::Protocol(
+                                    "max_pending must be at least 1".to_string(),
+                                ));
+                            }
+                            Some(cap)
+                        }
+                        None => None,
+                    },
+                },
             }),
             "propose" => Ok(Request::Propose {
                 session: string_field(&value, "session")?,
@@ -274,6 +326,12 @@ impl Request {
             "restore_from" => Ok(Request::RestoreFrom {
                 session: string_field(&value, "session")?,
             }),
+            "expire_leases" => Ok(Request::ExpireLeases {
+                session: string_field(&value, "session")?,
+            }),
+            "auth" => Ok(Request::Auth {
+                token: string_field(&value, "token")?,
+            }),
             "sessions" => Ok(Request::Sessions),
             "delete_session" => Ok(Request::DeleteSession {
                 session: string_field(&value, "session")?,
@@ -301,6 +359,8 @@ impl Request {
             Request::Restore { .. } => "restore",
             Request::CheckpointTo { .. } => "checkpoint_to",
             Request::RestoreFrom { .. } => "restore_from",
+            Request::ExpireLeases { .. } => "expire_leases",
+            Request::Auth { .. } => "auth",
             Request::Sessions => "sessions",
             Request::DeleteSession { .. } => "delete_session",
             Request::Metrics => "metrics",
@@ -322,11 +382,14 @@ impl Request {
             | Request::Restore { session, .. }
             | Request::CheckpointTo { session }
             | Request::RestoreFrom { session }
+            | Request::ExpireLeases { session }
             | Request::DeleteSession { session }
             | Request::Diagnostics { session } => Some(session),
-            Request::LoadPool { .. } | Request::Sessions | Request::Metrics | Request::Shutdown => {
-                None
-            }
+            Request::LoadPool { .. }
+            | Request::Auth { .. }
+            | Request::Sessions
+            | Request::Metrics
+            | Request::Shutdown => None,
         }
     }
 }
@@ -346,11 +409,15 @@ fn ok_response() -> Json {
     obj
 }
 
-/// Render an error as a protocol response line.
+/// Render an error as a protocol response line.  The `kind` tag gives
+/// untrusted clients a stable taxonomy to branch on (retry `store_transient`
+/// and `throttled`, re-authenticate on `unauthorized`, back off on
+/// `backpressure`) without parsing the human-readable message.
 pub fn error_response(error: &EngineError) -> Json {
     let mut obj = Json::object();
     obj.set("ok", Json::Bool(false));
     obj.set("error", Json::String(error.to_string()));
+    obj.set("kind", Json::String(error.kind().to_string()));
     obj
 }
 
@@ -417,6 +484,7 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
             config,
             shards,
             truth,
+            limits,
         } => {
             let source = match truth {
                 Some(truth) => LabelSource::GroundTruth(GroundTruthOracle::new(truth)),
@@ -425,13 +493,21 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
                     LabelSource::external(pool_len)
                 }
             };
-            engine.create_session_sharded(&session, &pool, method, config, shards, seed, source)?;
+            engine.create_session_with_limits(
+                &session, &pool, method, config, shards, seed, source, limits,
+            )?;
             let mut obj = ok_response();
             obj.set("session", Json::String(session));
             obj.set("method", method.to_json());
             obj.set("seed", seed.to_json());
             if let Some(shards) = shards {
                 obj.set("shards", shards.to_json());
+            }
+            if let Some(timeout) = limits.lease_timeout_us {
+                obj.set("lease_timeout_us", timeout.to_json());
+            }
+            if let Some(cap) = limits.max_pending {
+                obj.set("max_pending", cap.to_json());
             }
             obj
         }
@@ -445,7 +521,24 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
             let timer = engine.metrics().timer();
             let handle = engine.session(&session)?;
             let mut guard = handle.lock();
-            engine.log_wal(&session, WalEntry::Propose { count })?;
+            // The lease clock is read — and WAL-logged — only for sessions
+            // with a configured lease timeout, so lease-free sessions keep
+            // byte-identical WAL lines, checkpoints, and responses.
+            let now_us = guard
+                .limits()
+                .lease_timeout_us
+                .is_some()
+                .then(|| engine.lease_now());
+            engine.log_wal(&session, WalEntry::Propose { count, now_us })?;
+            let expired = match now_us {
+                Some(now) => guard.expire_leases(now),
+                None => Vec::new(),
+            };
+            if !expired.is_empty() {
+                engine
+                    .metrics()
+                    .add(Counter::LeaseExpiry, expired.len() as u64);
+            }
             let tickets = guard.propose(count)?;
             engine.metrics().add(Counter::Propose, tickets.len() as u64);
             if guard.shard_count() > 1 {
@@ -456,7 +549,11 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
             engine
                 .metrics()
                 .record(&format!("propose.{}", guard.method().as_str()), timer);
-            tickets_response(&guard, &tickets)
+            let mut obj = tickets_response(&guard, &tickets);
+            if !expired.is_empty() {
+                obj.set("expired", expired.to_json());
+            }
+            obj
         }
         Request::Label { session, labels } => {
             let timer = engine.metrics().timer();
@@ -551,11 +648,36 @@ fn apply(engine: &Engine, request: Request) -> EngineResult<Dispatch> {
             obj
         }
         Request::RestoreFrom { session } => {
-            let replayed = engine.restore_from(&session)?;
+            let report = engine.restore_from(&session)?;
             let mut obj = ok_response();
             obj.set("session", Json::String(session));
             obj.set("restored", Json::Bool(true));
-            obj.set("replayed", replayed.to_json());
+            obj.set("replayed", report.replayed.to_json());
+            if report.truncated_tail {
+                obj.set("wal_truncated", Json::Bool(true));
+            }
+            obj
+        }
+        Request::ExpireLeases { session } => {
+            let handle = engine.session(&session)?;
+            let mut guard = handle.lock();
+            let now_us = engine.lease_now();
+            engine.log_wal(&session, WalEntry::Expire { now_us })?;
+            let expired = guard.expire_leases(now_us);
+            engine
+                .metrics()
+                .add(Counter::LeaseExpiry, expired.len() as u64);
+            let mut obj = ok_response();
+            obj.set("session", Json::String(session));
+            obj.set("expired", expired.to_json());
+            obj.set("pending", guard.pending_count().to_json());
+            obj
+        }
+        Request::Auth { .. } => {
+            // Token checking happens in the server's connection guard before
+            // dispatch; reaching this arm means no guard is configured.
+            let mut obj = ok_response();
+            obj.set("authenticated", Json::Bool(true));
             obj
         }
         Request::Sessions => {
@@ -654,6 +776,9 @@ mod tests {
             r#"{"cmd":"checkpoint","session":"s"}"#,
             r#"{"cmd":"checkpoint_to","session":"s"}"#,
             r#"{"cmd":"restore_from","session":"s"}"#,
+            r#"{"cmd":"expire_leases","session":"s"}"#,
+            r#"{"cmd":"auth","token":"secret"}"#,
+            r#"{"cmd":"create_session","session":"s","pool":"p","seed":1,"lease_timeout_us":5000,"max_pending":4}"#,
             r#"{"cmd":"sessions"}"#,
             r#"{"cmd":"delete_session","session":"s"}"#,
             r#"{"cmd":"metrics"}"#,
@@ -1004,6 +1129,125 @@ mod tests {
         assert!(rendered.contains(r#""labels_consumed":"#), "{rendered}");
         assert!(rendered.contains(r#""dirty":true"#), "{rendered}");
         assert!(rendered.contains(r#""resident":true"#), "{rendered}");
+    }
+
+    #[test]
+    fn zero_limits_are_protocol_errors() {
+        let line =
+            r#"{"cmd":"create_session","session":"s","pool":"p","seed":1,"lease_timeout_us":0}"#;
+        let err = Request::parse(line).unwrap_err();
+        assert!(matches!(err, EngineError::Protocol(_)), "{err:?}");
+        let line = r#"{"cmd":"create_session","session":"s","pool":"p","seed":1,"max_pending":0}"#;
+        let err = Request::parse(line).unwrap_err();
+        assert!(matches!(err, EngineError::Protocol(_)), "{err:?}");
+    }
+
+    #[test]
+    fn error_responses_carry_a_kind_tag() {
+        let rendered =
+            error_response(&EngineError::Throttled("rate limit exceeded".to_string())).render();
+        assert!(rendered.contains(r#""ok":false"#), "{rendered}");
+        assert!(rendered.contains(r#""kind":"throttled""#), "{rendered}");
+        let rendered = error_response(&EngineError::UnknownSession("s".to_string())).render();
+        assert!(
+            rendered.contains(r#""kind":"unknown_session""#),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn lease_timeouts_expire_stale_tickets_over_dispatch() {
+        use crate::metrics::ManualClock;
+        use std::sync::Arc;
+        let clock = Arc::new(ManualClock::new());
+        let engine = Engine::new().with_lease_clock(Arc::clone(&clock) as _);
+        render(
+            &engine,
+            r#"{"cmd":"load_pool","pool":"p","scores":[0.95,0.9,0.8,0.6,0.4,0.2,0.15,0.1],"predictions":[true,true,true,true,false,false,false,false]}"#,
+        );
+        render(
+            &engine,
+            r#"{"cmd":"create_session","session":"s","pool":"p","seed":3,"config":{"strata_count":3},"lease_timeout_us":1000}"#,
+        );
+        let rendered = render(&engine, r#"{"cmd":"propose","session":"s","count":2}"#);
+        assert!(rendered.contains(r#""ok":true"#), "{rendered}");
+        assert!(!rendered.contains(r#""expired""#), "{rendered}");
+
+        // Let the lease lapse: the next propose reclaims both tickets.
+        clock.advance(5_000);
+        let rendered = render(&engine, r#"{"cmd":"propose","session":"s","count":1}"#);
+        assert!(rendered.contains(r#""ok":true"#), "{rendered}");
+        // Ticket ids are u64s, so they render as decimal strings.
+        assert!(rendered.contains(r#""expired":["0","1"]"#), "{rendered}");
+        assert!(rendered.contains(r#""pending":1"#), "{rendered}");
+        // A label against an expired ticket is rejected.
+        let rendered = render(
+            &engine,
+            r#"{"cmd":"label","session":"s","labels":[{"ticket":0,"label":true}]}"#,
+        );
+        assert!(rendered.contains(r#""ok":false"#), "{rendered}");
+        assert!(
+            rendered.contains(r#""kind":"unknown_ticket""#),
+            "{rendered}"
+        );
+        // Metrics saw the expiries.
+        let rendered = render(&engine, r#"{"cmd":"metrics"}"#);
+        assert!(rendered.contains(r#""lease_expiry":"2""#), "{rendered}");
+    }
+
+    #[test]
+    fn explicit_expire_leases_sweeps_without_a_propose() {
+        use crate::metrics::ManualClock;
+        use std::sync::Arc;
+        let clock = Arc::new(ManualClock::new());
+        let engine = Engine::new().with_lease_clock(Arc::clone(&clock) as _);
+        render(
+            &engine,
+            r#"{"cmd":"load_pool","pool":"p","scores":[0.95,0.9,0.8,0.6,0.4,0.2,0.15,0.1],"predictions":[true,true,true,true,false,false,false,false]}"#,
+        );
+        render(
+            &engine,
+            r#"{"cmd":"create_session","session":"s","pool":"p","seed":3,"config":{"strata_count":3},"lease_timeout_us":1000}"#,
+        );
+        render(&engine, r#"{"cmd":"propose","session":"s","count":3}"#);
+        clock.advance(10_000);
+        let rendered = render(&engine, r#"{"cmd":"expire_leases","session":"s"}"#);
+        assert!(rendered.contains(r#""ok":true"#), "{rendered}");
+        assert!(
+            rendered.contains(r#""expired":["0","1","2"]"#),
+            "{rendered}"
+        );
+        assert!(rendered.contains(r#""pending":0"#), "{rendered}");
+    }
+
+    #[test]
+    fn max_pending_rejects_with_backpressure() {
+        let engine = demo_engine();
+        render(
+            &engine,
+            r#"{"cmd":"create_session","session":"s","pool":"p","seed":3,"config":{"strata_count":3},"max_pending":2}"#,
+        );
+        let rendered = render(&engine, r#"{"cmd":"propose","session":"s","count":2}"#);
+        assert!(rendered.contains(r#""ok":true"#), "{rendered}");
+        let rendered = render(&engine, r#"{"cmd":"propose","session":"s","count":1}"#);
+        assert!(rendered.contains(r#""ok":false"#), "{rendered}");
+        assert!(rendered.contains(r#""kind":"backpressure""#), "{rendered}");
+        // Labelling drains the queue and proposing works again.
+        let rendered = render(
+            &engine,
+            r#"{"cmd":"label","session":"s","labels":[{"ticket":0,"label":true},{"ticket":1,"label":false}]}"#,
+        );
+        assert!(rendered.contains(r#""ok":true"#), "{rendered}");
+        let rendered = render(&engine, r#"{"cmd":"propose","session":"s","count":2}"#);
+        assert!(rendered.contains(r#""ok":true"#), "{rendered}");
+    }
+
+    #[test]
+    fn auth_is_an_accepted_noop_without_a_guard() {
+        let engine = Engine::new();
+        let rendered = render(&engine, r#"{"cmd":"auth","token":"anything"}"#);
+        assert!(rendered.contains(r#""ok":true"#), "{rendered}");
+        assert!(rendered.contains(r#""authenticated":true"#), "{rendered}");
     }
 
     #[test]

@@ -13,8 +13,9 @@
 
 use crate::engine::Engine;
 use crate::error::EngineError;
+use crate::guard::{guarded_dispatch, ClientPolicy, ConnState};
 use crate::log::EventLog;
-use crate::protocol::{dispatch, error_response, Dispatch, Request};
+use crate::protocol::{error_response, Dispatch, Request};
 use serde::json::Json;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
@@ -77,8 +78,16 @@ fn log_message(log: Option<&EventLog>, text: &str) {
 }
 
 /// Render the response for one raw request line (`None` for blank lines),
-/// emitting one structured event per request when a log is attached.
-fn handle_line(engine: &Engine, raw: &[u8], log: Option<&EventLog>) -> Option<Dispatch> {
+/// emitting one structured event per request when a log is attached.  With a
+/// [`ClientPolicy`], requests are screened (auth, rate limits) before they
+/// reach the engine; `conn` carries this connection's authentication state.
+fn handle_line(
+    engine: &Engine,
+    raw: &[u8],
+    log: Option<&EventLog>,
+    policy: Option<&ClientPolicy>,
+    conn: &mut ConnState,
+) -> Option<Dispatch> {
     let text = String::from_utf8_lossy(raw);
     let trimmed = text.trim();
     if trimmed.is_empty() {
@@ -89,7 +98,7 @@ fn handle_line(engine: &Engine, raw: &[u8], log: Option<&EventLog>) -> Option<Di
         Ok(request) => {
             let verb = request.verb();
             let session = request.session_id().map(str::to_string);
-            let outcome = dispatch(engine, request);
+            let outcome = guarded_dispatch(engine, policy, conn, request);
             if let Some(log) = log {
                 let ok = matches!(outcome.response.get("ok"), Some(Json::Bool(true)));
                 log.request(
@@ -155,10 +164,27 @@ pub fn serve_lines<R: BufRead, W: Write>(
 /// Only I/O failures on the transport itself.
 pub fn serve_lines_with_log<R: BufRead, W: Write>(
     engine: &Engine,
-    mut reader: R,
+    reader: R,
     writer: &mut W,
     log: Option<&EventLog>,
 ) -> std::io::Result<bool> {
+    serve_lines_guarded(engine, reader, writer, log, None)
+}
+
+/// [`serve_lines_with_log`] with an optional [`ClientPolicy`]: requests are
+/// screened for auth and rate limits before reaching the engine, each
+/// rejection a structured `ok:false` line (kind `unauthorized`/`throttled`).
+///
+/// # Errors
+/// Only I/O failures on the transport itself.
+pub fn serve_lines_guarded<R: BufRead, W: Write>(
+    engine: &Engine,
+    mut reader: R,
+    writer: &mut W,
+    log: Option<&EventLog>,
+    policy: Option<&ClientPolicy>,
+) -> std::io::Result<bool> {
+    let mut conn = ConnState::default();
     let mut line = Vec::new();
     let mut discarding = false;
     loop {
@@ -168,7 +194,7 @@ pub fn serve_lines_with_log<R: BufRead, W: Write>(
                 let at_eof = line.last() != Some(&b'\n');
                 if discarding {
                     discarding = false;
-                } else if let Some(outcome) = handle_line(engine, &line, log) {
+                } else if let Some(outcome) = handle_line(engine, &line, log, policy, &mut conn) {
                     write_response(writer, &outcome.response)?;
                     if outcome.shutdown {
                         return Ok(true);
@@ -214,6 +240,20 @@ pub fn serve_tcp_with_log(
     serve_listener_with_log(engine, TcpListener::bind(addr)?, log)
 }
 
+/// [`serve_tcp_with_log`] with an optional [`ClientPolicy`] screening every
+/// connection (auth state is per-connection; rate buckets are shared).
+///
+/// # Errors
+/// Socket bind/accept failures.
+pub fn serve_tcp_guarded(
+    engine: &Engine,
+    addr: &str,
+    log: Option<&EventLog>,
+    policy: Option<&ClientPolicy>,
+) -> std::io::Result<()> {
+    serve_listener_guarded(engine, TcpListener::bind(addr)?, log, policy)
+}
+
 /// How often an idle TCP connection handler wakes up to check the stop flag.
 const STOP_POLL_INTERVAL: Duration = Duration::from_millis(100);
 
@@ -226,7 +266,9 @@ fn serve_tcp_connection(
     stream: TcpStream,
     stop: &AtomicBool,
     log: Option<&EventLog>,
+    policy: Option<&ClientPolicy>,
 ) -> bool {
+    let mut conn = ConnState::default();
     if stream.set_read_timeout(Some(STOP_POLL_INTERVAL)).is_err() {
         return false;
     }
@@ -255,7 +297,7 @@ fn serve_tcp_connection(
                     line.clear();
                     continue;
                 }
-                let outcome = match handle_line(engine, &line, log) {
+                let outcome = match handle_line(engine, &line, log, policy, &mut conn) {
                     Some(outcome) => outcome,
                     None => {
                         line.clear();
@@ -309,6 +351,21 @@ pub fn serve_listener_with_log(
     listener: TcpListener,
     log: Option<&EventLog>,
 ) -> std::io::Result<()> {
+    serve_listener_guarded(engine, listener, log, None)
+}
+
+/// [`serve_listener_with_log`] with an optional [`ClientPolicy`] screening
+/// every connection.
+///
+/// # Errors
+/// Only listener-setup failures; per-connection accept errors are logged
+/// and skipped.
+pub fn serve_listener_guarded(
+    engine: &Engine,
+    listener: TcpListener,
+    log: Option<&EventLog>,
+    policy: Option<&ClientPolicy>,
+) -> std::io::Result<()> {
     let local = listener.local_addr()?;
     let stop = AtomicBool::new(false);
     crossbeam::thread::scope(|scope| -> std::io::Result<()> {
@@ -325,7 +382,7 @@ pub fn serve_listener_with_log(
             };
             let stop = &stop;
             scope.spawn(move |_| {
-                if serve_tcp_connection(engine, stream, stop, log) {
+                if serve_tcp_connection(engine, stream, stop, log, policy) {
                     stop.store(true, Ordering::SeqCst);
                     // Unblock the accept loop so the listener notices the
                     // shutdown flag.  When bound to an unspecified address
@@ -547,6 +604,92 @@ mod tests {
             "ghost"
         );
         assert!(!failed.require("ok").unwrap().as_bool().unwrap());
+    }
+
+    #[test]
+    fn guarded_serving_requires_auth_and_recovers_after_rejections() {
+        let engine = Engine::new();
+        let policy = ClientPolicy::new().with_auth_token("secret");
+        let script = concat!(
+            r#"{"cmd":"sessions"}"#,
+            "\n",
+            r#"{"cmd":"auth","token":"wrong"}"#,
+            "\n",
+            r#"{"cmd":"auth","token":"secret"}"#,
+            "\n",
+            r#"{"cmd":"sessions"}"#,
+            "\n",
+        );
+        let mut output = Vec::new();
+        serve_lines_guarded(
+            &engine,
+            Cursor::new(script.to_string()),
+            &mut output,
+            None,
+            Some(&policy),
+        )
+        .unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(
+            lines[0].contains(r#""kind":"unauthorized""#),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains(r#""ok":false"#), "{}", lines[1]);
+        assert!(lines[2].contains(r#""authenticated":true"#), "{}", lines[2]);
+        assert!(lines[3].contains(r#""ok":true"#), "{}", lines[3]);
+    }
+
+    #[test]
+    fn guarded_tcp_auth_state_is_per_connection() {
+        use std::io::{BufRead as _, Write as _};
+
+        let engine = Engine::new();
+        let policy = ClientPolicy::new().with_auth_token("secret");
+        crossbeam::thread::scope(|scope| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let engine = &engine;
+            let policy = &policy;
+            let server =
+                scope.spawn(move |_| serve_listener_guarded(engine, listener, None, Some(policy)));
+
+            let mut first = loop {
+                match TcpStream::connect(addr) {
+                    Ok(stream) => break stream,
+                    Err(_) => std::thread::yield_now(),
+                }
+            };
+            first
+                .write_all(b"{\"cmd\":\"auth\",\"token\":\"secret\"}\n{\"cmd\":\"sessions\"}\n")
+                .unwrap();
+            let mut reader = BufReader::new(first.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains(r#""authenticated":true"#), "{line}");
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains(r#""ok":true"#), "{line}");
+
+            // A second connection does NOT inherit the first's auth.
+            let mut second = TcpStream::connect(addr).unwrap();
+            second.write_all(b"{\"cmd\":\"sessions\"}\n").unwrap();
+            let mut reader2 = BufReader::new(second.try_clone().unwrap());
+            line.clear();
+            reader2.read_line(&mut line).unwrap();
+            assert!(line.contains(r#""kind":"unauthorized""#), "{line}");
+
+            // The authenticated connection shuts the server down.
+            first.write_all(b"{\"cmd\":\"shutdown\"}\n").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains(r#""shutdown":true"#), "{line}");
+            server.join().unwrap().unwrap();
+            drop(second);
+        })
+        .unwrap();
     }
 
     #[test]

@@ -39,6 +39,26 @@ pub struct Ticket {
     pub id: u64,
     /// The proposed query (item, stratum, prediction, locked-in weight).
     pub proposal: Proposal,
+    /// Logical lease timestamp the ticket was issued at (the session's lease
+    /// clock, microseconds).  0 on sessions that never saw a timestamp.
+    pub issued_at_us: u64,
+}
+
+/// Optional per-session robustness limits.
+///
+/// Both limits default to off, which is bit-identical to pre-lease engine
+/// behaviour: tickets never expire and the pending queue is unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionLimits {
+    /// Drop a pending ticket once the session's lease clock passes
+    /// `issued_at_us + lease_timeout_us`.  Because sampling is with
+    /// replacement, the item itself never left the proposable pool —
+    /// expiry frees the queue slot and makes a late label for the ticket a
+    /// deterministic [`EngineError::UnknownTicket`].
+    pub lease_timeout_us: Option<u64>,
+    /// Reject proposals that would grow the pending queue past this cap
+    /// with [`EngineError::Backpressure`].
+    pub max_pending: Option<usize>,
 }
 
 /// Where a session's labels come from.
@@ -81,6 +101,11 @@ pub struct Session {
     pending: VecDeque<Ticket>,
     next_ticket: u64,
     source: LabelSource,
+    limits: SessionLimits,
+    /// Logical lease clock: the largest timestamp ever observed via
+    /// [`Session::expire_leases`].  Advanced only by WAL-logged values, so
+    /// replay reproduces every expiry decision bit for bit.
+    lease_now_us: u64,
 }
 
 impl Session {
@@ -126,6 +151,36 @@ impl Session {
         seed: u64,
         source: LabelSource,
     ) -> EngineResult<Self> {
+        Session::new_with_limits(
+            id,
+            pool_id,
+            pool,
+            method,
+            config,
+            shards,
+            seed,
+            source,
+            SessionLimits::default(),
+        )
+    }
+
+    /// Create a session like [`Session::new_sharded`], with explicit
+    /// robustness limits (propose-lease timeout, pending-queue cap).
+    ///
+    /// # Errors
+    /// As [`Session::new_sharded`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with_limits(
+        id: impl Into<String>,
+        pool_id: impl Into<String>,
+        pool: Arc<ScoredPool>,
+        method: SamplerMethod,
+        config: OasisConfig,
+        shards: Option<usize>,
+        seed: u64,
+        source: LabelSource,
+        limits: SessionLimits,
+    ) -> EngineResult<Self> {
         validate_source(&source, pool.len())?;
         let sampler = match shards {
             Some(k) => AnySampler::build_sharded(method, &pool, &config, k, seed)?,
@@ -142,6 +197,8 @@ impl Session {
             pending: VecDeque::new(),
             next_ticket: 0,
             source,
+            limits,
+            lease_now_us: 0,
         })
     }
 
@@ -241,19 +298,75 @@ impl Session {
     /// labels can intervene inside the batch), matching the
     /// batched-annotation semantics of
     /// [`InteractiveSampler::propose_batch`].
+    ///
+    /// Tickets are stamped with the session's current lease clock; callers
+    /// that enforce leases advance it first via [`Session::expire_leases`].
+    ///
+    /// # Errors
+    /// [`EngineError::Backpressure`] when a configured `max_pending` cap
+    /// would be exceeded; the sampler and RNG are untouched, so a rejected
+    /// propose is invisible to replay.
     pub fn propose(&mut self, count: usize) -> EngineResult<Vec<Ticket>> {
+        if let Some(cap) = self.limits.max_pending {
+            let would_hold = self.pending.len().saturating_add(count);
+            if would_hold > cap {
+                return Err(EngineError::Backpressure(format!(
+                    "propose of {count} would hold {would_hold} pending tickets, cap is {cap}; \
+                     label or expire pending tickets first"
+                )));
+            }
+        }
         let proposals = self.sampler.propose_batch(&self.pool, &mut self.rng, count);
         let mut tickets = Vec::with_capacity(count);
         for proposal in proposals {
             let ticket = Ticket {
                 id: self.next_ticket,
                 proposal,
+                issued_at_us: self.lease_now_us,
             };
             self.next_ticket += 1;
             self.pending.push_back(ticket);
             tickets.push(ticket);
         }
         Ok(tickets)
+    }
+
+    /// Advance the session's logical lease clock to `now_us` (it never moves
+    /// backwards) and drop every pending ticket whose lease has expired,
+    /// returning the dropped ids oldest-first.
+    ///
+    /// Sampling is with replacement, so an expired item was never removed
+    /// from the proposable pool: expiry only frees the queue slot.  A later
+    /// label quoting a dropped id fails with the same
+    /// [`EngineError::UnknownTicket`] a replay reproduces.  Without a
+    /// configured lease timeout this only advances the clock.
+    pub fn expire_leases(&mut self, now_us: u64) -> Vec<u64> {
+        self.lease_now_us = self.lease_now_us.max(now_us);
+        let Some(timeout) = self.limits.lease_timeout_us else {
+            return Vec::new();
+        };
+        let mut expired = Vec::new();
+        // Pending is issue-ordered, so issued_at_us is non-decreasing and
+        // expired tickets form a prefix of the queue.
+        while let Some(front) = self.pending.front() {
+            if front.issued_at_us.saturating_add(timeout) <= self.lease_now_us {
+                expired.push(front.id);
+                self.pending.pop_front();
+            } else {
+                break;
+            }
+        }
+        expired
+    }
+
+    /// The session's robustness limits.
+    pub fn limits(&self) -> SessionLimits {
+        self.limits
+    }
+
+    /// The logical lease clock (largest timestamp ever observed).
+    pub fn lease_now_us(&self) -> u64 {
+        self.lease_now_us
     }
 
     /// Resume the session with a batch of labels, each quoting a pending
@@ -400,6 +513,8 @@ impl Session {
             sampler: self.sampler.state(),
             pending: self.pending.iter().copied().collect(),
             next_ticket: self.next_ticket,
+            limits: self.limits,
+            lease_now_us: self.lease_now_us,
             oracle: match &self.source {
                 LabelSource::External { labelled, distinct } => OracleCheckpoint::External {
                     labelled: labelled.clone(),
@@ -506,6 +621,8 @@ impl Session {
             pending: checkpoint.pending.into(),
             next_ticket: checkpoint.next_ticket,
             source,
+            limits: checkpoint.limits,
+            lease_now_us: checkpoint.lease_now_us,
         })
     }
 }
@@ -860,6 +977,127 @@ mod tests {
             assert!(session.labels_consumed() > 0, "{method}");
             assert_eq!(session.pending_count(), 0, "{method}");
         }
+    }
+
+    fn limited_session(pool: &Arc<ScoredPool>, seed: u64, limits: SessionLimits) -> Session {
+        Session::new_with_limits(
+            "s",
+            "p",
+            Arc::clone(pool),
+            SamplerMethod::Oasis,
+            OasisConfig::default().with_strata_count(4),
+            None,
+            seed,
+            LabelSource::external(pool.len()),
+            limits,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn expired_leases_drop_the_oldest_tickets_and_reject_late_labels() {
+        let (pool, _) = pool_and_truth(300, 11);
+        let mut session = limited_session(
+            &pool,
+            43,
+            SessionLimits {
+                lease_timeout_us: Some(1_000),
+                max_pending: None,
+            },
+        );
+        assert!(session.expire_leases(100).is_empty());
+        let first = session.propose(2).unwrap(); // issued at 100
+        session.expire_leases(700);
+        let second = session.propose(1).unwrap(); // issued at 700
+        assert_eq!(session.pending_count(), 3);
+
+        // At t=1100 the first batch (100 + 1000 <= 1100) expires, the second
+        // (700 + 1000 > 1100) survives.
+        let expired = session.expire_leases(1_100);
+        assert_eq!(expired, vec![first[0].id, first[1].id]);
+        assert_eq!(session.pending_count(), 1);
+        assert_eq!(session.lease_now_us(), 1_100);
+
+        // A late label for an expired ticket is a deterministic rejection...
+        let err = session.apply_labels(&[(first[0].id, true)]).unwrap_err();
+        assert_eq!(err, EngineError::UnknownTicket(first[0].id));
+        // ...while the surviving ticket still labels fine, and the item
+        // behind the expired tickets is still proposable (with-replacement).
+        session.apply_labels(&[(second[0].id, false)]).unwrap();
+        assert!(session.propose(4).is_ok());
+
+        // The clock never moves backwards.
+        session.expire_leases(5);
+        assert_eq!(session.lease_now_us(), 1_100);
+    }
+
+    #[test]
+    fn without_a_timeout_expire_only_advances_the_clock() {
+        let (pool, _) = pool_and_truth(300, 12);
+        let mut session = limited_session(&pool, 47, SessionLimits::default());
+        session.propose(3).unwrap();
+        assert!(session.expire_leases(u64::MAX).is_empty());
+        assert_eq!(session.pending_count(), 3);
+    }
+
+    #[test]
+    fn pending_queue_cap_rejects_without_touching_the_rng() {
+        let (pool, _) = pool_and_truth(300, 13);
+        let mut capped = limited_session(
+            &pool,
+            53,
+            SessionLimits {
+                lease_timeout_us: None,
+                max_pending: Some(3),
+            },
+        );
+        let mut free = limited_session(&pool, 53, SessionLimits::default());
+
+        capped.propose(2).unwrap();
+        free.propose(2).unwrap();
+        let err = capped.propose(2).unwrap_err();
+        assert!(matches!(err, EngineError::Backpressure(_)), "{err}");
+        assert_eq!(capped.pending_count(), 2);
+
+        // The rejected propose consumed no randomness: the next accepted
+        // batch matches an uncapped twin draw-for-draw.
+        let a = capped.propose(1).unwrap();
+        let b = free.propose(1).unwrap();
+        assert_eq!(a[0].proposal.item, b[0].proposal.item);
+        assert_eq!(
+            a[0].proposal.weight.to_bits(),
+            b[0].proposal.weight.to_bits()
+        );
+    }
+
+    #[test]
+    fn lease_state_survives_checkpoint_restore_bitwise() {
+        let (pool, _) = pool_and_truth(400, 14);
+        let limits = SessionLimits {
+            lease_timeout_us: Some(2_000),
+            max_pending: Some(10),
+        };
+        let mut session = limited_session(&pool, 59, limits);
+        session.expire_leases(900);
+        session.propose(3).unwrap();
+
+        let text = session.checkpoint().to_json_string();
+        let restored = Session::restore(
+            SessionCheckpoint::from_json_string(&text).unwrap(),
+            Arc::clone(&pool),
+        )
+        .unwrap();
+        assert_eq!(restored.limits(), limits);
+        assert_eq!(restored.lease_now_us(), 900);
+        let original: Vec<_> = session.pending().copied().collect();
+        let revived: Vec<_> = restored.pending().copied().collect();
+        assert_eq!(original, revived, "tickets keep their issue timestamps");
+
+        // Both twins expire identically from here on.
+        let mut a = session;
+        let mut b = restored;
+        assert_eq!(a.expire_leases(2_900), b.expire_leases(2_900));
+        assert_eq!(a.pending_count(), b.pending_count());
     }
 
     #[test]

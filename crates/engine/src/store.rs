@@ -134,13 +134,40 @@ const WAL_SUFFIX: &str = ".wal.jsonl";
 impl FsCheckpointStore {
     /// Open (creating if needed) a store rooted at `root`.
     ///
+    /// Opening also sweeps up orphaned `*.tmp` files — the residue of a
+    /// crash between writing a checkpoint's temporary file and renaming it
+    /// into place.  The rename never happened, so the previous checkpoint
+    /// is still the authoritative one and the orphan is garbage.  The store
+    /// assumes exclusive ownership of its root directory.
+    ///
     /// # Errors
-    /// [`EngineError::Store`] if the directory cannot be created.
+    /// [`EngineError::Store`] if the directory cannot be created or
+    /// scanned.
     pub fn open(root: impl Into<PathBuf>) -> EngineResult<Self> {
         let root = root.into();
         fs::create_dir_all(&root)
             .map_err(|e| EngineError::Store(format!("cannot create {}: {e}", root.display())))?;
-        Ok(FsCheckpointStore { root })
+        let store = FsCheckpointStore { root };
+        store.sweep_orphaned_tmp_files()?;
+        Ok(store)
+    }
+
+    fn sweep_orphaned_tmp_files(&self) -> EngineResult<()> {
+        let entries = fs::read_dir(&self.root).map_err(|e| io_err("scan", &self.root, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("scan", &self.root, e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".tmp") {
+                let path = entry.path();
+                match fs::remove_file(&path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(io_err("remove orphaned", &path, e)),
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The store's root directory.
@@ -206,12 +233,36 @@ fn io_err(action: &str, path: &Path, e: std::io::Error) -> EngineError {
     EngineError::Store(format!("cannot {action} {}: {e}", path.display()))
 }
 
+/// fsync a directory so a rename inside it is durable.  Directory fds are
+/// only open-able on unix; elsewhere this is a no-op (the rename itself is
+/// still atomic, we just lose the power-loss guarantee).
+fn sync_dir(dir: &Path) -> EngineResult<()> {
+    #[cfg(unix)]
+    {
+        let handle = fs::File::open(dir).map_err(|e| io_err("open directory", dir, e))?;
+        handle
+            .sync_all()
+            .map_err(|e| io_err("sync directory", dir, e))?;
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
 impl CheckpointStore for FsCheckpointStore {
     fn put_checkpoint(&self, session_id: &str, document: &str) -> EngineResult<()> {
+        // tmp write → fsync file → rename → fsync parent dir.  Without the
+        // file fsync the rename can land before the data blocks; without the
+        // directory fsync the rename itself can vanish on power loss.
         let path = self.checkpoint_path(session_id);
         let tmp = path.with_extension("json.tmp");
-        fs::write(&tmp, document.as_bytes()).map_err(|e| io_err("write", &tmp, e))?;
-        fs::rename(&tmp, &path).map_err(|e| io_err("replace", &path, e))
+        let mut file = fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        file.write_all(document.as_bytes())
+            .map_err(|e| io_err("write", &tmp, e))?;
+        file.sync_all().map_err(|e| io_err("sync", &tmp, e))?;
+        drop(file);
+        fs::rename(&tmp, &path).map_err(|e| io_err("replace", &path, e))?;
+        sync_dir(&self.root)
     }
 
     fn load_checkpoint(&self, session_id: &str) -> EngineResult<Option<String>> {
@@ -367,6 +418,33 @@ mod tests {
         store.remove("s/1").unwrap();
         assert_eq!(store.load_checkpoint("s/1").unwrap(), None);
         assert_eq!(store.list_sessions().unwrap(), vec!["s2"]);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn opening_sweeps_orphaned_tmp_files_and_keeps_the_real_checkpoint() {
+        let dir = scratch_dir("orphan");
+        {
+            let store = FsCheckpointStore::open(&dir).unwrap();
+            store.put_checkpoint("s", "{\"v\":1}").unwrap();
+        }
+        // Plant the residue of a crash between tmp-write and rename: the tmp
+        // file exists, the rename never happened.
+        let orphan = dir.join("s.checkpoint.json.tmp");
+        fs::write(&orphan, "half-written garb").unwrap();
+        assert!(orphan.exists());
+
+        let store = FsCheckpointStore::open(&dir).unwrap();
+        assert!(!orphan.exists(), "open() must sweep orphaned tmp files");
+        assert_eq!(
+            store.load_checkpoint("s").unwrap().unwrap(),
+            "{\"v\":1}",
+            "the committed checkpoint is untouched"
+        );
+        // A later checkpoint still commits normally.
+        store.put_checkpoint("s", "{\"v\":2}").unwrap();
+        assert_eq!(store.load_checkpoint("s").unwrap().unwrap(), "{\"v\":2}");
 
         let _ = fs::remove_dir_all(&dir);
     }

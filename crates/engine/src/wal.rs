@@ -30,6 +30,17 @@ pub enum WalEntry {
     Propose {
         /// Number of items proposed in the batch.
         count: usize,
+        /// The logical lease timestamp the engine observed when the batch
+        /// was proposed.  Recorded so replay expires exactly the leases the
+        /// live run expired; `None` on records written before lease support
+        /// (legacy logs replay with no expiry, as they ran).
+        now_us: Option<u64>,
+    },
+    /// [`Session::expire_leases`] — drop pending tickets whose lease passed
+    /// the logged logical timestamp.
+    Expire {
+        /// The logical timestamp expiry was evaluated at.
+        now_us: u64,
     },
     /// [`Session::apply_labels`] — a batch of `(ticket id, label)` answers.
     Label {
@@ -59,7 +70,16 @@ impl WalEntry {
     /// the caller skips it rather than aborting.
     pub fn apply(&self, session: &mut Session) -> EngineResult<()> {
         match self {
-            WalEntry::Propose { count } => session.propose(*count).map(|_| ()),
+            WalEntry::Propose { count, now_us } => {
+                if let Some(now) = now_us {
+                    let _ = session.expire_leases(*now);
+                }
+                session.propose(*count).map(|_| ())
+            }
+            WalEntry::Expire { now_us } => {
+                let _ = session.expire_leases(*now_us);
+                Ok(())
+            }
             WalEntry::Label { labels } => session.apply_labels(labels).map(|_| ()),
             WalEntry::Step { steps } => session.step(*steps).map(|_| ()),
             WalEntry::RunBudget {
@@ -104,9 +124,16 @@ impl ToJson for WalRecord {
         let mut obj = Json::object();
         obj.set("seq", self.seq.to_json());
         match &self.entry {
-            WalEntry::Propose { count } => {
+            WalEntry::Propose { count, now_us } => {
                 obj.set("op", Json::String("propose".to_string()));
                 obj.set("count", count.to_json());
+                if let Some(now) = now_us {
+                    obj.set("now_us", now.to_json());
+                }
+            }
+            WalEntry::Expire { now_us } => {
+                obj.set("op", Json::String("expire".to_string()));
+                obj.set("now_us", now_us.to_json());
             }
             WalEntry::Label { labels } => {
                 obj.set("op", Json::String("label".to_string()));
@@ -144,6 +171,13 @@ impl FromJson for WalRecord {
         let entry = match value.require("op")?.as_str()? {
             "propose" => WalEntry::Propose {
                 count: value.require("count")?.as_usize()?,
+                now_us: match value.get("now_us") {
+                    Some(now) => Some(now.as_u64()?),
+                    None => None,
+                },
+            },
+            "expire" => WalEntry::Expire {
+                now_us: value.require("now_us")?.as_u64()?,
             },
             "label" => {
                 let items = match value.require("labels")? {
@@ -174,6 +208,51 @@ impl FromJson for WalRecord {
         };
         Ok(WalRecord { seq, entry })
     }
+}
+
+/// The result of parsing a whole log with [`parse_lines`]: the records that
+/// parsed cleanly, plus a note when a partial trailing record was dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalParseOutcome {
+    /// Every record up to (but not including) a torn tail.
+    pub records: Vec<WalRecord>,
+    /// `Some(reason)` when the final line failed to parse and was dropped —
+    /// the signature of a crash mid-append.  The caller should scrub the
+    /// torn line from the store so later appends cannot bury it.
+    pub truncated_tail: Option<String>,
+}
+
+/// Parse a full WAL, tolerating exactly one failure mode: a final line that
+/// does not parse.  A crash between `write` and the trailing newline leaves
+/// precisely that shape behind, and rejecting the whole log for it would
+/// turn every mid-append crash into data loss.  A malformed *interior* line
+/// can only mean real corruption (appends are strictly sequential), so it
+/// stays a hard error.
+///
+/// # Errors
+/// [`EngineError::Store`] when any line other than the last fails to parse.
+pub fn parse_lines(lines: &[String]) -> EngineResult<WalParseOutcome> {
+    let mut records = Vec::with_capacity(lines.len());
+    for (index, line) in lines.iter().enumerate() {
+        match WalRecord::parse(line) {
+            Ok(record) => records.push(record),
+            Err(e) if index + 1 == lines.len() => {
+                return Ok(WalParseOutcome {
+                    records,
+                    truncated_tail: Some(format!("dropped partial trailing WAL record: {e}")),
+                });
+            }
+            Err(e) => {
+                return Err(EngineError::Store(format!(
+                    "WAL corrupt at interior line {index}: {e}"
+                )));
+            }
+        }
+    }
+    Ok(WalParseOutcome {
+        records,
+        truncated_tail: None,
+    })
 }
 
 /// Replay the log suffix at or beyond `from_seq` against a freshly restored
@@ -213,7 +292,21 @@ mod tests {
         let records = vec![
             WalRecord {
                 seq: 0,
-                entry: WalEntry::Propose { count: 5 },
+                entry: WalEntry::Propose {
+                    count: 5,
+                    now_us: None,
+                },
+            },
+            WalRecord {
+                seq: 4,
+                entry: WalEntry::Propose {
+                    count: 2,
+                    now_us: Some(1_500_000),
+                },
+            },
+            WalRecord {
+                seq: 5,
+                entry: WalEntry::Expire { now_us: 2_000_000 },
             },
             WalRecord {
                 seq: 1,
@@ -238,6 +331,24 @@ mod tests {
             assert!(!line.contains('\n'), "one record per line: {line}");
             assert_eq!(WalRecord::parse(&line).unwrap(), record);
         }
+    }
+
+    #[test]
+    fn legacy_propose_lines_parse_without_a_lease_timestamp() {
+        // Logs written before lease support carry no now_us; they must keep
+        // replaying with legacy semantics (no expiry).
+        let record = WalRecord::parse(r#"{"seq":"3","op":"propose","count":7}"#).unwrap();
+        assert_eq!(
+            record.entry,
+            WalEntry::Propose {
+                count: 7,
+                now_us: None
+            }
+        );
+        assert!(
+            !record.render().contains("now_us"),
+            "absent timestamps must not materialise on re-render"
+        );
     }
 
     #[test]
@@ -270,7 +381,10 @@ mod tests {
         let tickets = live.propose(4).unwrap();
         log.push(WalRecord {
             seq: 0,
-            entry: WalEntry::Propose { count: 4 },
+            entry: WalEntry::Propose {
+                count: 4,
+                now_us: None,
+            },
         });
         let labels: Vec<(u64, bool)> = tickets
             .iter()
@@ -315,5 +429,49 @@ mod tests {
             partial.estimate().f_measure.to_bits(),
             live.estimate().f_measure.to_bits()
         );
+    }
+
+    #[test]
+    fn partial_trailing_record_is_truncated_not_fatal() {
+        let good = WalRecord {
+            seq: 0,
+            entry: WalEntry::Step { steps: 3 },
+        }
+        .render();
+        let torn = {
+            let full = WalRecord {
+                seq: 1,
+                entry: WalEntry::Step { steps: 9 },
+            }
+            .render();
+            full[..full.len() / 2].to_string()
+        };
+
+        let outcome = parse_lines(&[good.clone(), torn.clone()]).unwrap();
+        assert_eq!(outcome.records.len(), 1);
+        assert_eq!(outcome.records[0].seq, 0);
+        let warning = outcome.truncated_tail.expect("tail must be flagged");
+        assert!(warning.contains("partial trailing"), "{warning}");
+
+        // A clean log reports no truncation.
+        let clean = parse_lines(std::slice::from_ref(&good)).unwrap();
+        assert_eq!(clean.records.len(), 1);
+        assert!(clean.truncated_tail.is_none());
+
+        // An empty log is fine too.
+        let empty = parse_lines(&[]).unwrap();
+        assert!(empty.records.is_empty() && empty.truncated_tail.is_none());
+    }
+
+    #[test]
+    fn interior_corruption_stays_a_hard_error() {
+        let good = WalRecord {
+            seq: 1,
+            entry: WalEntry::Step { steps: 3 },
+        }
+        .render();
+        let err = parse_lines(&["torn{".to_string(), good]).unwrap_err();
+        assert!(matches!(err, EngineError::Store(_)), "{err}");
+        assert!(err.to_string().contains("interior"), "{err}");
     }
 }

@@ -400,6 +400,15 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x20 => {
+                    // JSON requires control characters in strings to be
+                    // escaped; also, the run consumer below would not advance
+                    // past one, so admitting it here would loop forever.
+                    return Err(JsonError::new(format!(
+                        "unescaped control character 0x{b:02x} in string at byte {}",
+                        self.pos
+                    )));
+                }
                 Some(_) => {
                     // Consume the whole run up to the next quote, escape or
                     // control byte in one go.  Those delimiters are ASCII, so
@@ -728,6 +737,11 @@ mod tests {
         assert!(Json::parse("12 34").is_err());
         assert!(Json::parse("\"unterminated").is_err());
         assert!(Json::parse("nul").is_err());
+        // An unescaped control byte inside a string is an error — and must
+        // terminate (protocol fuzzing caught this looping forever).
+        assert!(Json::parse("\"\u{1}\"").is_err());
+        assert!(Json::parse("\"tab\there\"").is_err());
+        assert!(Json::parse("\"tab\\there\"").is_ok());
         // Overflowing literals must not smuggle `inf` into Json::Number.
         assert!(Json::parse("1e999").is_err());
         assert!(Json::parse("-1e999").is_err());
