@@ -45,6 +45,10 @@ pub enum EngineError {
     /// The request would grow a bounded queue (e.g. pending tickets) past
     /// its cap; the client must drain it first.
     Backpressure(String),
+    /// A request line exceeded the server's per-line byte cap before a
+    /// newline appeared.  The payload is the cap; the offending line is
+    /// discarded, never buffered whole.
+    LineTooLong(usize),
 }
 
 impl fmt::Display for EngineError {
@@ -68,6 +72,9 @@ impl fmt::Display for EngineError {
             EngineError::Unauthorized(why) => write!(f, "unauthorized: {why}"),
             EngineError::Throttled(why) => write!(f, "throttled: {why}"),
             EngineError::Backpressure(why) => write!(f, "backpressure: {why}"),
+            EngineError::LineTooLong(max) => {
+                write!(f, "request line exceeds {max} bytes")
+            }
         }
     }
 }
@@ -94,6 +101,7 @@ impl EngineError {
             EngineError::Unauthorized(_) => "unauthorized",
             EngineError::Throttled(_) => "throttled",
             EngineError::Backpressure(_) => "backpressure",
+            EngineError::LineTooLong(_) => "line_too_long",
         }
     }
 }

@@ -127,11 +127,18 @@ pub enum Counter {
     RetriedWrite,
     /// Faults injected by a scripted [`crate::fault::FaultyStore`].
     FaultInjected,
+    /// TCP connections accepted (both serving paths).
+    Connection,
+    /// Request lines rejected for exceeding the per-line byte cap.
+    LineTooLong,
+    /// `accept()` failures answered with a bounded backoff instead of a
+    /// hot retry loop (EMFILE/ENFILE under fd pressure).
+    AcceptRetry,
 }
 
 impl Counter {
     /// Every counter, in wire order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 19] = [
         Counter::Propose,
         Counter::Label,
         Counter::Step,
@@ -148,6 +155,9 @@ impl Counter {
         Counter::Throttle,
         Counter::RetriedWrite,
         Counter::FaultInjected,
+        Counter::Connection,
+        Counter::LineTooLong,
+        Counter::AcceptRetry,
     ];
 
     /// The stable wire name.
@@ -169,6 +179,9 @@ impl Counter {
             Counter::Throttle => "throttle",
             Counter::RetriedWrite => "retried_write",
             Counter::FaultInjected => "fault_injected",
+            Counter::Connection => "connection",
+            Counter::LineTooLong => "line_too_long",
+            Counter::AcceptRetry => "accept_retry",
         }
     }
 

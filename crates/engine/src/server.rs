@@ -15,10 +15,13 @@ use crate::engine::Engine;
 use crate::error::EngineError;
 use crate::guard::{guarded_dispatch, ClientPolicy, ConnState};
 use crate::log::EventLog;
+use crate::metrics::Counter;
 use crate::protocol::{error_response, Dispatch, Request};
+use parking_lot::Mutex;
 use serde::json::Json;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{TcpListener, TcpStream};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -70,7 +73,7 @@ fn fill_line<R: BufRead>(reader: &mut R, line: &mut Vec<u8>) -> std::io::Result<
 
 /// Route an operational message through the event log when one is attached,
 /// or straight to stderr in the legacy format otherwise.
-fn log_message(log: Option<&EventLog>, text: &str) {
+pub(crate) fn log_message(log: Option<&EventLog>, text: &str) {
     match log {
         Some(log) => log.message(text),
         None => eprintln!("oasis-serve: {text}"),
@@ -81,7 +84,7 @@ fn log_message(log: Option<&EventLog>, text: &str) {
 /// emitting one structured event per request when a log is attached.  With a
 /// [`ClientPolicy`], requests are screened (auth, rate limits) before they
 /// reach the engine; `conn` carries this connection's authentication state.
-fn handle_line(
+pub(crate) fn handle_line(
     engine: &Engine,
     raw: &[u8],
     log: Option<&EventLog>,
@@ -133,10 +136,12 @@ fn write_response<W: Write>(writer: &mut W, response: &serde::json::Json) -> std
     writer.flush()
 }
 
-fn line_too_long_response() -> serde::json::Json {
-    error_response(&EngineError::Protocol(format!(
-        "request line exceeds {MAX_LINE_BYTES} bytes"
-    )))
+/// The structured rejection for an overlong request line: `ok:false` with
+/// `kind:"line_too_long"`, so clients can tell a framing overflow apart
+/// from a malformed request.  Bumps the [`Counter::LineTooLong`] metric.
+pub(crate) fn line_too_long_response(engine: &Engine, max: usize) -> serde::json::Json {
+    engine.metrics().incr(Counter::LineTooLong);
+    error_response(&EngineError::LineTooLong(max))
 }
 
 /// Serve the line protocol over any reader/writer pair until EOF or a
@@ -207,7 +212,7 @@ pub fn serve_lines_guarded<R: BufRead, W: Write>(
             }
             LineStatus::TooLong => {
                 if !discarding {
-                    write_response(writer, &line_too_long_response())?;
+                    write_response(writer, &line_too_long_response(engine, MAX_LINE_BYTES))?;
                     discarding = true;
                 }
                 line.clear();
@@ -219,8 +224,9 @@ pub fn serve_lines_guarded<R: BufRead, W: Write>(
 /// Serve the line protocol over TCP, handling each connection on a scoped
 /// worker thread against the shared engine.  Returns when a client issues
 /// `shutdown`: the accept loop stops and every open connection is closed
-/// (handler threads poll the stop flag on a short read timeout, so even
-/// idle clients cannot hold the process open).
+/// from the accept side (a connection registry tracks the open sockets, so
+/// even idle clients are woken promptly — no read-timeout polling, zero CPU
+/// per idle connection, shutdown latency bounded by a socket close).
 ///
 /// # Errors
 /// Socket bind/accept failures.
@@ -254,42 +260,159 @@ pub fn serve_tcp_guarded(
     serve_listener_guarded(engine, TcpListener::bind(addr)?, log, policy)
 }
 
-/// How often an idle TCP connection handler wakes up to check the stop flag.
-const STOP_POLL_INTERVAL: Duration = Duration::from_millis(100);
+/// A registry of the open TCP connections of one serving loop, so shutdown
+/// can wake every blocked handler *promptly* by closing its socket from the
+/// accept side.  Handlers used to poll a stop flag on a 100ms read timeout,
+/// which made every idle connection burn a wakeup per interval and
+/// quantized shutdown latency to the poll period; with the registry, idle
+/// connections cost zero CPU and shutdown is bounded only by a socket
+/// close.
+#[derive(Default)]
+struct ConnRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    /// Set once the shutdown sweep ran; late registrations are closed on
+    /// the spot so no handler can slip past the sweep and block forever.
+    closed: bool,
+    next_id: u64,
+    conns: HashMap<u64, TcpStream>,
+}
+
+impl ConnRegistry {
+    /// Track `stream` (a `try_clone` of the handler's socket).  Returns
+    /// `None` — after shutting the stream down — when the registry already
+    /// closed, so the caller's handler sees EOF immediately.
+    fn register(&self, stream: TcpStream) -> Option<u64> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            let _ = stream.shutdown(Shutdown::Both);
+            return None;
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.conns.insert(id, stream);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.inner.lock().conns.remove(&id);
+    }
+
+    /// Close every registered connection and refuse future registrations.
+    fn close_all(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        for stream in inner.conns.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        inner.conns.clear();
+    }
+}
+
+/// Bounded exponential backoff for `accept()` failures.
+///
+/// An `accept` that fails with EMFILE/ENFILE (fd exhaustion) fails again
+/// immediately — the listener's backlog still holds the connection — so a
+/// log-and-continue loop spins at 100% duty, starving the handler threads
+/// of the very fds it is waiting for.  Sleeping a doubling, capped delay
+/// between retries lets handlers finish and release fds.  Shared by the
+/// blocking accept loop and the evented reactor (which turns the delay into
+/// an epoll timeout instead of sleeping).
+#[derive(Debug)]
+pub(crate) struct AcceptBackoff {
+    delay: Duration,
+}
+
+/// First retry delay after an `accept()` failure.
+pub(crate) const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(5);
+/// Largest delay between `accept()` retries.
+pub(crate) const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
+
+impl AcceptBackoff {
+    pub(crate) fn new() -> Self {
+        AcceptBackoff {
+            delay: ACCEPT_BACKOFF_MIN,
+        }
+    }
+
+    /// The delay to wait before the next accept attempt; doubles up to
+    /// [`ACCEPT_BACKOFF_MAX`] on consecutive failures.
+    pub(crate) fn next_delay(&mut self) -> Duration {
+        let delay = self.delay;
+        self.delay = (delay * 2).min(ACCEPT_BACKOFF_MAX);
+        delay
+    }
+
+    /// A successful accept resets the ladder.
+    pub(crate) fn reset(&mut self) {
+        self.delay = ACCEPT_BACKOFF_MIN;
+    }
+}
+
+/// The accept side of the blocking serving loop, abstracted so tests can
+/// inject `accept()` failures (EMFILE and friends) that are otherwise
+/// impossible to provoke deterministically.
+pub(crate) trait AcceptSource {
+    /// Accept one connection.
+    fn accept_stream(&self) -> std::io::Result<TcpStream>;
+}
+
+impl AcceptSource for TcpListener {
+    fn accept_stream(&self) -> std::io::Result<TcpStream> {
+        self.accept().map(|(stream, _)| stream)
+    }
+}
 
 /// Handle one TCP connection, returning `true` if this client issued
-/// `shutdown`.  Unlike [`serve_lines`], reads are interrupted every
-/// [`STOP_POLL_INTERVAL`] so the handler notices a shutdown initiated on
-/// *another* connection and hangs up instead of blocking forever.
+/// `shutdown`.  Reads block indefinitely: a shutdown initiated on *another*
+/// connection wakes this handler by closing its socket through the
+/// [`ConnRegistry`], so the read returns EOF at once instead of after a
+/// poll interval.
 fn serve_tcp_connection(
     engine: &Engine,
     stream: TcpStream,
-    stop: &AtomicBool,
+    registry: &ConnRegistry,
     log: Option<&EventLog>,
     policy: Option<&ClientPolicy>,
 ) -> bool {
     let mut conn = ConnState::default();
-    if stream.set_read_timeout(Some(STOP_POLL_INTERVAL)).is_err() {
-        return false;
-    }
+    let registered = match stream.try_clone() {
+        Ok(clone) => match registry.register(clone) {
+            Some(id) => id,
+            None => return false, // Shutdown won the race; hang up.
+        },
+        Err(_) => return false,
+    };
+    let shutdown = serve_registered_connection(engine, stream, log, policy, &mut conn);
+    registry.deregister(registered);
+    shutdown
+}
+
+fn serve_registered_connection(
+    engine: &Engine,
+    stream: TcpStream,
+    log: Option<&EventLog>,
+    policy: Option<&ClientPolicy>,
+    conn: &mut ConnState,
+) -> bool {
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return false,
     });
     let mut writer = stream;
-    // Partial lines survive timeouts: `fill_line` appends raw bytes, so data
-    // read before a timeout is kept and completed by a later read even when
-    // the timeout splits a multi-byte UTF-8 character (`read_line` would
-    // discard the partial character).  The buffer is bounded by
-    // MAX_LINE_BYTES; overlong lines are answered with an error and drained.
+    // Partial lines survive short reads: `fill_line` appends raw bytes, so
+    // a request split across packets is completed by later reads even when
+    // the split lands inside a multi-byte UTF-8 character.  The buffer is
+    // bounded by MAX_LINE_BYTES; overlong lines are answered with a
+    // structured `line_too_long` error and drained.
     let mut line = Vec::new();
     let mut discarding = false;
     loop {
-        if stop.load(Ordering::SeqCst) {
-            return false;
-        }
         match fill_line(&mut reader, &mut line) {
-            Ok(LineStatus::Eof) => return false, // The client hung up.
+            Ok(LineStatus::Eof) => return false, // Hang-up or shutdown wake.
             Ok(LineStatus::FinalPartial) => return false, // EOF mid-line.
             Ok(LineStatus::Complete) => {
                 if discarding {
@@ -297,7 +420,7 @@ fn serve_tcp_connection(
                     line.clear();
                     continue;
                 }
-                let outcome = match handle_line(engine, &line, log, policy, &mut conn) {
+                let outcome = match handle_line(engine, &line, log, policy, conn) {
                     Some(outcome) => outcome,
                     None => {
                         line.clear();
@@ -314,15 +437,13 @@ fn serve_tcp_connection(
             }
             Ok(LineStatus::TooLong) => {
                 if !discarding {
-                    if write_response(&mut writer, &line_too_long_response()).is_err() {
+                    let response = line_too_long_response(engine, MAX_LINE_BYTES);
+                    if write_response(&mut writer, &response).is_err() {
                         return false;
                     }
                     discarding = true;
                 }
                 line.clear();
-            }
-            Err(error) if matches!(error.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                continue;
             }
             Err(_) => return false,
         }
@@ -367,23 +488,59 @@ pub fn serve_listener_guarded(
     policy: Option<&ClientPolicy>,
 ) -> std::io::Result<()> {
     let local = listener.local_addr()?;
+    serve_accept_loop(engine, &listener, local, log, policy)
+}
+
+/// The blocking accept loop over any [`AcceptSource`] (production:
+/// [`TcpListener`]; tests: sources that inject accept failures).
+pub(crate) fn serve_accept_loop<A: AcceptSource + Sync>(
+    engine: &Engine,
+    source: &A,
+    local: std::net::SocketAddr,
+    log: Option<&EventLog>,
+    policy: Option<&ClientPolicy>,
+) -> std::io::Result<()> {
     let stop = AtomicBool::new(false);
+    let registry = ConnRegistry::default();
+    let mut backoff = AcceptBackoff::new();
     crossbeam::thread::scope(|scope| -> std::io::Result<()> {
-        for stream in listener.incoming() {
+        loop {
             if stop.load(Ordering::SeqCst) {
                 break;
             }
-            let stream = match stream {
-                Ok(stream) => stream,
+            let stream = match source.accept_stream() {
+                Ok(stream) => {
+                    backoff.reset();
+                    engine.metrics().incr(Counter::Connection);
+                    stream
+                }
                 Err(error) => {
-                    log_message(log, &format!("accept error (connection skipped): {error}"));
+                    // EMFILE/ENFILE and friends fail again immediately, so
+                    // a plain log-and-continue pegs a core while starving
+                    // the handlers that would release fds.  Sleep a
+                    // bounded, doubling delay instead.
+                    engine.metrics().incr(Counter::AcceptRetry);
+                    let delay = backoff.next_delay();
+                    log_message(
+                        log,
+                        &format!(
+                            "accept error (retrying in {}ms): {error}",
+                            delay.as_millis()
+                        ),
+                    );
+                    std::thread::sleep(delay);
                     continue;
                 }
             };
             let stop = &stop;
+            let registry = &registry;
             scope.spawn(move |_| {
-                if serve_tcp_connection(engine, stream, stop, log, policy) {
+                if serve_tcp_connection(engine, stream, registry, log, policy) {
                     stop.store(true, Ordering::SeqCst);
+                    // Wake every blocked handler by closing its socket —
+                    // idle connections notice the shutdown immediately
+                    // instead of on a poll interval.
+                    registry.close_all();
                     // Unblock the accept loop so the listener notices the
                     // shutdown flag.  When bound to an unspecified address
                     // (0.0.0.0 / ::), self-connect via the loopback of the
@@ -544,8 +701,102 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2, "one error + one normal response: {text}");
         assert!(lines[0].contains(r#""ok":false"#));
+        assert!(
+            lines[0].contains(r#""kind":"line_too_long""#),
+            "framing overflow must be machine-distinguishable: {}",
+            lines[0]
+        );
         assert!(lines[0].contains("exceeds"));
         assert!(lines[1].contains(r#""ok":true"#));
+        assert_eq!(engine.metrics().counter(Counter::LineTooLong), 1);
+    }
+
+    #[test]
+    fn accept_backoff_doubles_and_resets() {
+        let mut backoff = AcceptBackoff::new();
+        assert_eq!(backoff.next_delay(), ACCEPT_BACKOFF_MIN);
+        assert_eq!(backoff.next_delay(), ACCEPT_BACKOFF_MIN * 2);
+        assert_eq!(backoff.next_delay(), ACCEPT_BACKOFF_MIN * 4);
+        // The ladder is capped.
+        for _ in 0..20 {
+            backoff.next_delay();
+        }
+        assert_eq!(backoff.next_delay(), ACCEPT_BACKOFF_MAX);
+        // One successful accept resets it.
+        backoff.reset();
+        assert_eq!(backoff.next_delay(), ACCEPT_BACKOFF_MIN);
+    }
+
+    /// An [`AcceptSource`] that fails its first N accepts with EMFILE, then
+    /// delegates to a real listener — the fd-exhaustion scenario that a
+    /// log-and-continue accept loop turns into a hot spin.
+    struct FlakyListener {
+        inner: TcpListener,
+        failures: std::sync::atomic::AtomicUsize,
+    }
+
+    impl AcceptSource for FlakyListener {
+        fn accept_stream(&self) -> std::io::Result<TcpStream> {
+            if self
+                .failures
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                // EMFILE: "Too many open files".
+                return Err(std::io::Error::from_raw_os_error(24));
+            }
+            self.inner.accept_stream()
+        }
+    }
+
+    #[test]
+    fn accept_errors_back_off_instead_of_spinning() {
+        use std::io::{BufRead as _, Write as _};
+
+        const INJECTED_FAILURES: usize = 3;
+        let engine = Engine::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let flaky = FlakyListener {
+            inner: listener,
+            failures: std::sync::atomic::AtomicUsize::new(INJECTED_FAILURES),
+        };
+        crossbeam::thread::scope(|scope| {
+            let engine = &engine;
+            let flaky = &flaky;
+            let started = Instant::now();
+            let server = scope.spawn(move |_| serve_accept_loop(engine, flaky, addr, None, None));
+
+            // The client connects while the accepts are failing; the
+            // listener backlog holds it until the backoff ladder admits it.
+            let mut stream = loop {
+                match TcpStream::connect(addr) {
+                    Ok(stream) => break stream,
+                    Err(_) => std::thread::yield_now(),
+                }
+            };
+            stream
+                .write_all(b"{\"cmd\":\"sessions\"}\n{\"cmd\":\"shutdown\"}\n")
+                .unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains(r#""ok":true"#), "{line}");
+            server.join().unwrap().unwrap();
+
+            // Every injected failure took one bounded sleep (5+10+20ms)...
+            assert!(
+                started.elapsed() >= ACCEPT_BACKOFF_MIN * (INJECTED_FAILURES as u32 * 2 + 1),
+                "backoff sleeps must actually elapse"
+            );
+            // ...and was counted.
+            assert_eq!(
+                engine.metrics().counter(Counter::AcceptRetry),
+                INJECTED_FAILURES as u64
+            );
+            assert!(engine.metrics().counter(Counter::Connection) >= 1);
+        })
+        .unwrap();
     }
 
     #[test]
@@ -729,8 +980,16 @@ mod tests {
             assert!(line.contains(r#""shutdown":true"#));
 
             // The server must return even though the idle client is still
-            // connected — its handler polls the stop flag on a read timeout.
+            // connected — the registry closes its socket from the accept
+            // side, so shutdown is bounded by a socket close, not a poll
+            // interval.
+            let waited = Instant::now();
             server.join().unwrap().unwrap();
+            assert!(
+                waited.elapsed() < Duration::from_millis(100),
+                "shutdown must not wait on idle-connection polling (took {:?})",
+                waited.elapsed()
+            );
             drop(idle);
         })
         .unwrap();

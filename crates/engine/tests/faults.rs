@@ -81,6 +81,55 @@ fn run_lines(engine: &Engine, lines: &[&str]) -> Vec<String> {
         .collect()
 }
 
+/// [`run_lines`] with the transport swapped for the epoll reactor: the
+/// script travels over a real TCP connection into an evented server.  The
+/// client half-closes after writing, so the server answers everything and
+/// closes; a second connection then issues `shutdown` (which never touches
+/// the WAL, so it cannot perturb byte-parity with the blocking reference).
+#[cfg(target_os = "linux")]
+fn run_lines_evented(engine: &Engine, lines: &[&str]) -> Vec<String> {
+    use oasis_engine::reactor::{serve_listener_evented_with_config, ReactorConfig};
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+
+    let mut script = lines.join("\n");
+    script.push('\n');
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut collected = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let server = scope.spawn(move |_| {
+            serve_listener_evented_with_config(
+                engine,
+                listener,
+                None,
+                None,
+                &ReactorConfig::default(),
+            )
+        });
+        let mut stream = loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => break stream,
+                Err(_) => std::thread::yield_now(),
+            }
+        };
+        stream.write_all(script.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        stream.read_to_end(&mut collected).unwrap();
+
+        let mut stop = TcpStream::connect(addr).unwrap();
+        stop.write_all(b"{\"cmd\":\"shutdown\"}\n").unwrap();
+        let _ = stop.read_to_end(&mut Vec::new());
+        server.join().unwrap().unwrap();
+    })
+    .unwrap();
+    String::from_utf8(collected)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
 #[test]
 fn crash_point_sweep_replays_bit_identically_at_every_boundary() {
     // Reference: the uninterrupted run.
@@ -116,6 +165,48 @@ fn crash_point_sweep_replays_bit_identically_at_every_boundary() {
             responses[1..].to_vec(),
             reference[crash_at..].to_vec(),
             "crash@{crash_at}: post-restart responses diverged from the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&reference_dir);
+}
+
+/// The crash-point sweep again, but with every run served by the epoll
+/// reactor over TCP instead of the blocking stdio loop.  This pins the
+/// evented transport to the exact same durable semantics: a kill at any
+/// WAL/checkpoint boundary, followed by a restart behind a fresh evented
+/// server, replays byte-identically with the uninterrupted blocking run.
+#[cfg(target_os = "linux")]
+#[test]
+fn crash_point_sweep_over_the_evented_server_matches_the_blocking_run() {
+    // Reference from the *blocking* path — parity across transports and
+    // across crashes in one assertion.
+    let reference_dir = scratch_dir("esweep-ref");
+    let reference = run_lines(&frozen_engine(&reference_dir), SCRIPT);
+    for line in &reference {
+        assert!(line.contains(r#""ok":true"#), "reference failed: {line}");
+    }
+
+    for crash_at in 1..SCRIPT.len() {
+        let dir = scratch_dir(&format!("esweep-{crash_at}"));
+        {
+            let engine = frozen_engine(&dir);
+            let prefix = run_lines_evented(&engine, &SCRIPT[..crash_at]);
+            assert_eq!(prefix, reference[..crash_at].to_vec(), "prefix differs");
+        }
+        let revived = frozen_engine(&dir);
+        let mut suffix_lines = vec![SCRIPT[0]];
+        suffix_lines.extend_from_slice(&SCRIPT[crash_at..]);
+        let responses = run_lines_evented(&revived, &suffix_lines);
+        assert!(
+            responses[0].contains(r#""ok":true"#),
+            "crash@{crash_at}: pool reload failed: {}",
+            responses[0]
+        );
+        assert_eq!(
+            responses[1..].to_vec(),
+            reference[crash_at..].to_vec(),
+            "crash@{crash_at}: evented post-restart responses diverged"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

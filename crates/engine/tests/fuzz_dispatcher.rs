@@ -261,3 +261,38 @@ proptest! {
         prop_assert_eq!(round_tripped, checkpoint);
     }
 }
+
+/// Regression for the framing overflow path: a line longer than
+/// [`MAX_LINE_BYTES`] must yield the *structured* `kind:"line_too_long"`
+/// rejection (clients need to tell a framing overflow apart from malformed
+/// JSON), and the very next request on the same stream must still be
+/// served — the oversized line is discarded, never buffered whole.
+#[test]
+fn overlong_lines_get_a_structured_kind_and_do_not_wedge_the_stream() {
+    use oasis_engine::server::MAX_LINE_BYTES;
+
+    let engine = Engine::new();
+    let mut script = Vec::from(&br#"{"cmd":"sessions"}"#[..]);
+    script.push(b'\n');
+    let overlong_from = script.len();
+    script.resize(overlong_from + MAX_LINE_BYTES + 1024, b'x');
+    script.extend_from_slice(b"\n{\"cmd\":\"sessions\"}\n");
+
+    let mut output = Vec::new();
+    serve_lines(&engine, Cursor::new(script), &mut output).expect("transport must not error");
+    let text = String::from_utf8(output).expect("responses must be UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "one response per line:\n{text}");
+    assert!(lines[0].contains(r#""ok":true"#), "{}", lines[0]);
+    assert!(lines[1].contains(r#""ok":false"#), "{}", lines[1]);
+    assert!(
+        lines[1].contains(r#""kind":"line_too_long""#),
+        "overflow must be machine-distinguishable from a parse error: {}",
+        lines[1]
+    );
+    assert!(
+        lines[2].contains(r#""ok":true"#),
+        "the stream must keep serving after an overlong line: {}",
+        lines[2]
+    );
+}

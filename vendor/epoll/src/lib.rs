@@ -1,0 +1,448 @@
+//! # epoll — offline subset of mio-style readiness polling
+//!
+//! The vendored-subset pattern of `vendor/rand` and `vendor/serde` applied
+//! to the network layer: a small, safe wrapper over Linux `epoll` with
+//! exactly the API the `oasis-engine` reactor needs, and nothing else.
+//!
+//! * [`Epoll`] — an epoll instance: `register`/`reregister`/`deregister`
+//!   raw fds under a caller-chosen [`Token`], then [`Epoll::wait`] for
+//!   readiness [`Event`]s with an optional timeout.
+//! * [`Interest`] — readable/writable readiness, level-triggered by
+//!   default, [`Interest::edge_triggered`] for `EPOLLET`.
+//! * [`Slab`] — a registration slab mapping dense `usize` keys to
+//!   connection state, recycling freed slots (tokens round-trip through
+//!   epoll as `u64` payloads).
+//! * [`nofile_limits`] / [`raise_nofile_limit`] — `RLIMIT_NOFILE`
+//!   introspection, so servers and benches that hold tens of thousands of
+//!   sockets can raise their soft fd limit to the hard cap first.
+//!
+//! All `unsafe` lives in the private `sys` module (direct declarations of
+//! the libc symbols `std` already links — the offline build has no `libc`
+//! crate).  On non-Linux targets the crate compiles but every `Epoll`
+//! constructor returns [`std::io::ErrorKind::Unsupported`].
+
+mod slab;
+mod sys;
+
+pub use slab::Slab;
+
+use std::io;
+use std::time::Duration;
+
+/// An opaque per-registration identifier, reported back on every event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness interest for a registration.
+///
+/// Level-triggered by default — the poller keeps reporting readiness while
+/// the condition holds, which makes pause/resume flow control (drop the
+/// readable interest under backpressure, re-add it later) self-rearming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// No readiness — registration kept alive, nothing reported except
+    /// errors/hangups (which epoll always delivers).
+    pub const NONE: Interest = Interest(0);
+    /// Readable readiness (`EPOLLIN` + `EPOLLRDHUP` so a peer's half-close
+    /// is visible as a readable event leading to a zero-byte read).
+    pub const READABLE: Interest = Interest(sys::EPOLLIN | sys::EPOLLRDHUP);
+    /// Writable readiness (`EPOLLOUT`).
+    pub const WRITABLE: Interest = Interest(sys::EPOLLOUT);
+
+    /// Combine two interests.
+    pub const fn with(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// The same interest in edge-triggered mode (`EPOLLET`): readiness is
+    /// reported once per transition, so the caller must drain to
+    /// `WouldBlock` on every event.
+    pub const fn edge_triggered(self) -> Interest {
+        Interest(self.0 | sys::EPOLLET)
+    }
+
+    /// Whether the readable bit is set.
+    pub const fn is_readable(self) -> bool {
+        self.0 & sys::EPOLLIN != 0
+    }
+
+    /// Whether the writable bit is set.
+    pub const fn is_writable(self) -> bool {
+        self.0 & sys::EPOLLOUT != 0
+    }
+
+    fn bits(self) -> u32 {
+        self.0
+    }
+}
+
+/// One readiness event out of [`Epoll::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: usize,
+    readiness: u32,
+}
+
+impl Event {
+    /// The token the fd was registered under.
+    pub fn token(&self) -> Token {
+        Token(self.token)
+    }
+
+    /// Data can be read (includes peer half-close, which reads as EOF).
+    pub fn is_readable(&self) -> bool {
+        self.readiness & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0
+    }
+
+    /// The fd can accept writes.
+    pub fn is_writable(&self) -> bool {
+        self.readiness & sys::EPOLLOUT != 0
+    }
+
+    /// An error condition is pending on the fd (read it to collect errno).
+    pub fn is_error(&self) -> bool {
+        self.readiness & sys::EPOLLERR != 0
+    }
+
+    /// The peer hung up entirely.
+    pub fn is_hangup(&self) -> bool {
+        self.readiness & sys::EPOLLHUP != 0
+    }
+}
+
+/// A reusable buffer of readiness events for [`Epoll::wait`].
+#[derive(Debug)]
+pub struct Events {
+    raw: Vec<sys::EpollEvent>,
+    ready: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Events {
+            raw: vec![sys::EpollEvent::zeroed(); capacity.max(1)],
+            ready: 0,
+        }
+    }
+
+    /// Iterate over the events produced by the last wait.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.ready].iter().map(|raw| {
+            // Copy fields out of the (possibly packed) raw struct; never
+            // hold references into it.
+            let raw = *raw;
+            Event {
+                token: raw.data as usize,
+                readiness: raw.events,
+            }
+        })
+    }
+
+    /// Number of events produced by the last wait.
+    pub fn len(&self) -> usize {
+        self.ready
+    }
+
+    /// Whether the last wait produced no events.
+    pub fn is_empty(&self) -> bool {
+        self.ready == 0
+    }
+}
+
+/// An epoll instance.  Registrations refer to raw fds the *caller* owns:
+/// dropping the `Epoll` closes only the epoll fd itself.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: i32,
+}
+
+impl Epoll {
+    /// A fresh epoll instance (`EPOLL_CLOEXEC`).
+    ///
+    /// # Errors
+    /// Fd exhaustion, or [`io::ErrorKind::Unsupported`] off Linux.
+    pub fn new() -> io::Result<Epoll> {
+        Ok(Epoll { fd: sys::create()? })
+    }
+
+    /// Start watching `fd` for `interest`, reporting events under `token`.
+    ///
+    /// # Errors
+    /// `EEXIST` when the fd is already registered (use
+    /// [`Epoll::reregister`]), or any `epoll_ctl` failure.
+    pub fn register(&self, fd: i32, token: Token, interest: Interest) -> io::Result<()> {
+        sys::add(self.fd, fd, interest.bits(), token.0 as u64)
+    }
+
+    /// Replace an existing registration's interest and token.
+    ///
+    /// # Errors
+    /// `ENOENT` when the fd was never registered, or any `epoll_ctl`
+    /// failure.
+    pub fn reregister(&self, fd: i32, token: Token, interest: Interest) -> io::Result<()> {
+        sys::modify(self.fd, fd, interest.bits(), token.0 as u64)
+    }
+
+    /// Stop watching `fd`.  (Closing an fd deregisters it implicitly; this
+    /// is for keeping an fd open while ignoring it.)
+    ///
+    /// # Errors
+    /// `ENOENT` when the fd was never registered.
+    pub fn deregister(&self, fd: i32) -> io::Result<()> {
+        sys::delete(self.fd, fd)
+    }
+
+    /// Wait for readiness, filling `events`.  `None` blocks indefinitely;
+    /// `Some(d)` waits at most `d` (rounded up to a millisecond so short
+    /// positive timeouts never busy-spin).  Returns the number of events.
+    ///
+    /// # Errors
+    /// Any `epoll_wait` failure except `EINTR`, which retries internally.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis().min(i32::MAX as u128) as i32;
+                if ms == 0 && !d.is_zero() {
+                    1
+                } else {
+                    ms
+                }
+            }
+        };
+        events.ready = 0;
+        loop {
+            match sys::wait(self.fd, &mut events.raw, timeout_ms) {
+                Ok(n) => {
+                    events.ready = n;
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        sys::close_fd(self.fd);
+    }
+}
+
+/// The process's `(soft, hard)` open-file limits.
+///
+/// # Errors
+/// `getrlimit` failure, or [`io::ErrorKind::Unsupported`] off Linux.
+pub fn nofile_limits() -> io::Result<(u64, u64)> {
+    sys::nofile_limits()
+}
+
+/// Raise the soft open-file limit to the hard limit, returning the new soft
+/// limit.  A server expecting tens of thousands of sockets calls this once
+/// at startup.
+///
+/// # Errors
+/// `setrlimit` failure, or [`io::ErrorKind::Unsupported`] off Linux.
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    sys::raise_nofile_to_hard()
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    fn pair() -> (UnixStream, UnixStream) {
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_event_fires_with_the_registered_token() {
+        let (mut a, b) = pair();
+        let epoll = Epoll::new().unwrap();
+        epoll
+            .register(b.as_raw_fd(), Token(7), Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing to read yet: a zero-timeout wait reports no events.
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        a.write_all(b"x").unwrap();
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let event = events.iter().next().unwrap();
+        assert_eq!(event.token(), Token(7));
+        assert!(event.is_readable());
+        assert!(!event.is_writable());
+    }
+
+    #[test]
+    fn level_triggered_rearms_until_drained_edge_fires_once() {
+        let (mut a, mut b) = pair();
+        let epoll = Epoll::new().unwrap();
+        epoll
+            .register(b.as_raw_fd(), Token(1), Interest::READABLE)
+            .unwrap();
+        a.write_all(b"xy").unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Level-triggered: the unread byte keeps the event firing.
+        for _ in 0..2 {
+            let n = epoll
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(
+                n, 1,
+                "level-triggered readiness re-fires while data is unread"
+            );
+        }
+
+        // Edge-triggered: one notification per transition.
+        epoll
+            .reregister(b.as_raw_fd(), Token(2), Interest::READABLE.edge_triggered())
+            .unwrap();
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1, "the MOD itself rearms one edge notification");
+        assert_eq!(events.iter().next().unwrap().token(), Token(2));
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "no new data, no new edge");
+
+        let mut buf = [0u8; 8];
+        let _ = b.read(&mut buf);
+        a.write_all(b"z").unwrap();
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1, "a fresh write is a fresh edge");
+    }
+
+    #[test]
+    fn interest_modulation_pauses_and_resumes_readiness() {
+        let (mut a, b) = pair();
+        let epoll = Epoll::new().unwrap();
+        epoll
+            .register(b.as_raw_fd(), Token(3), Interest::READABLE)
+            .unwrap();
+        a.write_all(b"backpressure").unwrap();
+        let mut events = Events::with_capacity(8);
+        assert_eq!(
+            epoll
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap(),
+            1
+        );
+
+        // Pause: interest NONE silences the pending data…
+        epoll
+            .reregister(b.as_raw_fd(), Token(3), Interest::NONE)
+            .unwrap();
+        assert_eq!(
+            epoll
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap(),
+            0
+        );
+
+        // …and resuming the readable interest re-reports it (level
+        // triggering makes pause/resume flow control self-rearming).
+        epoll
+            .reregister(b.as_raw_fd(), Token(3), Interest::READABLE)
+            .unwrap();
+        assert_eq!(
+            epoll
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn writable_and_combined_interest() {
+        let (a, _b) = pair();
+        let epoll = Epoll::new().unwrap();
+        epoll
+            .register(
+                a.as_raw_fd(),
+                Token(9),
+                Interest::READABLE.with(Interest::WRITABLE),
+            )
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let event = events.iter().next().unwrap();
+        assert!(event.is_writable(), "an idle socket's send buffer is open");
+        assert!(!event.is_readable());
+    }
+
+    #[test]
+    fn hangup_is_reported_as_readable_eof() {
+        let (a, b) = pair();
+        let epoll = Epoll::new().unwrap();
+        epoll
+            .register(b.as_raw_fd(), Token(4), Interest::READABLE)
+            .unwrap();
+        drop(a);
+        let mut events = Events::with_capacity(8);
+        assert_eq!(
+            epoll
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap(),
+            1
+        );
+        let event = events.iter().next().unwrap();
+        assert!(
+            event.is_readable(),
+            "hangup surfaces as readable so the owner reads EOF: {event:?}"
+        );
+    }
+
+    #[test]
+    fn deregistered_fds_stay_silent() {
+        let (mut a, b) = pair();
+        let epoll = Epoll::new().unwrap();
+        epoll
+            .register(b.as_raw_fd(), Token(5), Interest::READABLE)
+            .unwrap();
+        epoll.deregister(b.as_raw_fd()).unwrap();
+        a.write_all(b"x").unwrap();
+        let mut events = Events::with_capacity(8);
+        assert_eq!(
+            epoll
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn nofile_limits_are_sane_and_raisable() {
+        let (soft, hard) = nofile_limits().unwrap();
+        assert!(soft > 0 && soft <= hard);
+        let raised = raise_nofile_limit().unwrap();
+        assert_eq!(raised, hard);
+        let (soft_after, _) = nofile_limits().unwrap();
+        assert_eq!(soft_after, hard);
+    }
+}

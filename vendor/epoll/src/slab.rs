@@ -1,0 +1,150 @@
+//! A registration slab: stable `usize` keys for connection state.
+//!
+//! Freed slots are recycled in LIFO order, so keys stay small and dense —
+//! exactly what an event loop wants for turning epoll tokens back into
+//! connection state without a hash map.  Purely safe code.
+
+/// A vector-backed slab with free-list slot reuse.
+#[derive(Debug)]
+pub struct Slab<T> {
+    entries: Vec<Option<T>>,
+    free: Vec<usize>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Insert a value, returning its key.  Recycles the most recently freed
+    /// slot when one exists.
+    pub fn insert(&mut self, value: T) -> usize {
+        self.len += 1;
+        match self.free.pop() {
+            Some(key) => {
+                debug_assert!(self.entries[key].is_none());
+                self.entries[key] = Some(value);
+                key
+            }
+            None => {
+                self.entries.push(Some(value));
+                self.entries.len() - 1
+            }
+        }
+    }
+
+    /// Remove and return the value under `key`, freeing the slot.
+    pub fn remove(&mut self, key: usize) -> Option<T> {
+        let value = self.entries.get_mut(key)?.take()?;
+        self.free.push(key);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// The value under `key`, if occupied.
+    pub fn get(&self, key: usize) -> Option<&T> {
+        self.entries.get(key)?.as_ref()
+    }
+
+    /// Mutable access to the value under `key`, if occupied.
+    pub fn get_mut(&mut self, key: usize) -> Option<&mut T> {
+        self.entries.get_mut(key)?.as_mut()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over `(key, &value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(key, slot)| slot.as_ref().map(|value| (key, value)))
+    }
+
+    /// Drain every occupied slot, leaving the slab empty.
+    pub fn drain(&mut self) -> Vec<(usize, T)> {
+        let mut out = Vec::with_capacity(self.len);
+        for (key, slot) in self.entries.iter_mut().enumerate() {
+            if let Some(value) = slot.take() {
+                out.push((key, value));
+                self.free.push(key);
+            }
+        }
+        self.len = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_ne!(a, b);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.remove(a), None, "double-remove is a no-op");
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.get(b), Some(&"b"));
+    }
+
+    #[test]
+    fn freed_slots_are_recycled() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        let _b = slab.insert(2);
+        slab.remove(a);
+        let c = slab.insert(3);
+        assert_eq!(c, a, "the freed slot is reused");
+        assert_eq!(slab.get(c), Some(&3));
+    }
+
+    #[test]
+    fn iter_and_drain_see_only_occupied_slots() {
+        let mut slab = Slab::new();
+        let keys: Vec<usize> = (0..5).map(|i| slab.insert(i * 10)).collect();
+        slab.remove(keys[1]);
+        slab.remove(keys[3]);
+        let seen: Vec<(usize, i32)> = slab.iter().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(seen, vec![(keys[0], 0), (keys[2], 20), (keys[4], 40)]);
+        let drained = slab.drain();
+        assert_eq!(drained.len(), 3);
+        assert!(slab.is_empty());
+        // Every slot is free again.
+        let reused = slab.insert(99);
+        assert!(reused < 5);
+    }
+
+    #[test]
+    fn out_of_range_keys_are_none() {
+        let slab: Slab<u8> = Slab::new();
+        assert!(slab.get(7).is_none());
+        assert!(slab.is_empty());
+    }
+}

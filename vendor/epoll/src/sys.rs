@@ -1,0 +1,175 @@
+//! Raw Linux epoll and rlimit bindings.
+//!
+//! The build environment is fully offline, so instead of depending on the
+//! `libc` crate this module declares the handful of symbols it needs
+//! directly — they all live in the C library that `std` already links.  All
+//! `unsafe` in the `epoll` crate is confined to this file; everything above
+//! it is safe Rust over these wrappers.
+//!
+//! On non-Linux targets every entry point returns
+//! [`std::io::ErrorKind::Unsupported`] so the workspace still compiles; the
+//! serving layers that use the reactor are themselves Linux-only features.
+
+/// Readable readiness (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (`EPOLLERR`) — always reported, never registered.
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (`EPOLLHUP`) — always reported, never registered.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered mode flag (`EPOLLET`).
+pub const EPOLLET: u32 = 1 << 31;
+
+/// One `struct epoll_event`.  On x86 the kernel ABI packs it (no padding
+/// between `events` and `data`); other architectures use natural layout.
+/// Always copy fields out of a value — never take a reference into a packed
+/// instance.
+#[repr(C)]
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+#[derive(Clone, Copy, Debug)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EPOLL*` flags).
+    pub events: u32,
+    /// Caller-owned token payload.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// A zeroed event (used to pre-size wait buffers).
+    pub const fn zeroed() -> Self {
+        EpollEvent { events: 0, data: 0 }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::EpollEvent;
+    use std::io;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const RLIMIT_NOFILE: i32 = 7;
+
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+
+    // These symbols live in the platform C library, which std already
+    // links; declaring them here avoids any external crate dependency.
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn create() -> io::Result<i32> {
+        // SAFETY: epoll_create1 takes a flags int and returns an fd or -1.
+        cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+    }
+
+    fn ctl(epfd: i32, op: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        let mut event = EpollEvent { events, data };
+        // SAFETY: `event` outlives the call; the kernel copies it.
+        cvt(unsafe { epoll_ctl(epfd, op, fd, &mut event) }).map(|_| ())
+    }
+
+    pub fn add(epfd: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        ctl(epfd, EPOLL_CTL_ADD, fd, events, data)
+    }
+
+    pub fn modify(epfd: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        ctl(epfd, EPOLL_CTL_MOD, fd, events, data)
+    }
+
+    pub fn delete(epfd: i32, fd: i32) -> io::Result<()> {
+        // Pre-2.6.9 kernels demanded a non-null event for DEL; passing one
+        // is harmless everywhere.
+        ctl(epfd, EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    pub fn wait(epfd: i32, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `buf` is a live, writable slice; maxevents matches it.
+        let n = cvt(unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) })?;
+        Ok(n as usize)
+    }
+
+    pub fn close_fd(fd: i32) {
+        // SAFETY: the caller owns `fd` and never uses it again.
+        let _ = unsafe { close(fd) };
+    }
+
+    pub fn nofile_limits() -> io::Result<(u64, u64)> {
+        let mut lim = Rlimit { cur: 0, max: 0 };
+        // SAFETY: `lim` outlives the call; the kernel fills it.
+        cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+        Ok((lim.cur, lim.max))
+    }
+
+    pub fn raise_nofile_to_hard() -> io::Result<u64> {
+        let (cur, max) = nofile_limits()?;
+        if cur >= max {
+            return Ok(cur);
+        }
+        let lim = Rlimit { cur: max, max };
+        // SAFETY: raising the soft limit to the hard limit is always
+        // permitted; `lim` outlives the call.
+        cvt(unsafe { setrlimit(RLIMIT_NOFILE, &lim) })?;
+        Ok(max)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::EpollEvent;
+    use std::io;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll is only available on Linux",
+        ))
+    }
+
+    pub fn create() -> io::Result<i32> {
+        unsupported()
+    }
+    pub fn add(_: i32, _: i32, _: u32, _: u64) -> io::Result<()> {
+        unsupported()
+    }
+    pub fn modify(_: i32, _: i32, _: u32, _: u64) -> io::Result<()> {
+        unsupported()
+    }
+    pub fn delete(_: i32, _: i32) -> io::Result<()> {
+        unsupported()
+    }
+    pub fn wait(_: i32, _: &mut [EpollEvent], _: i32) -> io::Result<usize> {
+        unsupported()
+    }
+    pub fn close_fd(_: i32) {}
+    pub fn nofile_limits() -> io::Result<(u64, u64)> {
+        unsupported()
+    }
+    pub fn raise_nofile_to_hard() -> io::Result<u64> {
+        unsupported()
+    }
+}
+
+pub use imp::{add, close_fd, create, delete, modify, nofile_limits, raise_nofile_to_hard, wait};
